@@ -1,0 +1,47 @@
+// Shared workload builders for the benchmark binaries. Everything is
+// seeded deterministically so series are reproducible run to run.
+#ifndef KAV_BENCH_BENCH_COMMON_H
+#define KAV_BENCH_BENCH_COMMON_H
+
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.h"
+#include "history/history.h"
+#include "util/rng.h"
+
+namespace kav::bench {
+
+// "Practical" workload for Theorem 3.2's quasilinear-in-practice claim:
+// k-atomic by construction with a bounded concurrency level.
+inline History practical_workload(int writes, double spread,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  gen::KAtomicConfig config;
+  config.writes = writes;
+  config.k = 2;
+  config.min_reads_per_write = 1;
+  config.max_reads_per_write = 3;
+  config.spread = spread;
+  return gen::generate_k_atomic(config, rng).history;
+}
+
+// LBT-adversarial workload: clumps of `concurrent` pairwise-concurrent
+// writes whose decoy reads make Theta(c) epoch candidates each fail
+// after Theta(c) consumed operations -- the O(c * n) term of
+// Theorem 3.2 made visible. Total size ~= groups * (2 * concurrent + 1).
+inline History adversarial_workload(int groups, int concurrent,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  return gen::generate_high_concurrency(groups, concurrent, rng);
+}
+
+// Adversarial workload with c = Theta(n): a single clump. Exhibits
+// LBT's quadratic worst case.
+inline History quadratic_workload(int n, std::uint64_t seed) {
+  const int concurrent = std::max(3, n / 2);
+  return adversarial_workload(1, concurrent, seed);
+}
+
+}  // namespace kav::bench
+
+#endif  // KAV_BENCH_BENCH_COMMON_H

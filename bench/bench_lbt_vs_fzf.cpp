@@ -1,0 +1,81 @@
+// Experiment E9 (crossover): LBT vs FZF head to head. The paper's
+// prediction: on practical (low-c) inputs the two are comparable, with
+// the simpler LBT often ahead; as c grows, LBT's O(c n) term bites and
+// FZF's O(n log n) wins -- the crossover is the reason FZF exists.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/fzf.h"
+#include "core/lbt.h"
+
+namespace kav {
+namespace {
+
+const History& workload_for(int c) {
+  // n held at roughly 16k operations across the sweep.
+  static std::map<int, History>* cache = new std::map<int, History>();
+  auto it = cache->find(c);
+  if (it == cache->end()) {
+    const int groups = std::max(1, 16384 / (2 * c + 1));
+    it = cache->emplace(c, bench::adversarial_workload(groups, c, 99)).first;
+  }
+  return it->second;
+}
+
+void head_to_head_lbt(benchmark::State& state) {
+  const History& h = workload_for(static_cast<int>(state.range(0)));
+  LbtOptions options;
+  options.check_preconditions = false;
+  for (auto _ : state) {
+    const Verdict v = check_2atomicity_lbt(h, options);
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["n"] = static_cast<double>(h.size());
+  state.counters["c"] = static_cast<double>(h.max_concurrent_writes());
+}
+BENCHMARK(head_to_head_lbt)->RangeMultiplier(2)->Range(4, 512);
+
+void head_to_head_fzf(benchmark::State& state) {
+  const History& h = workload_for(static_cast<int>(state.range(0)));
+  FzfOptions options;
+  options.check_preconditions = false;
+  for (auto _ : state) {
+    const Verdict v = check_2atomicity_fzf(h, options);
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["n"] = static_cast<double>(h.size());
+  state.counters["c"] = static_cast<double>(h.max_concurrent_writes());
+}
+BENCHMARK(head_to_head_fzf)->RangeMultiplier(2)->Range(4, 512);
+
+// Practical low-c side of the story: simplicity pays.
+void practical_lbt(benchmark::State& state) {
+  const History h =
+      bench::practical_workload(static_cast<int>(state.range(0)), 0.8, 17);
+  LbtOptions options;
+  options.check_preconditions = false;
+  for (auto _ : state) {
+    const Verdict v = check_2atomicity_lbt(h, options);
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["n"] = static_cast<double>(h.size());
+}
+BENCHMARK(practical_lbt)->Arg(1 << 12)->Arg(1 << 14);
+
+void practical_fzf(benchmark::State& state) {
+  const History h =
+      bench::practical_workload(static_cast<int>(state.range(0)), 0.8, 17);
+  FzfOptions options;
+  options.check_preconditions = false;
+  for (auto _ : state) {
+    const Verdict v = check_2atomicity_fzf(h, options);
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["n"] = static_cast<double>(h.size());
+}
+BENCHMARK(practical_fzf)->Arg(1 << 12)->Arg(1 << 14);
+
+}  // namespace
+}  // namespace kav
+
+BENCHMARK_MAIN();

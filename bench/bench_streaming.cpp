@@ -1,0 +1,71 @@
+// Streaming monitor costs: throughput and window occupancy versus the
+// staleness horizon. The horizon is the monitor's memory/latency knob:
+// small horizons settle chunks quickly (small windows, fast flushes)
+// at the price of flagging very stale reads as horizon violations.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/fzf.h"
+#include "core/streaming.h"
+#include "history/anomaly.h"
+#include "quorum/sim.h"
+
+namespace kav {
+namespace {
+
+History long_trace(int ops_per_client) {
+  quorum::QuorumConfig config;
+  config.clients = 6;
+  config.keys = 1;
+  config.ops_per_client = ops_per_client;
+  config.seed = 31;
+  const quorum::SimResult sim = quorum::run_sloppy_quorum_sim(config);
+  const KeyedHistories split = split_by_key(sim.trace);
+  return normalize(split.per_key.begin()->second);
+}
+
+void streaming_throughput(benchmark::State& state) {
+  const History h = long_trace(static_cast<int>(state.range(0)));
+  std::size_t peak = 0;
+  for (auto _ : state) {
+    StreamingOptions options;
+    options.staleness_horizon = state.range(1);
+    StreamingChecker checker(options);
+    for (OpId id : h.by_start()) {
+      checker.add(h.op(id));
+      checker.advance_watermark(h.op(id).start);
+    }
+    const Verdict v = checker.finish();
+    benchmark::DoNotOptimize(v);
+    peak = checker.stats().peak_window;
+  }
+  state.counters["n"] = static_cast<double>(h.size());
+  state.counters["peak_window"] = static_cast<double>(peak);
+  state.counters["ops/s"] = benchmark::Counter(
+      static_cast<double>(h.size()) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(streaming_throughput)
+    ->Args({500, 1 << 8})    // tight horizon: small window
+    ->Args({500, 1 << 14})   // loose horizon: larger window
+    ->Args({500, 1 << 30})   // effectively batch at finish()
+    ->Args({4000, 1 << 8})
+    ->Args({4000, 1 << 14})
+    ->Unit(benchmark::kMillisecond);
+
+// Batch comparison point: one-shot FZF over the same trace.
+void streaming_vs_batch_baseline(benchmark::State& state) {
+  const History h = long_trace(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const Verdict v = check_2atomicity_fzf(h);
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["n"] = static_cast<double>(h.size());
+}
+BENCHMARK(streaming_vs_batch_baseline)->Arg(500)->Arg(4000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kav
+
+BENCHMARK_MAIN();

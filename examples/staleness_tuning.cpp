@@ -1,0 +1,113 @@
+// The "tuning knobs" experiment from the paper's introduction: if an
+// application tolerates k-atomicity for some k > 1 (the social-network
+// example of Section I), how far can the quorum sizes be turned down
+// before the staleness bound is exceeded?
+//
+// Sweeps quorum configurations over several seeds, verifying every
+// per-key history at k = 1 and k = 2 and recording observed staleness,
+// then prints a table from which the operator can read off the
+// cheapest configuration that still meets the application's bound.
+//
+//   $ ./staleness_tuning --seeds=10 --ops=40 --clients=4
+#include <cstdio>
+#include <vector>
+
+#include "core/verify.h"
+#include "history/anomaly.h"
+#include "quorum/sim.h"
+#include "util/flags.h"
+#include "util/stats.h"
+
+using namespace kav;
+
+namespace {
+
+struct SweepPoint {
+  int replicas;
+  int write_quorum;
+  int read_quorum;
+  bool first_responders;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int seeds = static_cast<int>(flags.get_int("seeds", 8));
+  const int ops = static_cast<int>(flags.get_int("ops", 40));
+  const int clients = static_cast<int>(flags.get_int("clients", 4));
+  const int keys = static_cast<int>(flags.get_int("keys", 2));
+  flags.check_unknown();
+
+  const std::vector<SweepPoint> sweep = {
+      {3, 2, 2, true},   // strict overlap, classic majority quorums
+      {3, 1, 2, true},   // R+W = N: boundary
+      {3, 1, 1, true},   // sloppy, first responders
+      {3, 1, 1, false},  // sloppy, fixed random subsets
+      {5, 3, 3, true},   // strict at N=5
+      {5, 2, 2, true},   // R+W < N but first responders query all
+      {5, 1, 1, true},   //
+      {5, 1, 1, false},  // sloppiest
+  };
+
+  TablePrinter table({"N", "W", "R", "mode", "keys 1-atomic", "keys 2-atomic",
+                      "stale reads", "msgs/op"});
+  for (const SweepPoint& point : sweep) {
+    int atomic1 = 0, atomic2 = 0, total_keys = 0;
+    std::uint64_t stale = 0, messages = 0, operations = 0;
+    for (int seed = 1; seed <= seeds; ++seed) {
+      quorum::QuorumConfig config;
+      config.replicas = point.replicas;
+      config.write_quorum = point.write_quorum;
+      config.read_quorum = point.read_quorum;
+      config.first_responders = point.first_responders;
+      config.clients = clients;
+      config.keys = keys;
+      config.ops_per_client = ops;
+      config.anti_entropy_interval = 500;
+      config.seed = static_cast<std::uint64_t>(seed);
+      const quorum::SimResult result = quorum::run_sloppy_quorum_sim(config);
+      stale += result.stats.stale_reads;
+      messages += result.stats.messages;
+      operations += result.stats.reads + result.stats.writes;
+
+      const KeyedHistories split = split_by_key(result.trace);
+      for (const auto& [key, history] : split.per_key) {
+        if (!find_anomalies(history).repairable()) continue;
+        const History normalized = normalize(history);
+        ++total_keys;
+        VerifyOptions options;
+        options.k = 1;
+        atomic1 += verify_k_atomicity(normalized, options).yes();
+        options.k = 2;
+        atomic2 += verify_k_atomicity(normalized, options).yes();
+      }
+    }
+    auto percent = [&](int count) {
+      return TablePrinter::fmt(100.0 * count / std::max(total_keys, 1), 1) +
+             "%";
+    };
+    table.add_row({std::to_string(point.replicas),
+                   std::to_string(point.write_quorum),
+                   std::to_string(point.read_quorum),
+                   point.first_responders ? "first-resp" : "subset",
+                   percent(atomic1), percent(atomic2),
+                   TablePrinter::fmt(static_cast<std::int64_t>(stale)),
+                   TablePrinter::fmt(
+                       static_cast<double>(messages) /
+                           static_cast<double>(std::max<std::uint64_t>(
+                               operations, 1)),
+                       1)});
+  }
+
+  std::printf("staleness vs quorum configuration (%d seeds, %d clients x %d "
+              "ops, %d keys)\n\n%s\n",
+              seeds, clients, ops, keys, table.to_string().c_str());
+  std::printf(
+      "reading the table: an application that tolerates 2-atomicity can\n"
+      "adopt any row whose '2-atomic' column stays at 100%% -- typically\n"
+      "several rows cheaper (fewer messages, smaller quorums) than the\n"
+      "first fully 1-atomic configuration. That is the paper's point:\n"
+      "verification lets you turn the consistency knob down safely.\n");
+  return 0;
+}

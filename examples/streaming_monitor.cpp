@@ -1,0 +1,87 @@
+// Online 2-atomicity monitoring of a live store -- Section VII's
+// proposed experiment as a deployable pattern. A sloppy-quorum store is
+// simulated; its per-key operation streams are fed to StreamingChecker
+// instances in completion order, with the watermark trailing the
+// stream. The monitor verifies and evicts settled chunks as it goes, so
+// memory stays bounded by the concurrency window rather than growing
+// with the trace.
+//
+//   $ ./streaming_monitor --ops=200 --replicas=5 --write-quorum=1
+//         --read-quorum=1 --first-responders=false
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "core/streaming.h"
+#include "quorum/sim.h"
+#include "util/flags.h"
+
+using namespace kav;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  quorum::QuorumConfig config;
+  config.replicas = static_cast<int>(flags.get_int("replicas", 3));
+  config.write_quorum = static_cast<int>(flags.get_int("write-quorum", 2));
+  config.read_quorum = static_cast<int>(flags.get_int("read-quorum", 2));
+  config.first_responders = flags.get_bool("first-responders", true);
+  config.clients = static_cast<int>(flags.get_int("clients", 4));
+  config.keys = static_cast<int>(flags.get_int("keys", 2));
+  config.ops_per_client = static_cast<int>(flags.get_int("ops", 200));
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const TimePoint horizon = flags.get_int("horizon", 400);
+  flags.check_unknown();
+
+  const quorum::SimResult sim = quorum::run_sloppy_quorum_sim(config);
+  std::printf("simulated %zu operations (N=%d W=%d R=%d, %s quorums)\n",
+              sim.trace.size(), config.replicas, config.write_quorum,
+              config.read_quorum,
+              config.first_responders ? "first-responder" : "fixed-subset");
+
+  // Feed each key's stream in start order, watermarking as we go --
+  // exactly what a monitor tailing a per-key commit log would do.
+  StreamingOptions options;
+  options.staleness_horizon = horizon;
+  std::map<std::string, StreamingChecker> monitors;
+  std::map<std::string, std::vector<Operation>> streams;
+  for (const KeyedOperation& kop : sim.trace.ops) {
+    streams[kop.key].push_back(kop.op);
+  }
+  for (auto& [key, ops] : streams) {
+    std::sort(ops.begin(), ops.end(),
+              [](const Operation& a, const Operation& b) {
+                return a.start < b.start;
+              });
+    auto [it, inserted] = monitors.try_emplace(key, options);
+    for (const Operation& op : ops) {
+      it->second.add(op);
+      it->second.advance_watermark(op.start);
+      if (!it->second.clean_so_far()) break;  // first finding is enough
+    }
+  }
+
+  int violations_total = 0;
+  for (auto& [key, monitor] : monitors) {
+    const Verdict verdict = monitor.finish();
+    const StreamingStats& stats = monitor.stats();
+    std::printf(
+        "key %-6s %-3s  ingested=%llu evicted=%llu chunks=%llu "
+        "peak-window=%zu\n",
+        key.c_str(), verdict.yes() ? "ok" : "NO",
+        static_cast<unsigned long long>(stats.operations_ingested),
+        static_cast<unsigned long long>(stats.operations_evicted),
+        static_cast<unsigned long long>(stats.chunks_verified),
+        stats.peak_window);
+    for (const StreamingViolation& violation : monitor.violations()) {
+      std::printf("    at watermark %lld: %s\n",
+                  static_cast<long long>(violation.when),
+                  violation.detail.c_str());
+      ++violations_total;
+    }
+  }
+  std::printf(violations_total == 0
+                  ? "\nstream clean: every settled chunk was 2-atomic.\n"
+                  : "\n%d violation(s) found while streaming.\n",
+              violations_total);
+  return violations_total == 0 ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/fzf.h"
+#include "core/witness.h"
+
+namespace kav {
+
+std::string StalenessSpectrum::to_string() const {
+  std::ostringstream out;
+  out << "reads: " << reads << ", fresh: " << fresh_fraction * 100.0
+      << "%, mean separation: " << mean_separation
+      << ", max separation: " << max_separation << "\n";
+  for (std::size_t s = 0; s < histogram.size(); ++s) {
+    if (histogram[s] == 0) continue;
+    out << "  separation " << s << ": " << histogram[s] << " read(s)\n";
+  }
+  return out.str();
+}
+
+StalenessSpectrum staleness_spectrum(const History& history,
+                                     std::span<const OpId> order) {
+  // Witness validity is a precondition; re-check with a generous k (the
+  // separation bound is what we are measuring, so only permutation and
+  // precedence matter -- use k = #writes + 1 which no read can exceed).
+  const int permissive_k = static_cast<int>(history.write_count()) + 1;
+  const WitnessCheck check = validate_witness(history, order, permissive_k);
+  if (!check.ok()) {
+    throw std::invalid_argument("staleness_spectrum: invalid witness: " +
+                                check.detail);
+  }
+
+  StalenessSpectrum spectrum;
+  std::vector<std::int64_t> writes_before(history.size(), -1);
+  std::int64_t writes_seen = 0;
+  double total = 0;
+  for (OpId id : order) {
+    const Operation& op = history.op(id);
+    if (op.is_write()) {
+      writes_before[id] = writes_seen++;
+      continue;
+    }
+    const OpId w = history.dictating_write(id);
+    const std::int64_t separation = writes_seen - writes_before[w] - 1;
+    const auto s = static_cast<std::size_t>(separation);
+    if (spectrum.histogram.size() <= s) spectrum.histogram.resize(s + 1, 0);
+    ++spectrum.histogram[s];
+    ++spectrum.reads;
+    total += static_cast<double>(separation);
+    spectrum.max_separation =
+        std::max(spectrum.max_separation, static_cast<int>(separation));
+  }
+  if (spectrum.reads > 0) {
+    spectrum.mean_separation = total / static_cast<double>(spectrum.reads);
+    spectrum.fresh_fraction =
+        static_cast<double>(spectrum.histogram.empty() ? 0
+                                                       : spectrum.histogram[0]) /
+        static_cast<double>(spectrum.reads);
+  }
+  return spectrum;
+}
+
+std::string ZoneProfile::to_string() const {
+  std::ostringstream out;
+  out << clusters << " clusters (" << forward_zones << " forward, "
+      << backward_zones << " backward), " << chunks << " chunks, "
+      << dangling << " dangling; largest chunk: " << largest_chunk_clusters
+      << " clusters, max backward/chunk: " << max_backward_per_chunk
+      << "; c = " << max_concurrent_writes
+      << ", reads/write = " << mean_reads_per_write;
+  return out.str();
+}
+
+ZoneProfile zone_profile(const History& history) {
+  ZoneProfile profile;
+  profile.clusters = history.write_count();
+  profile.max_concurrent_writes = history.max_concurrent_writes();
+  if (history.write_count() > 0) {
+    profile.mean_reads_per_write =
+        static_cast<double>(history.read_count()) /
+        static_cast<double>(history.write_count());
+  }
+  for (const Zone& zone : compute_zones(history)) {
+    ++(zone.forward ? profile.forward_zones : profile.backward_zones);
+  }
+  const ChunkSet chunk_set = compute_chunk_set(history);
+  profile.chunks = chunk_set.chunks.size();
+  profile.dangling = chunk_set.dangling_writes.size();
+  for (const Chunk& chunk : chunk_set.chunks) {
+    profile.largest_chunk_clusters =
+        std::max(profile.largest_chunk_clusters,
+                 chunk.forward_writes.size() + chunk.backward_writes.size());
+    profile.max_backward_per_chunk =
+        std::max(profile.max_backward_per_chunk,
+                 chunk.backward_writes.size());
+  }
+  return profile;
+}
+
+}  // namespace kav

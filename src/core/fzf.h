@@ -1,0 +1,59 @@
+// FZF ("Forward Zones First"), the paper's second 2-AV algorithm
+// (Section IV, Figures 3 and 4), O(n log n) even in the worst case
+// (Theorem 4.6).
+//
+// Stage 1 partitions the history's clusters into *maximal chunks*: sets
+// of clusters whose forward zones union to a continuous interval and
+// whose backward zones lie inside that interval; backward clusters in
+// no chunk are *dangling*. Stage 2 decides each chunk independently
+// (Lemma 4.1): the only viable orders over a chunk's forward-cluster
+// writes are T_F (by zone low endpoint) and T_F' (first two swapped)
+// (Lemma 4.2); dictating writes of backward clusters can only be
+// prepended or appended, one at each end at most, so a chunk with three
+// or more backward clusters is not 2-atomic (Lemma 4.3). Each of the at
+// most four resulting orders is tested by a viability subroutine -- a
+// simplified LBT that walks the order back to front without
+// backtracking. Stage 3 outputs YES iff every chunk passed, with a
+// witness assembled by concatenating per-chunk and per-dangling-cluster
+// orders along the timeline (the construction in Lemma 4.1's proof).
+#ifndef KAV_CORE_FZF_H
+#define KAV_CORE_FZF_H
+
+#include <vector>
+
+#include "core/verdict.h"
+#include "history/cluster.h"
+#include "history/history.h"
+#include "util/interval_set.h"
+
+namespace kav {
+
+struct Chunk {
+  // Dictating writes of forward clusters, ordered by zone low endpoint
+  // (the order T_F is exactly this sequence).
+  std::vector<OpId> forward_writes;
+  // Dictating writes of backward clusters contained in the extent.
+  std::vector<OpId> backward_writes;
+  // Union of the forward zones (continuous by construction).
+  Interval extent;
+};
+
+struct ChunkSet {
+  std::vector<Chunk> chunks;          // ordered along the timeline
+  std::vector<OpId> dangling_writes;  // backward clusters outside chunks
+};
+
+// Stage 1, exposed for tests (the Figure 3 reproduction) and analysis.
+// Requires a normalized history.
+ChunkSet compute_chunk_set(const History& history);
+
+struct FzfOptions {
+  bool check_preconditions = true;  // see LbtOptions
+};
+
+Verdict check_2atomicity_fzf(const History& history,
+                             const FzfOptions& options = {});
+
+}  // namespace kav
+
+#endif  // KAV_CORE_FZF_H

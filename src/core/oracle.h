@@ -1,0 +1,82 @@
+// Exhaustive k-AV decision procedure for any k (and its weighted k-WAV
+// generalization from Section V), used as ground truth in tests and as
+// the only exact decider for k >= 3 -- the paper leaves polynomial
+// algorithms for fixed k >= 3 open (Section VII), and proves the
+// weighted problem NP-complete (Theorem 5.1), so exponential worst-case
+// cost here is expected, not a defect.
+//
+// Method: depth-first search over valid total orders, built left to
+// right. Available reads are placed eagerly (placing an available read
+// never forecloses options: it constrains nothing and its own
+// constraint only tightens if deferred); branching happens on writes
+// only. A state is pruned when some placed write with still-unplaced
+// dictated reads has exhausted its separation budget, and dead states
+// are memoized by (placed-set, per-pending-write used budget).
+//
+// Limits: histories up to 64 operations (bitmask states); a node budget
+// guards against exponential blowups in property sweeps.
+#ifndef KAV_CORE_ORACLE_H
+#define KAV_CORE_ORACLE_H
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "history/history.h"
+#include "util/time_types.h"
+
+namespace kav {
+
+enum class OracleOutcome : unsigned char {
+  yes,
+  no,
+  node_limit,  // undecided: search budget exhausted
+  invalid,     // bad input (anomalies, > 64 ops, k < 1)
+};
+
+inline const char* to_string(OracleOutcome o) {
+  switch (o) {
+    case OracleOutcome::yes:
+      return "YES";
+    case OracleOutcome::no:
+      return "NO";
+    case OracleOutcome::node_limit:
+      return "NODE-LIMIT";
+    case OracleOutcome::invalid:
+      return "INVALID";
+  }
+  return "unknown";
+}
+
+struct OracleOptions {
+  std::uint64_t node_limit = 20'000'000;
+  bool memoize = true;  // disable to cross-check the memoization itself
+};
+
+struct OracleResult {
+  OracleOutcome outcome = OracleOutcome::invalid;
+  std::vector<OpId> witness;  // filled on YES
+  std::uint64_t nodes = 0;
+  std::string reason;
+
+  bool yes() const { return outcome == OracleOutcome::yes; }
+  bool no() const { return outcome == OracleOutcome::no; }
+  bool decided() const { return yes() || no(); }
+};
+
+OracleResult oracle_is_k_atomic(const History& history, int k,
+                                const OracleOptions& options = {});
+
+// Weighted variant: weights[op] is consulted for writes (reads ignored);
+// all weights must be positive. A read's staleness is the total weight
+// of writes from its dictating write (inclusive) up to the read, which
+// must be at most k (Section V).
+OracleResult oracle_is_weighted_k_atomic(const History& history,
+                                         std::span<const Weight> weights,
+                                         Weight k,
+                                         const OracleOptions& options = {});
+
+}  // namespace kav
+
+#endif  // KAV_CORE_ORACLE_H

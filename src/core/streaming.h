@@ -1,0 +1,103 @@
+// Online (streaming) 2-atomicity monitoring -- the experiment Section
+// VII of the paper proposes ("test whether existing storage systems
+// provide 2-atomicity in practice") needs a checker that runs against
+// a live trace without retaining it forever.
+//
+// The enabling observation is FZF's Lemma 4.1: maximal chunks are
+// decided independently, so once a chunk can no longer grow it can be
+// verified and evicted. A chunk can stop growing only when no future
+// operation may join or bridge it, which requires two promises:
+//
+//   1. a *watermark*: the caller guarantees every future operation
+//      starts after the watermark (true when feeding completed
+//      operations in start order, or with bounded reordering);
+//   2. a *staleness horizon* H: every read starts at most H after its
+//      dictating write finishes. Reads that violate the horizon are
+//      detected (their write's cluster is gone) and reported -- for a
+//      monitor, "staleness exceeded H" is itself the finding.
+//
+// Under those promises, every cluster whose zone lies below
+// (watermark - H) is final, and chunks composed of final clusters
+// whose extents lie below that line are verified with the batch FZF
+// machinery and evicted. Memory is O(window), not O(trace).
+#ifndef KAV_CORE_STREAMING_H
+#define KAV_CORE_STREAMING_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/verdict.h"
+#include "history/history.h"
+
+namespace kav {
+
+struct StreamingOptions {
+  // Maximum assumed gap between a write's finish and the start of its
+  // last dictated read. Reads arriving later are horizon violations.
+  TimePoint staleness_horizon = 10'000;
+};
+
+struct StreamingStats {
+  std::uint64_t operations_ingested = 0;
+  std::uint64_t operations_evicted = 0;
+  std::uint64_t chunks_verified = 0;
+  std::uint64_t dangling_clusters = 0;
+  std::uint64_t flushes = 0;
+  std::size_t peak_window = 0;  // max ops buffered at once
+};
+
+struct StreamingViolation {
+  enum class Kind : unsigned char {
+    not_2atomic,        // a settled chunk failed Stage 2
+    horizon_exceeded,   // read of an already-evicted write
+    hard_anomaly,       // e.g. read without dictating write at flush
+  };
+  Kind kind;
+  TimePoint when;      // watermark at detection time
+  std::string detail;
+};
+
+class StreamingChecker {
+ public:
+  explicit StreamingChecker(const StreamingOptions& options = {});
+
+  // Ingest one completed operation. Operations may arrive in any order
+  // as long as each starts after the current watermark was honored
+  // (i.e. op.start > last advance_watermark argument is NOT required
+  // for ops already in flight; it is required that no *future* add()
+  // has start <= watermark).
+  void add(const Operation& op);
+
+  // Promise: every operation added after this call starts strictly
+  // after `t`. Triggers verification and eviction of settled chunks.
+  void advance_watermark(TimePoint t);
+
+  // Flush everything (equivalent to watermark = +infinity) and return
+  // the overall verdict: YES iff no violation was ever detected.
+  Verdict finish();
+
+  bool clean_so_far() const { return violations_.empty(); }
+  const std::vector<StreamingViolation>& violations() const {
+    return violations_;
+  }
+  const StreamingStats& stats() const { return stats_; }
+  std::size_t window_size() const { return window_.size(); }
+
+ private:
+  void flush_settled(TimePoint settled_before);
+
+  StreamingOptions options_;
+  std::vector<Operation> window_;
+  std::unordered_set<Value> evicted_write_values_;  // horizon diagnostics
+  std::vector<StreamingViolation> violations_;
+  StreamingStats stats_;
+  TimePoint watermark_ = kTimeMin;
+  TimePoint min_window_finish_ = kTimeMax;  // flush fast-path guard
+  bool finished_ = false;
+};
+
+}  // namespace kav
+
+#endif  // KAV_CORE_STREAMING_H

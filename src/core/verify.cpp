@@ -1,0 +1,158 @@
+#include "core/verify.h"
+
+#include "core/fzf.h"
+#include "core/gk.h"
+#include "core/greedy.h"
+#include "core/lbt.h"
+#include "core/oracle.h"
+#include "history/anomaly.h"
+
+namespace kav {
+
+const char* to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::auto_select:
+      return "auto";
+    case Algorithm::gk:
+      return "gk";
+    case Algorithm::lbt:
+      return "lbt";
+    case Algorithm::lbt_naive:
+      return "lbt-naive";
+    case Algorithm::fzf:
+      return "fzf";
+    case Algorithm::greedy:
+      return "greedy";
+    case Algorithm::oracle:
+      return "oracle";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Verdict from_oracle(const OracleResult& result) {
+  switch (result.outcome) {
+    case OracleOutcome::yes: {
+      VerifyStats stats;
+      stats.nodes = result.nodes;
+      Verdict v = Verdict::make_yes(result.witness, stats);
+      return v;
+    }
+    case OracleOutcome::no: {
+      VerifyStats stats;
+      stats.nodes = result.nodes;
+      return Verdict::make_no(result.reason, stats);
+    }
+    case OracleOutcome::node_limit:
+      return Verdict::make_undecided(result.reason);
+    case OracleOutcome::invalid:
+      return Verdict::make_precondition_failed(result.reason);
+  }
+  return Verdict::make_precondition_failed("unreachable");
+}
+
+Verdict dispatch(const History& history, int k, Algorithm algorithm) {
+  auto wrong_k = [&](const char* name, int expected) {
+    return Verdict::make_precondition_failed(
+        std::string(name) + " decides only k = " + std::to_string(expected) +
+        ", got k = " + std::to_string(k));
+  };
+  switch (algorithm) {
+    case Algorithm::gk:
+      if (k != 1) return wrong_k("gk", 1);
+      return check_1atomicity_gk(history);
+    case Algorithm::lbt:
+      if (k != 2) return wrong_k("lbt", 2);
+      return check_2atomicity_lbt(history);
+    case Algorithm::lbt_naive: {
+      if (k != 2) return wrong_k("lbt-naive", 2);
+      LbtOptions options;
+      options.iterative_deepening = false;
+      return check_2atomicity_lbt(history, options);
+    }
+    case Algorithm::fzf:
+      if (k != 2) return wrong_k("fzf", 2);
+      return check_2atomicity_fzf(history);
+    case Algorithm::greedy:
+      return check_k_atomicity_greedy(history, k);
+    case Algorithm::oracle:
+      return from_oracle(oracle_is_k_atomic(history, k));
+    case Algorithm::auto_select:
+      break;
+  }
+  // Auto selection mirrors the paper's landscape: polynomial deciders
+  // for k = 1 (Gibbons-Korach) and k = 2 (FZF, Theorem 4.6); for k >= 3
+  // the exact oracle when feasible, else the sound greedy checker with
+  // an honest UNDECIDED when it finds no witness (Section VII open
+  // problem).
+  if (k == 1) return check_1atomicity_gk(history);
+  if (k == 2) return check_2atomicity_fzf(history);
+  if (history.size() <= 64) {
+    const Verdict v = from_oracle(oracle_is_k_atomic(history, k));
+    if (v.outcome != Outcome::undecided) return v;
+  }
+  Verdict v = check_k_atomicity_greedy(history, k);
+  if (v.yes()) return v;
+  return Verdict::make_undecided(
+      "no exact polynomial decider is known for k >= 3 (paper Section "
+      "VII); greedy search found no witness",
+      v.stats);
+}
+
+}  // namespace
+
+Verdict verify_k_atomicity(const History& history,
+                           const VerifyOptions& options) {
+  if (options.k < 1) {
+    return Verdict::make_precondition_failed("k must be >= 1");
+  }
+  const AnomalyReport report = find_anomalies(history);
+  if (!report.empty()) {
+    if (!options.normalize || !report.repairable()) {
+      return Verdict::make_precondition_failed(
+          "history has " +
+          std::string(report.repairable() ? "repairable anomalies "
+                                            "(enable options.normalize)"
+                                          : "hard anomalies") +
+          ": " + describe(report.anomalies.front(), history));
+    }
+    return dispatch(normalize(history), options.k, options.algorithm);
+  }
+  return dispatch(history, options.k, options.algorithm);
+}
+
+bool KeyedReport::all_yes() const {
+  for (const auto& [key, verdict] : per_key) {
+    if (!verdict.yes()) return false;
+  }
+  return true;
+}
+
+std::size_t KeyedReport::count(Outcome outcome) const {
+  std::size_t n = 0;
+  for (const auto& [key, verdict] : per_key) {
+    if (verdict.outcome == outcome) ++n;
+  }
+  return n;
+}
+
+std::string KeyedReport::summary() const {
+  return std::to_string(count(Outcome::yes)) + "/" +
+         std::to_string(per_key.size()) + " keys atomic within bound, " +
+         std::to_string(count(Outcome::no)) + " NO, " +
+         std::to_string(count(Outcome::undecided)) + " undecided, " +
+         std::to_string(count(Outcome::precondition_failed)) + " invalid";
+}
+
+KeyedReport verify_keyed_trace(const KeyedTrace& trace,
+                               const VerifyOptions& options) {
+  KeyedReport report;
+  const KeyedHistories split = split_by_key(trace);
+  for (const auto& [key, history] : split.per_key) {
+    report.per_key.emplace(key, verify_k_atomicity(history, options));
+  }
+  return report;
+}
+
+}  // namespace kav

@@ -1,0 +1,58 @@
+// The library facade: one entry point that normalizes input, dispatches
+// to the right decision procedure for the requested k, and (for
+// multi-register traces) exploits locality -- k-atomicity is a local
+// property (Section II-B of the paper), so a trace is k-atomic iff its
+// projection onto each register is.
+#ifndef KAV_CORE_VERIFY_H
+#define KAV_CORE_VERIFY_H
+
+#include <map>
+#include <string>
+
+#include "core/verdict.h"
+#include "history/history.h"
+#include "history/keyed_trace.h"
+
+namespace kav {
+
+enum class Algorithm : unsigned char {
+  auto_select,  // GK for k=1, FZF for k=2, oracle/greedy for k>=3
+  gk,           // k = 1 only
+  lbt,          // k = 2 only (iterative deepening)
+  lbt_naive,    // k = 2 only (no iterative deepening; ablation)
+  fzf,          // k = 2 only
+  greedy,       // any k; sound YES, otherwise undecided
+  oracle,       // any k; exact but exponential, <= 64 ops
+};
+
+const char* to_string(Algorithm algorithm);
+
+struct VerifyOptions {
+  int k = 2;
+  Algorithm algorithm = Algorithm::auto_select;
+  // Repair repairable anomalies (duplicate timestamps, writes that
+  // outlive dictated reads) before deciding. Operation ids are
+  // preserved, so witnesses index the caller's history either way.
+  bool normalize = true;
+};
+
+// Single-register verification.
+Verdict verify_k_atomicity(const History& history,
+                           const VerifyOptions& options = {});
+
+// Multi-register verification: splits by key and verifies each
+// projection independently.
+struct KeyedReport {
+  std::map<std::string, Verdict> per_key;
+
+  bool all_yes() const;
+  std::size_t count(Outcome outcome) const;
+  std::string summary() const;  // e.g. "7/8 keys 2-atomic, 1 NO"
+};
+
+KeyedReport verify_keyed_trace(const KeyedTrace& trace,
+                               const VerifyOptions& options = {});
+
+}  // namespace kav
+
+#endif  // KAV_CORE_VERIFY_H

@@ -1,0 +1,47 @@
+// Independent validation of witness total orders.
+//
+// A total order T over a history's operations certifies k-atomicity iff
+//   (1) T is a permutation of all operation ids;
+//   (2) T is *valid*: it extends the "precedes" partial order (there is
+//       no pair a-before-b in T with b.finish < a.start) -- equivalent
+//       to the existence of commit points (Section II-A);
+//   (3) every read follows its dictating write in T and is separated
+//       from it by at most k-1 other writes (Section II-A), or, in the
+//       weighted variant (Section V), the total weight of separating
+//       writes *including the dictating write itself* is at most k.
+//
+// The validator shares no code with the deciders, so a passing check is
+// genuinely independent evidence. Cost: O(n log n).
+#ifndef KAV_CORE_WITNESS_H
+#define KAV_CORE_WITNESS_H
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "history/history.h"
+#include "util/time_types.h"
+
+namespace kav {
+
+struct WitnessCheck {
+  bool is_permutation = false;
+  bool respects_precedence = false;
+  bool k_atomic = false;
+  std::string detail;  // first violation found, for diagnostics
+
+  bool ok() const { return is_permutation && respects_precedence && k_atomic; }
+};
+
+WitnessCheck validate_witness(const History& history,
+                              std::span<const OpId> order, int k);
+
+// Weighted variant (k-WAV): weights[op] is consulted for writes only.
+WitnessCheck validate_weighted_witness(const History& history,
+                                       std::span<const OpId> order,
+                                       std::span<const Weight> weights,
+                                       Weight k);
+
+}  // namespace kav
+
+#endif  // KAV_CORE_WITNESS_H

@@ -1,0 +1,282 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "history/anomaly.h"
+
+namespace kav::gen {
+
+namespace {
+
+// Commit-point spacing used by the constructive generator; interval
+// spreads are expressed relative to it.
+constexpr TimePoint kSpacing = 1000;
+
+}  // namespace
+
+GeneratedHistory generate_k_atomic(const KAtomicConfig& config, Rng& rng) {
+  if (config.writes < 1) throw std::invalid_argument("writes must be >= 1");
+  if (config.k < 1) throw std::invalid_argument("k must be >= 1");
+  if (config.min_reads_per_write < 0 ||
+      config.max_reads_per_write < config.min_reads_per_write) {
+    throw std::invalid_argument("bad reads-per-write range");
+  }
+
+  const int m = config.writes;
+  const auto spread = std::max<TimePoint>(
+      1, static_cast<TimePoint>(config.spread * static_cast<double>(kSpacing)));
+
+  struct Planned {
+    Operation op;
+    TimePoint commit;
+  };
+  std::vector<Planned> planned;
+
+  // Write j commits at (j + 1) * kSpacing.
+  auto write_commit = [](int j) {
+    return static_cast<TimePoint>(j + 1) * kSpacing;
+  };
+  for (int j = 0; j < m; ++j) {
+    const TimePoint commit = write_commit(j);
+    const TimePoint start = commit - rng.uniform(1, spread);
+    const TimePoint finish = commit + rng.uniform(1, spread);
+    planned.push_back({make_write(start, finish, j + 1), commit});
+  }
+
+  // Reads of write j commit strictly between writes j+s and j+s+1,
+  // where the separation s < k (s intervening writes in the commit
+  // order -- the defining property of k-atomicity).
+  for (int j = 0; j < m; ++j) {
+    const int reads = static_cast<int>(rng.uniform(
+        config.min_reads_per_write, config.max_reads_per_write));
+    for (int r = 0; r < reads; ++r) {
+      int separation;
+      if (rng.bernoulli(config.max_staleness_fraction)) {
+        separation = config.k - 1;
+      } else {
+        separation = static_cast<int>(rng.uniform(0, config.k - 1));
+      }
+      separation = std::min(separation, m - 1 - j);
+      const TimePoint lo = write_commit(j + separation) + 1;
+      const TimePoint hi = write_commit(j + separation) + kSpacing - 1;
+      const TimePoint commit = rng.uniform(lo, hi);
+      const TimePoint start = commit - rng.uniform(1, spread);
+      const TimePoint finish = commit + rng.uniform(1, spread);
+      planned.push_back({make_read(start, finish, j + 1), commit});
+    }
+  }
+
+  // Enforce the Section II-C write-shortening invariant *before*
+  // normalization so that only the order-preserving uniquification pass
+  // runs and the intended commit order stays a valid witness.
+  for (int j = 0; j < m; ++j) {
+    TimePoint min_read_finish = kTimeMax;
+    for (const Planned& p : planned) {
+      if (p.op.is_read() && p.op.value == j + 1) {
+        min_read_finish = std::min(min_read_finish, p.op.finish);
+      }
+    }
+    if (planned[static_cast<std::size_t>(j)].op.finish >= min_read_finish) {
+      planned[static_cast<std::size_t>(j)].op.finish = min_read_finish - 1;
+    }
+  }
+
+  // Intended witness: ops by commit point (ties broken by id; reads tie
+  // with their write only if spread rounding collides, and id order
+  // keeps the write first because writes were appended first).
+  std::vector<OpId> order(planned.size());
+  for (OpId i = 0; i < planned.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](OpId a, OpId b) {
+    return planned[a].commit != planned[b].commit
+               ? planned[a].commit < planned[b].commit
+               : a < b;
+  });
+
+  std::vector<Operation> ops;
+  ops.reserve(planned.size());
+  for (const Planned& p : planned) ops.push_back(p.op);
+
+  GeneratedHistory out;
+  out.history = normalize(History(std::move(ops)));
+  out.intended_order = std::move(order);
+  return out;
+}
+
+History generate_forced_separation(int separation, int blocks) {
+  if (separation < 0) throw std::invalid_argument("separation must be >= 0");
+  if (blocks < 1) throw std::invalid_argument("blocks must be >= 1");
+  std::vector<Operation> ops;
+  Value value = 1;
+  TimePoint base = 0;
+  for (int b = 0; b < blocks; ++b) {
+    const Value first_value = value;
+    for (int i = 0; i <= separation; ++i) {
+      const TimePoint start = base + static_cast<TimePoint>(i) * 100;
+      ops.push_back(make_write(start, start + 50, value++));
+    }
+    const TimePoint read_start =
+        base + static_cast<TimePoint>(separation + 1) * 100;
+    ops.push_back(make_read(read_start, read_start + 50, first_value));
+    base += static_cast<TimePoint>(separation + 2) * 100 + 1000;
+  }
+  return History(std::move(ops));
+}
+
+namespace {
+
+// Emits the two-operation cluster realizing forward zone
+// [low, high] * scale: a write finishing at the low endpoint and a read
+// starting at the high endpoint.
+void emit_forward_cluster(std::vector<Operation>& ops, TimePoint low,
+                          TimePoint high, TimePoint scale, Value value) {
+  ops.push_back(
+      make_write(low * scale - scale / 2, low * scale, value));
+  ops.push_back(make_read(high * scale, high * scale + scale / 2, value));
+}
+
+}  // namespace
+
+History generate_property_p_triple(TimePoint scale) {
+  if (scale < 4) throw std::invalid_argument("scale must be >= 4");
+  std::vector<Operation> ops;
+  // Zones [1,4], [2,5], [3,6]: all three contain the point 3.5.
+  emit_forward_cluster(ops, 1, 4, scale, 1);
+  emit_forward_cluster(ops, 2, 5, scale, 2);
+  emit_forward_cluster(ops, 3, 6, scale, 3);
+  return normalize(History(std::move(ops)));
+}
+
+History generate_property_p_fan(int others, TimePoint scale) {
+  if (others < 3) throw std::invalid_argument("fan needs others >= 3");
+  if (scale < 8) throw std::invalid_argument("scale must be >= 8");
+  std::vector<Operation> ops;
+  // One long zone overlapping `others` short pairwise-disjoint zones.
+  const TimePoint span = static_cast<TimePoint>(others) * 10 + 2;
+  emit_forward_cluster(ops, 1, span, scale, 1);
+  for (int i = 0; i < others; ++i) {
+    const TimePoint lo = 10 * static_cast<TimePoint>(i) + 3;
+    emit_forward_cluster(ops, lo, lo + 4, scale, 2 + i);
+  }
+  return normalize(History(std::move(ops)));
+}
+
+History generate_b3_chunk(int backward_clusters) {
+  if (backward_clusters < 3) {
+    throw std::invalid_argument("need at least 3 backward clusters");
+  }
+  const int b = backward_clusters;
+  // Forward run spanning [0, length] via three chained zones; length
+  // grows with b so all backward zones fit strictly inside.
+  const TimePoint length = 60 + 35 * static_cast<TimePoint>(b);
+  const TimePoint third = length / 3;
+  std::vector<Operation> ops;
+  Value value = 1;
+  // Forward clusters (coordinates * 10 keeps them on even stamps).
+  auto forward = [&](TimePoint lo, TimePoint hi) {
+    ops.push_back(make_write(lo * 10 - 50, lo * 10, value));
+    ops.push_back(make_read(hi * 10, hi * 10 + 50, value));
+    ++value;
+  };
+  forward(2, third);
+  forward(third - 7, 2 * third);
+  forward(2 * third - 7, length);
+  // Backward clusters: zone [c, c + 5] strictly inside the run; stamps
+  // offset by +1 (odd) so they can never tie with forward stamps.
+  for (int i = 0; i < b; ++i) {
+    const TimePoint c = (15 + 35 * static_cast<TimePoint>(i)) * 10 + 1;
+    ops.push_back(make_write(c - 200, c + 50, value));
+    ops.push_back(make_read(c, c + 100, value));
+    ++value;
+  }
+  return normalize(History(std::move(ops)));
+}
+
+History generate_random_mix(const RandomMixConfig& config, Rng& rng) {
+  if (config.operations < 1) throw std::invalid_argument("need >= 1 op");
+  std::vector<Operation> ops;
+  std::vector<std::size_t> writes;  // indexes into ops
+  for (int i = 0; i < config.operations; ++i) {
+    const TimePoint start = rng.uniform(0, config.horizon - 1);
+    const TimePoint finish = start + rng.uniform(1, config.max_duration);
+    const bool is_write = i == 0 || rng.bernoulli(config.write_fraction);
+    if (is_write) {
+      ops.push_back(make_write(start, finish, static_cast<Value>(i + 1)));
+      writes.push_back(ops.size() - 1);
+    } else {
+      ops.push_back(make_read(start, finish, 0));  // value assigned below
+    }
+  }
+  // Writes ordered by start, freshest (latest start) first for sampling.
+  std::sort(writes.begin(), writes.end(), [&](std::size_t a, std::size_t b) {
+    return ops[a].start > ops[b].start;
+  });
+  for (Operation& op : ops) {
+    if (op.is_write()) continue;
+    // Candidates: writes the read does not precede (w.start < r.finish
+    // keeps the pair either overlapping or write-first).
+    std::vector<std::size_t> candidates;
+    for (std::size_t w : writes) {
+      if (ops[w].start < op.finish) candidates.push_back(w);
+    }
+    if (candidates.empty()) {
+      // Shift the read after the earliest write; guaranteed non-empty
+      // because op 0 is a write.
+      const Operation& w0 = ops[writes.back()];
+      const TimePoint duration = op.finish - op.start;
+      op.start = w0.start + 1;
+      op.finish = op.start + duration;
+      candidates.push_back(writes.back());
+    }
+    // Geometric staleness: index 0 is the freshest candidate.
+    std::size_t index = 0;
+    while (index + 1 < candidates.size() &&
+           rng.bernoulli(config.staleness_decay)) {
+      ++index;
+    }
+    op.value = ops[candidates[index]].value;
+  }
+  return normalize(History(std::move(ops)));
+}
+
+History generate_high_concurrency(int groups, int concurrent, Rng& rng) {
+  if (groups < 1 || concurrent < 3) {
+    throw std::invalid_argument("need groups >= 1 and concurrent >= 3");
+  }
+  (void)rng;  // layout is deterministic; parameter kept for API symmetry
+  const int c = concurrent;
+  const int b = concurrent;  // decoy-read block size, b = c
+  std::vector<Operation> ops;
+  Value value = 1;
+  TimePoint base = 0;
+  const TimePoint clump_span = 1'000'000;
+  for (int g = 0; g < groups; ++g) {
+    const Value first_value = value;
+    // c pairwise-concurrent writes, finishes descending so the
+    // successful epoch candidates (the two smallest finishes) are
+    // examined last in C's order.
+    for (int i = 0; i < c; ++i) {
+      ops.push_back(make_write(base + i,
+                               base + clump_span - 2 * static_cast<TimePoint>(i),
+                               value++));
+    }
+    // Decoy block: b reads of the smallest-finish write, starting above
+    // every clump finish. Any wrong candidate consumes the whole block
+    // (first foreign write) before...
+    const Value last_value = first_value + c - 1;
+    const Value second_last_value = first_value + c - 2;
+    for (int i = 0; i < b; ++i) {
+      const TimePoint start =
+          base + clump_span + 100 + 3 * static_cast<TimePoint>(i);
+      ops.push_back(make_read(start, start + 1, last_value));
+    }
+    // ...hitting this read of the second-smallest-finish write (second
+    // foreign write => candidate fails, having done Theta(b) work).
+    ops.push_back(make_read(base + clump_span + 50,
+                            base + clump_span + 51, second_last_value));
+    base += clump_span + 100 + 3 * static_cast<TimePoint>(b) + 1'000;
+  }
+  return normalize(History(std::move(ops)));
+}
+
+}  // namespace kav::gen

@@ -1,0 +1,102 @@
+// Synthetic history generators. The paper has no published traces, so
+// every experiment runs on histories from one of three sources, each
+// with a known relationship to ground truth:
+//
+//   1. generate_k_atomic: k-atomic *by construction* -- operations are
+//      realized around an explicit commit-point sequence in which every
+//      read commits within k-1 writes of its dictating write; the
+//      commit order itself is returned as an intended witness.
+//      Tunable interval spread controls the write-concurrency level c
+//      (the workload knob in LBT's O(n log n + c n) bound).
+//
+//   2. adversarial NO-instances for 2-AV, built from the paper's own
+//      impossibility patterns: forced separation chains (w1 < w2 < w3 <
+//      read-of-w1 entirely ordered in real time), property-P zone
+//      patterns (three forward zones sharing a point, or one zone
+//      overlapping more than two others -- Lemma 4.2), and chunks with
+//      three or more backward clusters (Lemma 4.3).
+//
+//   3. generate_random_mix: organically mixed histories (random
+//      intervals, reads sampling geometrically stale values) whose
+//      verdict is unknown a priori -- cross-validation suites compare
+//      all deciders against the oracle on thousands of these.
+//
+// All generators are deterministic given the Rng and return normalized,
+// anomaly-free histories.
+#ifndef KAV_GEN_GENERATORS_H
+#define KAV_GEN_GENERATORS_H
+
+#include <vector>
+
+#include "history/history.h"
+#include "util/rng.h"
+
+namespace kav::gen {
+
+struct KAtomicConfig {
+  int writes = 10;
+  int min_reads_per_write = 0;
+  int max_reads_per_write = 3;
+  int k = 2;  // every read commits within k-1 writes of its write
+  // Fraction of reads pushed to the maximum allowed staleness (k-1
+  // intervening writes); the rest draw separation uniformly.
+  double max_staleness_fraction = 0.25;
+  // Interval half-widths as multiples of the commit spacing; larger
+  // values overlap more operations and raise c.
+  double spread = 0.8;
+};
+
+struct GeneratedHistory {
+  History history;
+  // The commit order used during construction: a valid k-atomic total
+  // order, usable as an intended witness.
+  std::vector<OpId> intended_order;
+};
+
+GeneratedHistory generate_k_atomic(const KAtomicConfig& config, Rng& rng);
+
+// --- Adversarial NO-instances (for 2-AV) -------------------------------
+
+// `separation + 1` writes followed by a read of the first, all disjoint
+// and sequential: minimal k is exactly separation + 1. blocks > 1
+// concatenates independent copies along the timeline.
+History generate_forced_separation(int separation, int blocks = 1);
+
+// Three forward zones sharing a common point (Lemma 4.2's property P);
+// not 2-atomic. `scale` stretches the layout.
+History generate_property_p_triple(TimePoint scale = 10);
+
+// One forward zone overlapping `others >= 3` other forward zones (the
+// second shape of property P); not 2-atomic.
+History generate_property_p_fan(int others = 3, TimePoint scale = 10);
+
+// A single maximal chunk whose extent contains `backward_clusters >= 3`
+// backward clusters (Lemma 4.3, case B >= 3); not 2-atomic.
+History generate_b3_chunk(int backward_clusters = 3);
+
+// --- Organic mixed workloads -------------------------------------------
+
+struct RandomMixConfig {
+  int operations = 12;
+  double write_fraction = 0.45;
+  TimePoint horizon = 1000;   // starts drawn uniformly from [0, horizon)
+  TimePoint max_duration = 150;
+  // Read values: 0 picks the freshest plausible write, i picks the
+  // i-th-freshest with geometrically decaying probability.
+  double staleness_decay = 0.5;
+};
+
+// May need several attempts to produce a history with at least one
+// write; always returns a normalized anomaly-free history.
+History generate_random_mix(const RandomMixConfig& config, Rng& rng);
+
+// --- Workloads for scaling benchmarks ----------------------------------
+
+// Adversarial for LBT's candidate search: `concurrent` pairwise-
+// overlapping writes (c = concurrent) whose reads force most candidates
+// to fail late. Used to exhibit the O(c n) term of Theorem 3.2.
+History generate_high_concurrency(int groups, int concurrent, Rng& rng);
+
+}  // namespace kav::gen
+
+#endif  // KAV_GEN_GENERATORS_H

@@ -1,0 +1,39 @@
+// Trace mutators for failure injection: each takes a well-formed
+// history and damages it in a controlled way, so tests can assert that
+// detection (anomaly scan) and decision (verdict flips) react as
+// specified. All mutators preserve operation count and ids unless noted.
+#ifndef KAV_GEN_MUTATORS_H
+#define KAV_GEN_MUTATORS_H
+
+#include <optional>
+
+#include "history/history.h"
+#include "util/rng.h"
+
+namespace kav::gen {
+
+// Rebinds a random read to the value of a strictly older write (an
+// extra staleness hop), preserving anomaly-freedom: the chosen write
+// still starts before the read finishes. Returns nullopt if the history
+// has no read with an older compatible write.
+std::optional<History> inject_staler_read(const History& history, Rng& rng);
+
+// Shifts one read's interval `delta` later in time (same duration).
+History delay_read(const History& history, OpId read, TimePoint delta);
+
+// Removes one operation. Ids above `victim` shift down by one; dropping
+// a write with dictated reads leaves them dangling (a hard anomaly that
+// find_anomalies must flag).
+History drop_operation(const History& history, OpId victim);
+
+// Adds uniform noise in [-amount, amount] to every timestamp, keeping
+// start < finish. May introduce duplicate timestamps (repairable).
+History jitter_timestamps(const History& history, TimePoint amount, Rng& rng);
+
+// Overwrites one write's value with another write's value, creating a
+// duplicate-write-value hard anomaly. Requires >= 2 writes.
+History duplicate_write_value(const History& history, Rng& rng);
+
+}  // namespace kav::gen
+
+#endif  // KAV_GEN_MUTATORS_H

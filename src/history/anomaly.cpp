@@ -1,0 +1,190 @@
+#include "history/anomaly.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace kav {
+
+const char* to_string(AnomalyKind kind) {
+  switch (kind) {
+    case AnomalyKind::read_without_dictating_write:
+      return "read-without-dictating-write";
+    case AnomalyKind::read_precedes_dictating_write:
+      return "read-precedes-dictating-write";
+    case AnomalyKind::duplicate_write_value:
+      return "duplicate-write-value";
+    case AnomalyKind::duplicate_timestamp:
+      return "duplicate-timestamp";
+    case AnomalyKind::write_outlives_dictated_read:
+      return "write-outlives-dictated-read";
+  }
+  return "unknown";
+}
+
+std::string describe(const Anomaly& anomaly, const History& history) {
+  std::string out = to_string(anomaly.kind);
+  out += ": op " + std::to_string(anomaly.op_a) + " " +
+         describe(history.op(anomaly.op_a));
+  if (anomaly.op_b != kInvalidOp) {
+    out += " vs op " + std::to_string(anomaly.op_b) + " " +
+           describe(history.op(anomaly.op_b));
+  }
+  return out;
+}
+
+bool AnomalyReport::repairable() const {
+  return std::all_of(anomalies.begin(), anomalies.end(), [](const Anomaly& a) {
+    return a.kind == AnomalyKind::duplicate_timestamp ||
+           a.kind == AnomalyKind::write_outlives_dictated_read;
+  });
+}
+
+std::vector<Anomaly> AnomalyReport::hard_anomalies() const {
+  std::vector<Anomaly> hard;
+  for (const Anomaly& a : anomalies) {
+    if (a.kind != AnomalyKind::duplicate_timestamp &&
+        a.kind != AnomalyKind::write_outlives_dictated_read) {
+      hard.push_back(a);
+    }
+  }
+  return hard;
+}
+
+AnomalyReport find_anomalies(const History& history) {
+  AnomalyReport report;
+
+  // Duplicate write values.
+  if (history.has_duplicate_write_values()) {
+    std::unordered_map<Value, OpId> seen;
+    for (OpId w : history.writes_by_start()) {
+      auto [it, inserted] = seen.try_emplace(history.op(w).value, w);
+      if (!inserted) {
+        report.anomalies.push_back(
+            {AnomalyKind::duplicate_write_value, w, it->second});
+      }
+    }
+  }
+
+  // Read anomalies.
+  for (OpId r : history.reads()) {
+    const OpId w = history.dictating_write(r);
+    if (w == kInvalidOp) {
+      report.anomalies.push_back(
+          {AnomalyKind::read_without_dictating_write, r, kInvalidOp});
+    } else if (history.precedes(r, w)) {
+      report.anomalies.push_back(
+          {AnomalyKind::read_precedes_dictating_write, r, w});
+    }
+  }
+
+  // Duplicate timestamps across all 2n events.
+  {
+    std::unordered_map<TimePoint, OpId> seen;
+    seen.reserve(history.size() * 4);
+    auto check = [&](TimePoint t, OpId id) {
+      auto [it, inserted] = seen.try_emplace(t, id);
+      if (!inserted) {
+        report.anomalies.push_back(
+            {AnomalyKind::duplicate_timestamp, id, it->second});
+      }
+    };
+    for (OpId id = 0; id < history.size(); ++id) {
+      check(history.op(id).start, id);
+      check(history.op(id).finish, id);
+    }
+  }
+
+  // Writes that outlive a dictated read's finish.
+  for (OpId w : history.writes_by_start()) {
+    for (OpId r : history.dictated_reads(w)) {
+      if (history.op(w).finish >= history.op(r).finish) {
+        report.anomalies.push_back(
+            {AnomalyKind::write_outlives_dictated_read, w, r});
+        break;
+      }
+    }
+  }
+
+  return report;
+}
+
+bool is_normalized(const History& history) {
+  std::unordered_set<TimePoint> stamps;
+  stamps.reserve(history.size() * 4);
+  for (const Operation& op : history.operations()) {
+    if (!stamps.insert(op.start).second) return false;
+    if (!stamps.insert(op.finish).second) return false;
+  }
+  for (OpId w : history.writes_by_start()) {
+    for (OpId r : history.dictated_reads(w)) {
+      if (history.op(w).finish >= history.op(r).finish) return false;
+    }
+  }
+  return true;
+}
+
+History normalize(const History& history) {
+  if (!find_anomalies(history).repairable()) {
+    throw std::invalid_argument(
+        "normalize: history has hard anomalies; see find_anomalies");
+  }
+
+  const std::size_t n = history.size();
+  std::vector<Operation> ops(history.operations().begin(),
+                             history.operations().end());
+
+  // Pass A: uniquify timestamps while preserving "precedes" exactly.
+  // Sort all 2n events by (time, kind) with starts before finishes at
+  // equal time, then renumber sequentially. Strict inequalities are
+  // preserved; an old tie f == s (concurrent: precedence needs f < s)
+  // becomes f > s, keeping the pair concurrent.
+  struct Event {
+    TimePoint time;
+    bool is_finish;
+    OpId op;
+  };
+  std::vector<Event> events;
+  events.reserve(2 * n);
+  for (OpId id = 0; id < n; ++id) {
+    events.push_back({ops[id].start, false, id});
+    events.push_back({ops[id].finish, true, id});
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.is_finish < b.is_finish;  // starts first
+                   });
+  // Space consecutive events by a gap wide enough that pass B's "-1"
+  // adjustments land strictly between existing stamps.
+  const TimePoint gap = static_cast<TimePoint>(n) + 2;
+  for (std::size_t rank = 0; rank < events.size(); ++rank) {
+    const Event& ev = events[rank];
+    const TimePoint t = static_cast<TimePoint>(rank + 1) * gap;
+    if (ev.is_finish) {
+      ops[ev.op].finish = t;
+    } else {
+      ops[ev.op].start = t;
+    }
+  }
+
+  // Pass B: shorten writes so each finishes before the earliest finish
+  // among its dictated reads. New finish times sit at (multiple of
+  // gap) - 1, which cannot collide with any pass-A stamp, and two
+  // writes cannot collide with each other because their earliest
+  // dictated-read finishes are distinct events.
+  for (OpId w : history.writes_by_start()) {
+    TimePoint min_read_finish = kTimeMax;
+    for (OpId r : history.dictated_reads(w)) {
+      min_read_finish = std::min(min_read_finish, ops[r].finish);
+    }
+    if (min_read_finish != kTimeMax && ops[w].finish >= min_read_finish) {
+      ops[w].finish = min_read_finish - 1;
+    }
+  }
+
+  return History(std::move(ops));
+}
+
+}  // namespace kav

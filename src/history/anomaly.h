@@ -1,0 +1,82 @@
+// Detection and repair of the precondition violations from Section II-C
+// of the paper. The verification algorithms assume histories that are
+//
+//   (1) anomaly-free: every read has a dictating write, and no read
+//       precedes its dictating write (either condition immediately
+//       falsifies k-atomicity for every k);
+//   (2) value-unique: no two writes store the same value (otherwise the
+//       decision problem becomes NP-complete, per Section II-C);
+//   (3) timestamp-unique: all 2n start/finish events are distinct; and
+//   (4) write-shortened: every write finishes before the earliest
+//       finish among its dictated reads (enforceable without loss of
+//       generality because a write's commit point cannot occur after
+//       one of its dictated reads has finished).
+//
+// (1) and (2) are hard anomalies: they are reported and cannot be
+// repaired. (3) and (4) are repaired by normalize(), which preserves
+// the "precedes" partial order exactly and therefore preserves
+// k-atomicity for every k.
+#ifndef KAV_HISTORY_ANOMALY_H
+#define KAV_HISTORY_ANOMALY_H
+
+#include <string>
+#include <vector>
+
+#include "history/history.h"
+
+namespace kav {
+
+enum class AnomalyKind : unsigned char {
+  read_without_dictating_write,  // hard: not k-atomic for any k
+  read_precedes_dictating_write,  // hard: not k-atomic for any k
+  duplicate_write_value,          // hard: verification is NP-complete
+  duplicate_timestamp,            // repairable by normalize()
+  write_outlives_dictated_read,   // repairable by normalize()
+};
+
+const char* to_string(AnomalyKind kind);
+
+struct Anomaly {
+  AnomalyKind kind;
+  OpId op_a = kInvalidOp;  // the offending operation
+  OpId op_b = kInvalidOp;  // its counterpart, when meaningful
+};
+
+std::string describe(const Anomaly& anomaly, const History& history);
+
+struct AnomalyReport {
+  std::vector<Anomaly> anomalies;
+
+  bool empty() const { return anomalies.empty(); }
+
+  // True when only repairable anomalies are present, i.e. normalize()
+  // yields a history the checkers accept.
+  bool repairable() const;
+
+  // True when the history is already in verifiable form as-is.
+  bool verifiable() const { return anomalies.empty(); }
+
+  std::vector<Anomaly> hard_anomalies() const;
+};
+
+AnomalyReport find_anomalies(const History& history);
+
+// True iff the history satisfies (3) and (4) above. (1) and (2) are
+// separate concerns: a normalized history can still contain hard
+// anomalies, which checkers reject via find_anomalies.
+bool is_normalized(const History& history);
+
+// Produces an equivalent history with unique timestamps and shortened
+// writes. Operation ids (vector positions) are preserved, so witnesses
+// computed on the normalized history index into the original too.
+//
+// The transformation preserves the "precedes" relation exactly on the
+// uniquification step, and only *adds* precedence pairs (w, op) implied
+// by moving write commit points earlier -- the paper argues this is
+// harmless (Section II-C). Throws std::invalid_argument if the history
+// has hard anomalies (normalize cannot give those meaning).
+History normalize(const History& history);
+
+}  // namespace kav
+
+#endif  // KAV_HISTORY_ANOMALY_H

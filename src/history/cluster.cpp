@@ -1,0 +1,30 @@
+#include "history/cluster.h"
+
+#include <algorithm>
+
+namespace kav {
+
+Zone compute_zone(const History& history, OpId write) {
+  const Operation& w = history.op(write);
+  TimePoint min_finish = w.finish;
+  TimePoint max_start = w.start;
+  for (OpId r : history.dictated_reads(write)) {
+    min_finish = std::min(min_finish, history.op(r).finish);
+    max_start = std::max(max_start, history.op(r).start);
+  }
+  return Zone{write, min_finish, max_start, min_finish < max_start};
+}
+
+std::vector<Zone> compute_zones(const History& history) {
+  std::vector<Zone> zones;
+  zones.reserve(history.write_count());
+  for (OpId w : history.writes_by_start()) {
+    zones.push_back(compute_zone(history, w));
+  }
+  std::sort(zones.begin(), zones.end(), [](const Zone& a, const Zone& b) {
+    return a.low() != b.low() ? a.low() < b.low() : a.write < b.write;
+  });
+  return zones;
+}
+
+}  // namespace kav

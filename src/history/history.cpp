@@ -1,0 +1,120 @@
+#include "history/history.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace kav {
+
+std::string describe(const Operation& op) {
+  std::string out = op.is_write() ? "write" : "read";
+  out += "(v=" + std::to_string(op.value) + ") [" +
+         std::to_string(op.start) + ", " + std::to_string(op.finish) + ")";
+  return out;
+}
+
+History::History(std::vector<Operation> ops) : ops_(std::move(ops)) {
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (ops_[i].start >= ops_[i].finish) {
+      throw std::invalid_argument("operation " + std::to_string(i) +
+                                  " has start >= finish");
+    }
+  }
+  build_indexes();
+}
+
+void History::build_indexes() {
+  const auto n = static_cast<OpId>(ops_.size());
+
+  by_start_.resize(n);
+  std::iota(by_start_.begin(), by_start_.end(), 0);
+  by_finish_ = by_start_;
+  std::sort(by_start_.begin(), by_start_.end(), [&](OpId a, OpId b) {
+    return ops_[a].start != ops_[b].start ? ops_[a].start < ops_[b].start
+                                          : a < b;
+  });
+  std::sort(by_finish_.begin(), by_finish_.end(), [&](OpId a, OpId b) {
+    return ops_[a].finish != ops_[b].finish ? ops_[a].finish < ops_[b].finish
+                                            : a < b;
+  });
+
+  for (OpId id : by_start_) {
+    if (ops_[id].is_write()) {
+      writes_by_start_.push_back(id);
+    } else {
+      reads_.push_back(id);
+    }
+  }
+  for (OpId id : by_finish_) {
+    if (ops_[id].is_write()) writes_by_finish_.push_back(id);
+  }
+
+  // Value index; earliest-starting write wins on (anomalous) duplicates
+  // so behaviour stays deterministic.
+  write_of_value_.reserve(writes_by_start_.size() * 2);
+  for (OpId w : writes_by_start_) {
+    auto [it, inserted] = write_of_value_.try_emplace(ops_[w].value, w);
+    if (!inserted) has_duplicate_write_values_ = true;
+  }
+
+  // Dictating writes and (flattened) dictated-read lists.
+  dictating_write_.assign(n, kInvalidOp);
+  std::vector<std::uint32_t> counts(n + 1, 0);
+  for (OpId r : reads_) {
+    auto it = write_of_value_.find(ops_[r].value);
+    if (it != write_of_value_.end()) {
+      dictating_write_[r] = it->second;
+      ++counts[it->second];
+    }
+  }
+  read_begin_.assign(n + 1, 0);
+  for (OpId i = 0; i < n; ++i) read_begin_[i + 1] = read_begin_[i] + counts[i];
+  dictated_flat_.resize(read_begin_[n]);
+  std::vector<std::uint32_t> cursor(read_begin_.begin(), read_begin_.end() - 1);
+  for (OpId r : reads_) {  // reads_ is start-sorted => lists are too
+    const OpId w = dictating_write_[r];
+    if (w != kInvalidOp) dictated_flat_[cursor[w]++] = r;
+  }
+
+  // Max concurrent writes via an event sweep. Finish events at equal
+  // time sort before start events, matching the strict "precedes"
+  // relation (f < s): a write finishing exactly when another starts is
+  // concurrent with it, but the sweep difference is immaterial for the
+  // maximum because normalized histories have unique timestamps.
+  std::vector<std::pair<TimePoint, int>> events;
+  events.reserve(writes_by_start_.size() * 2);
+  for (OpId w : writes_by_start_) {
+    events.emplace_back(ops_[w].start, +1);
+    events.emplace_back(ops_[w].finish, -1);
+  }
+  std::sort(events.begin(), events.end());
+  std::size_t depth = 0;
+  for (const auto& [time, delta] : events) {
+    if (delta > 0) {
+      max_concurrent_writes_ = std::max(max_concurrent_writes_, ++depth);
+    } else {
+      --depth;
+    }
+  }
+}
+
+std::span<const OpId> History::dictated_reads(OpId write) const {
+  return {dictated_flat_.data() + read_begin_[write],
+          dictated_flat_.data() + read_begin_[write + 1]};
+}
+
+OpId History::write_of_value(Value v) const {
+  auto it = write_of_value_.find(v);
+  return it == write_of_value_.end() ? kInvalidOp : it->second;
+}
+
+TimePoint History::min_time() const {
+  return by_start_.empty() ? 0 : ops_[by_start_.front()].start;
+}
+
+TimePoint History::max_time() const {
+  return by_finish_.empty() ? 0 : ops_[by_finish_.back()].finish;
+}
+
+}  // namespace kav

@@ -1,0 +1,117 @@
+// History: an immutable collection of operations on a single register
+// (Section II-A), with the derived indexes every verification algorithm
+// needs -- operations sorted by start and by finish, the dictating
+// write of each read, the dictated reads of each write, and the maximum
+// write-concurrency level c used in LBT's complexity bound.
+//
+// Construction never fails on *semantic* anomalies (those are reported
+// by find_anomalies in anomaly.h, since the paper treats them as
+// pre-filtered); it only rejects structurally malformed operations
+// (start >= finish).
+#ifndef KAV_HISTORY_HISTORY_H
+#define KAV_HISTORY_HISTORY_H
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "history/operation.h"
+#include "util/time_types.h"
+
+namespace kav {
+
+class History {
+ public:
+  History() = default;
+
+  // Throws std::invalid_argument if any operation has start >= finish.
+  explicit History(std::vector<Operation> ops);
+
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  const Operation& op(OpId id) const { return ops_[id]; }
+  std::span<const Operation> operations() const { return ops_; }
+
+  std::size_t write_count() const { return writes_by_finish_.size(); }
+  std::size_t read_count() const { return reads_.size(); }
+
+  // Op ids sorted by the respective timestamp (ties broken by id; after
+  // normalization there are no ties).
+  std::span<const OpId> by_start() const { return by_start_; }
+  std::span<const OpId> by_finish() const { return by_finish_; }
+  std::span<const OpId> writes_by_start() const { return writes_by_start_; }
+  std::span<const OpId> writes_by_finish() const { return writes_by_finish_; }
+  std::span<const OpId> reads() const { return reads_; }
+
+  // The unique write with the read's value, or kInvalidOp if the read
+  // has no dictating write in this history (an anomaly).
+  OpId dictating_write(OpId read) const { return dictating_write_[read]; }
+
+  // Reads that obtained `write`'s value, sorted by start time.
+  std::span<const OpId> dictated_reads(OpId write) const;
+
+  // The write that stored `v`, or kInvalidOp. If multiple writes stored
+  // the same value (an anomaly; see Section II-C), the earliest-
+  // starting one is indexed and has_duplicate_write_values() is true.
+  OpId write_of_value(Value v) const;
+  bool has_duplicate_write_values() const {
+    return has_duplicate_write_values_;
+  }
+
+  bool precedes(OpId a, OpId b) const { return ops_[a].precedes(ops_[b]); }
+
+  // Maximum number of pairwise-concurrent writes at any instant -- the
+  // parameter c in LBT's O(n log n + c*n) bound (Theorem 3.2).
+  std::size_t max_concurrent_writes() const { return max_concurrent_writes_; }
+
+  TimePoint min_time() const;  // earliest start (0 when empty)
+  TimePoint max_time() const;  // latest finish (0 when empty)
+
+ private:
+  void build_indexes();
+
+  std::vector<Operation> ops_;
+  std::vector<OpId> by_start_;
+  std::vector<OpId> by_finish_;
+  std::vector<OpId> writes_by_start_;
+  std::vector<OpId> writes_by_finish_;
+  std::vector<OpId> reads_;
+  std::vector<OpId> dictating_write_;
+  // Dictated reads stored flattened: reads of write w occupy
+  // dictated_flat_[read_begin_[w] .. read_begin_[w + 1]).
+  std::vector<OpId> dictated_flat_;
+  std::vector<std::uint32_t> read_begin_;
+  std::unordered_map<Value, OpId> write_of_value_;
+  bool has_duplicate_write_values_ = false;
+  std::size_t max_concurrent_writes_ = 0;
+};
+
+// Convenience used throughout tests: builds a History and gives stable
+// ids (insertion order) back to the caller.
+class HistoryBuilder {
+ public:
+  OpId write(TimePoint start, TimePoint finish, Value value,
+             ClientId client = kNoClient) {
+    ops_.push_back(make_write(start, finish, value, client));
+    return static_cast<OpId>(ops_.size() - 1);
+  }
+
+  OpId read(TimePoint start, TimePoint finish, Value value,
+            ClientId client = kNoClient) {
+    ops_.push_back(make_read(start, finish, value, client));
+    return static_cast<OpId>(ops_.size() - 1);
+  }
+
+  std::size_t size() const { return ops_.size(); }
+
+  History build() const { return History(ops_); }
+
+ private:
+  std::vector<Operation> ops_;
+};
+
+}  // namespace kav
+
+#endif  // KAV_HISTORY_HISTORY_H

@@ -1,0 +1,21 @@
+#include "history/keyed_trace.h"
+
+namespace kav {
+
+KeyedHistories split_by_key(const KeyedTrace& trace) {
+  std::map<std::string, std::vector<Operation>> grouped;
+  std::map<std::string, std::vector<std::size_t>> indexes;
+  for (std::size_t i = 0; i < trace.ops.size(); ++i) {
+    const KeyedOperation& kop = trace.ops[i];
+    grouped[kop.key].push_back(kop.op);
+    indexes[kop.key].push_back(i);
+  }
+  KeyedHistories out;
+  for (auto& [key, ops] : grouped) {
+    out.per_key.emplace(key, History(std::move(ops)));
+    out.trace_index.emplace(key, std::move(indexes[key]));
+  }
+  return out;
+}
+
+}  // namespace kav

@@ -1,0 +1,105 @@
+#include "history/serialization.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace kav {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::runtime_error("trace parse error at line " +
+                           std::to_string(line) + ": " + message);
+}
+
+}  // namespace
+
+KeyedTrace read_trace(std::istream& in) {
+  KeyedTrace trace;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip trailing CR so CRLF files parse.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::istringstream fields(line);
+    std::string tag;
+    if (!(fields >> tag) || tag[0] == '#') continue;
+    if (tag != "op") fail(line_no, "expected 'op', got '" + tag + "'");
+    std::string key, type_str;
+    Value value;
+    TimePoint start, finish;
+    if (!(fields >> key >> type_str >> value >> start >> finish)) {
+      fail(line_no, "expected: op <key> <R|W> <value> <start> <finish>");
+    }
+    OpType type;
+    if (type_str == "R" || type_str == "r") {
+      type = OpType::read;
+    } else if (type_str == "W" || type_str == "w") {
+      type = OpType::write;
+    } else {
+      fail(line_no, "operation type must be R or W, got '" + type_str + "'");
+    }
+    ClientId client = kNoClient;
+    fields >> client;  // optional
+    if (start >= finish) fail(line_no, "start must be < finish");
+    trace.add(std::move(key), Operation{start, finish, type, value, client});
+  }
+  return trace;
+}
+
+KeyedTrace read_trace_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return read_trace(in);
+}
+
+KeyedTrace parse_trace(const std::string& text) {
+  std::istringstream in(text);
+  return read_trace(in);
+}
+
+void write_trace(std::ostream& out, const KeyedTrace& trace) {
+  out << "# kav trace v1\n";
+  for (const KeyedOperation& kop : trace.ops) {
+    out << "op " << kop.key << ' ' << (kop.op.is_read() ? 'R' : 'W') << ' '
+        << kop.op.value << ' ' << kop.op.start << ' ' << kop.op.finish;
+    if (kop.op.client != kNoClient) out << ' ' << kop.op.client;
+    out << '\n';
+  }
+}
+
+void write_trace_file(const std::string& path, const KeyedTrace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open trace file: " + path);
+  write_trace(out, trace);
+}
+
+std::string format_trace(const KeyedTrace& trace) {
+  std::ostringstream out;
+  write_trace(out, trace);
+  return out.str();
+}
+
+History parse_history(const std::string& text) {
+  const KeyedTrace trace = parse_trace(text);
+  std::vector<Operation> ops;
+  ops.reserve(trace.size());
+  for (const KeyedOperation& kop : trace.ops) {
+    if (!trace.ops.empty() && kop.key != trace.ops.front().key) {
+      throw std::runtime_error(
+          "parse_history: trace spans multiple keys; use parse_trace");
+    }
+    ops.push_back(kop.op);
+  }
+  return History(std::move(ops));
+}
+
+std::string format_history(const History& history, const std::string& key) {
+  KeyedTrace trace;
+  for (const Operation& op : history.operations()) trace.add(key, op);
+  return format_trace(trace);
+}
+
+}  // namespace kav

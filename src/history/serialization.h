@@ -1,0 +1,35 @@
+// Plain-text trace format, one operation per line:
+//
+//   # kav trace v1
+//   op <key> <R|W> <value> <start> <finish> [client]
+//
+// Lines starting with '#' and blank lines are ignored. The format is
+// deliberately trivial so traces from real systems can be converted
+// with a few lines of awk. Reader errors carry 1-based line numbers.
+#ifndef KAV_HISTORY_SERIALIZATION_H
+#define KAV_HISTORY_SERIALIZATION_H
+
+#include <iosfwd>
+#include <string>
+
+#include "history/keyed_trace.h"
+
+namespace kav {
+
+// Throws std::runtime_error with a line-number message on parse errors.
+KeyedTrace read_trace(std::istream& in);
+KeyedTrace read_trace_file(const std::string& path);
+KeyedTrace parse_trace(const std::string& text);
+
+void write_trace(std::ostream& out, const KeyedTrace& trace);
+void write_trace_file(const std::string& path, const KeyedTrace& trace);
+std::string format_trace(const KeyedTrace& trace);
+
+// Single-register convenience wrappers (key defaults to "r0").
+History parse_history(const std::string& text);
+std::string format_history(const History& history,
+                           const std::string& key = "r0");
+
+}  // namespace kav
+
+#endif  // KAV_HISTORY_SERIALIZATION_H

@@ -1,0 +1,361 @@
+#include "quorum/sim.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace kav::quorum {
+
+void QuorumConfig::validate() const {
+  if (replicas < 1) throw std::invalid_argument("replicas must be >= 1");
+  if (write_quorum < 1 || write_quorum > replicas) {
+    throw std::invalid_argument("write_quorum must be in [1, replicas]");
+  }
+  if (read_quorum < 1 || read_quorum > replicas) {
+    throw std::invalid_argument("read_quorum must be in [1, replicas]");
+  }
+  if (clients < 1) throw std::invalid_argument("clients must be >= 1");
+  if (keys < 1) throw std::invalid_argument("keys must be >= 1");
+  if (ops_per_client < 0) throw std::invalid_argument("ops_per_client < 0");
+  if (read_fraction < 0 || read_fraction > 1) {
+    throw std::invalid_argument("read_fraction must be in [0, 1]");
+  }
+  if (latency.min < 0 || latency.max < latency.min) {
+    throw std::invalid_argument("bad latency range");
+  }
+  if (think_min < 0 || think_max < think_min) {
+    throw std::invalid_argument("bad think range");
+  }
+  if (anti_entropy && anti_entropy_interval < 1) {
+    throw std::invalid_argument("anti_entropy_interval must be >= 1");
+  }
+  if (clock_skew_max < 0) throw std::invalid_argument("clock_skew_max < 0");
+}
+
+namespace {
+
+using Version = std::int64_t;
+
+struct Register {
+  Version version = 0;
+  Value value = 0;
+};
+
+enum class EventKind : unsigned char {
+  client_start,
+  replica_apply_write,
+  write_ack,
+  replica_serve_read,
+  read_reply,
+  anti_entropy,
+};
+
+struct Event {
+  TimePoint time = 0;
+  std::uint64_t seq = 0;  // FIFO tie-break => deterministic runs
+  EventKind kind = EventKind::client_start;
+  int client = -1;
+  std::uint64_t op_seq = 0;  // guards against events for finished ops
+  int replica = -1;
+  int key = -1;
+  Version version = 0;
+  Value value = 0;
+
+  bool operator>(const Event& other) const {
+    return time != other.time ? time > other.time : seq > other.seq;
+  }
+};
+
+struct Inflight {
+  bool active = false;
+  bool is_write = false;
+  int key = 0;
+  TimePoint start = 0;
+  Value written_value = 0;    // writes
+  int responses_needed = 0;
+  int responses_received = 0;
+  Version best_version = -1;  // reads
+  Value best_value = 0;
+  Version freshest_completed_at_start = 0;  // staleness accounting
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const QuorumConfig& config)
+      : config_(config), rng_(config.seed) {
+    config_.validate();
+    registers_.assign(static_cast<std::size_t>(config_.replicas),
+                      std::vector<Register>(
+                          static_cast<std::size_t>(config_.keys)));
+    inflight_.assign(static_cast<std::size_t>(config_.clients), Inflight{});
+    ops_done_.assign(static_cast<std::size_t>(config_.clients), 0);
+    op_seq_.assign(static_cast<std::size_t>(config_.clients), 0);
+    skew_.reserve(static_cast<std::size_t>(config_.clients));
+    for (int c = 0; c < config_.clients; ++c) {
+      skew_.push_back(config_.clock_skew_max == 0
+                          ? 0
+                          : rng_.uniform(-config_.clock_skew_max,
+                                         config_.clock_skew_max));
+    }
+    freshest_completed_.assign(static_cast<std::size_t>(config_.keys), 0);
+  }
+
+  SimResult run() {
+    bootstrap();
+    for (int c = 0; c < config_.clients; ++c) {
+      push(Event{start_time_ + rng_.uniform(0, config_.think_max),
+                 next_seq(), EventKind::client_start, c});
+    }
+    if (config_.anti_entropy && config_.replicas > 1) {
+      push(Event{start_time_ + config_.anti_entropy_interval, next_seq(),
+                 EventKind::anti_entropy});
+    }
+    while (!queue_.empty()) {
+      const Event event = queue_.top();
+      queue_.pop();
+      stats_.end_time = std::max(stats_.end_time, event.time);
+      dispatch(event);
+    }
+    SimResult result;
+    result.trace = std::move(trace_);
+    result.stats = stats_;
+    return result;
+  }
+
+ private:
+  // Each key gets an initial write applied to every replica and
+  // recorded in the trace, so all later reads have a dictating write.
+  void bootstrap() {
+    for (int key = 0; key < config_.keys; ++key) {
+      const TimePoint t = static_cast<TimePoint>(key) * 10;
+      const Value value = ++value_counter_;
+      const Version version = ++version_counter_;
+      for (auto& replica : registers_) {
+        replica[static_cast<std::size_t>(key)] = {version, value};
+      }
+      freshest_completed_[static_cast<std::size_t>(key)] = version;
+      trace_.add(key_name(key), make_write(t, t + 5, value, /*client=*/-2));
+    }
+    start_time_ = static_cast<TimePoint>(config_.keys) * 10 + 100;
+  }
+
+  void dispatch(const Event& event) {
+    switch (event.kind) {
+      case EventKind::client_start:
+        start_operation(event);
+        break;
+      case EventKind::replica_apply_write:
+        apply_write(event);
+        break;
+      case EventKind::write_ack:
+        on_write_ack(event);
+        break;
+      case EventKind::replica_serve_read:
+        serve_read(event);
+        break;
+      case EventKind::read_reply:
+        on_read_reply(event);
+        break;
+      case EventKind::anti_entropy:
+        anti_entropy(event);
+        break;
+    }
+  }
+
+  void start_operation(const Event& event) {
+    const int c = event.client;
+    if (ops_done_[static_cast<std::size_t>(c)] >= config_.ops_per_client) {
+      return;  // client retires
+    }
+    Inflight& op = inflight_[static_cast<std::size_t>(c)];
+    op = Inflight{};
+    op.active = true;
+    op.key = static_cast<int>(rng_.bounded(
+        static_cast<std::uint64_t>(config_.keys)));
+    op.start = event.time;
+    op.is_write = !rng_.bernoulli(config_.read_fraction);
+    op.freshest_completed_at_start =
+        freshest_completed_[static_cast<std::size_t>(op.key)];
+    const std::uint64_t seq = ++op_seq_[static_cast<std::size_t>(c)];
+
+    const std::vector<int> targets = choose_targets(op.is_write);
+    op.responses_needed = config_.first_responders
+                              ? (op.is_write ? config_.write_quorum
+                                             : config_.read_quorum)
+                              : static_cast<int>(targets.size());
+
+    if (op.is_write) {
+      op.written_value = ++value_counter_;
+      const Version version = ++version_counter_;
+      for (int replica : targets) {
+        ++stats_.messages;
+        push(Event{event.time + latency(), next_seq(),
+                   EventKind::replica_apply_write, c, seq, replica, op.key,
+                   version, op.written_value});
+      }
+    } else {
+      for (int replica : targets) {
+        ++stats_.messages;
+        push(Event{event.time + latency(), next_seq(),
+                   EventKind::replica_serve_read, c, seq, replica, op.key});
+      }
+    }
+  }
+
+  std::vector<int> choose_targets(bool is_write) {
+    std::vector<int> all(static_cast<std::size_t>(config_.replicas));
+    for (int i = 0; i < config_.replicas; ++i) {
+      all[static_cast<std::size_t>(i)] = i;
+    }
+    if (config_.first_responders) return all;
+    // Fixed random subset of exactly W (or R) replicas.
+    const int quorum = is_write ? config_.write_quorum : config_.read_quorum;
+    for (int i = 0; i < quorum; ++i) {
+      const auto j = i + static_cast<int>(rng_.bounded(
+                             static_cast<std::uint64_t>(config_.replicas - i)));
+      std::swap(all[static_cast<std::size_t>(i)],
+                all[static_cast<std::size_t>(j)]);
+    }
+    all.resize(static_cast<std::size_t>(quorum));
+    return all;
+  }
+
+  void apply_write(const Event& event) {
+    Register& reg = registers_[static_cast<std::size_t>(event.replica)]
+                              [static_cast<std::size_t>(event.key)];
+    if (event.version > reg.version) {
+      reg = {event.version, event.value};
+    }
+    ++stats_.messages;
+    push(Event{event.time + latency(), next_seq(), EventKind::write_ack,
+               event.client, event.op_seq, event.replica, event.key,
+               event.version, event.value});
+  }
+
+  void on_write_ack(const Event& event) {
+    const int c = event.client;
+    Inflight& op = inflight_[static_cast<std::size_t>(c)];
+    if (!op.active || event.op_seq != op_seq_[static_cast<std::size_t>(c)]) {
+      return;  // straggler ack for a completed operation
+    }
+    if (++op.responses_received < op.responses_needed) return;
+
+    op.active = false;
+    ++stats_.writes;
+    ++ops_done_[static_cast<std::size_t>(c)];
+    freshest_completed_[static_cast<std::size_t>(op.key)] =
+        std::max(freshest_completed_[static_cast<std::size_t>(op.key)],
+                 event.version);
+    record(c, op.key,
+           make_write(op.start, event.time, op.written_value, c));
+    schedule_next(c, event.time);
+  }
+
+  void serve_read(const Event& event) {
+    const Register& reg = registers_[static_cast<std::size_t>(event.replica)]
+                                    [static_cast<std::size_t>(event.key)];
+    ++stats_.messages;
+    push(Event{event.time + latency(), next_seq(), EventKind::read_reply,
+               event.client, event.op_seq, event.replica, event.key,
+               reg.version, reg.value});
+  }
+
+  void on_read_reply(const Event& event) {
+    const int c = event.client;
+    Inflight& op = inflight_[static_cast<std::size_t>(c)];
+    if (!op.active || event.op_seq != op_seq_[static_cast<std::size_t>(c)]) {
+      return;  // straggler reply beyond the quorum
+    }
+    if (event.version > op.best_version) {
+      op.best_version = event.version;
+      op.best_value = event.value;
+    }
+    if (++op.responses_received < op.responses_needed) return;
+
+    op.active = false;
+    ++stats_.reads;
+    ++ops_done_[static_cast<std::size_t>(c)];
+    if (op.best_version < op.freshest_completed_at_start) {
+      ++stats_.stale_reads;
+    }
+    record(c, op.key, make_read(op.start, event.time, op.best_value, c));
+    schedule_next(c, event.time);
+  }
+
+  void anti_entropy(const Event& event) {
+    // One random ordered pair pulls newer versions source -> target.
+    const auto n = static_cast<std::uint64_t>(config_.replicas);
+    const int source = static_cast<int>(rng_.bounded(n));
+    int target = source;
+    while (target == source) target = static_cast<int>(rng_.bounded(n));
+    for (int key = 0; key < config_.keys; ++key) {
+      const Register& src = registers_[static_cast<std::size_t>(source)]
+                                      [static_cast<std::size_t>(key)];
+      Register& dst = registers_[static_cast<std::size_t>(target)]
+                                [static_cast<std::size_t>(key)];
+      if (src.version > dst.version) dst = src;
+    }
+    stats_.messages += 2;
+    ++stats_.anti_entropy_rounds;
+    if (clients_active()) {
+      push(Event{event.time + config_.anti_entropy_interval, next_seq(),
+                 EventKind::anti_entropy});
+    }
+  }
+
+  bool clients_active() const {
+    for (int c = 0; c < config_.clients; ++c) {
+      if (ops_done_[static_cast<std::size_t>(c)] < config_.ops_per_client) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void schedule_next(int c, TimePoint now) {
+    push(Event{now + rng_.uniform(config_.think_min, config_.think_max) + 1,
+               next_seq(), EventKind::client_start, c});
+  }
+
+  void record(int client, int key, Operation op) {
+    // Clock skew affects only what the trace reports, not the sim.
+    const TimePoint shift = skew_[static_cast<std::size_t>(client)];
+    op.start += shift;
+    op.finish += shift;
+    trace_.add(key_name(key), op);
+  }
+
+  static std::string key_name(int key) { return "k" + std::to_string(key); }
+
+  TimePoint latency() {
+    return rng_.uniform(config_.latency.min, config_.latency.max);
+  }
+
+  void push(Event event) { queue_.push(event); }
+  std::uint64_t next_seq() { return ++event_seq_; }
+
+  QuorumConfig config_;
+  Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<std::vector<Register>> registers_;  // [replica][key]
+  std::vector<Inflight> inflight_;
+  std::vector<int> ops_done_;
+  std::vector<std::uint64_t> op_seq_;
+  std::vector<TimePoint> skew_;
+  std::vector<Version> freshest_completed_;
+  KeyedTrace trace_;
+  SimStats stats_;
+  Version version_counter_ = 0;
+  Value value_counter_ = 0;
+  std::uint64_t event_seq_ = 0;
+  TimePoint start_time_ = 0;
+};
+
+}  // namespace
+
+SimResult run_sloppy_quorum_sim(const QuorumConfig& config) {
+  return Simulator(config).run();
+}
+
+}  // namespace kav::quorum

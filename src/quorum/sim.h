@@ -1,0 +1,95 @@
+// A discrete-event simulator of a Dynamo-style replicated key-value
+// store with *sloppy* (non-strict) quorums -- the storage-system class
+// the paper cites as its motivation (Section I): when read and write
+// quorums are not guaranteed to overlap (R + W <= N), reads may return
+// stale values, and k-atomicity is the property that bounds how stale.
+//
+// Model:
+//   - N replicas hold per-key (version, value) registers; versions are
+//     issued from a global counter at operation start, so writes are
+//     totally ordered by issue time (last-writer-wins).
+//   - Clients are closed-loop: issue an operation, wait for completion,
+//     think, repeat. A write is sent to all replicas and completes at
+//     the W-th acknowledgement; a read queries all replicas and
+//     completes at the R-th response, returning the highest-versioned
+//     value among those first R ("first responders"). Alternatively
+//     (first_responders = false) each operation contacts a fixed random
+//     subset of exactly W (or R) replicas and waits for all of them --
+//     a sloppier discipline with more staleness at equal quorum sizes.
+//   - Optional anti-entropy: periodic random pairwise sync pulls newer
+//     versions between replicas (how Dynamo-like systems converge).
+//   - Message delays are uniform in [latency.min, latency.max]; all
+//     randomness comes from the seed, so traces are reproducible.
+//   - Each key is bootstrapped by an initial write that completes on
+//     all replicas before clients start (so no read lacks a dictating
+//     write).
+//   - Optional per-client clock skew perturbs *recorded* timestamps
+//     (not the simulation itself), reproducing the measurement-error
+//     anomalies Section II-C's accurate-timestamp assumption rules out.
+//
+// The output trace feeds directly into the verification pipeline; with
+// R + W > N and first-responder quorums the traces are observed atomic,
+// while R + W <= N yields genuine staleness -- exactly the behaviour
+// the paper describes for non-strict quorum systems.
+#ifndef KAV_QUORUM_SIM_H
+#define KAV_QUORUM_SIM_H
+
+#include <cstdint>
+#include <string>
+
+#include "history/keyed_trace.h"
+#include "util/rng.h"
+#include "util/time_types.h"
+
+namespace kav::quorum {
+
+struct LatencyModel {
+  TimePoint min = 1;
+  TimePoint max = 20;
+};
+
+struct QuorumConfig {
+  int replicas = 3;      // N
+  int write_quorum = 2;  // W
+  int read_quorum = 2;   // R
+  int clients = 4;
+  int keys = 2;
+  int ops_per_client = 50;
+  double read_fraction = 0.7;
+  LatencyModel latency;
+  TimePoint think_min = 0;
+  TimePoint think_max = 50;
+  std::uint64_t seed = 1;
+  // true: contact all replicas, complete on the first R/W responses.
+  // false: contact a fixed random subset of exactly R/W replicas.
+  bool first_responders = true;
+  bool anti_entropy = true;
+  TimePoint anti_entropy_interval = 200;
+  // Recorded timestamps are shifted by a per-client constant drawn
+  // uniformly from [-clock_skew_max, clock_skew_max].
+  TimePoint clock_skew_max = 0;
+
+  void validate() const;  // throws std::invalid_argument on nonsense
+};
+
+struct SimStats {
+  std::uint64_t messages = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  // Reads returning a version older than the newest write *completed*
+  // before the read started (an observable staleness event).
+  std::uint64_t stale_reads = 0;
+  std::uint64_t anti_entropy_rounds = 0;
+  TimePoint end_time = 0;
+};
+
+struct SimResult {
+  KeyedTrace trace;
+  SimStats stats;
+};
+
+SimResult run_sloppy_quorum_sim(const QuorumConfig& config);
+
+}  // namespace kav::quorum
+
+#endif  // KAV_QUORUM_SIM_H

@@ -1,0 +1,84 @@
+// Minimal command-line flag parsing for the example binaries.
+// Supports --name=value and --name value; everything else is collected
+// as a positional argument. Unknown flags are an error so typos fail
+// loudly rather than silently running a default experiment.
+#ifndef KAV_UTIL_FLAGS_H
+#define KAV_UTIL_FLAGS_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace kav {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";  // bare flag
+      }
+    }
+  }
+
+  std::string get_string(const std::string& name, std::string def) {
+    note(name);
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+  }
+
+  std::int64_t get_int(const std::string& name, std::int64_t def) {
+    note(name);
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::stoll(it->second);
+  }
+
+  double get_double(const std::string& name, double def) {
+    note(name);
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::stod(it->second);
+  }
+
+  bool get_bool(const std::string& name, bool def) {
+    note(name);
+    auto it = values_.find(name);
+    if (it == values_.end()) return def;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Call after all get_* calls; throws on flags that nothing consumed.
+  void check_unknown() const {
+    for (const auto& [name, value] : values_) {
+      if (!known_.count(name)) {
+        throw std::invalid_argument("unknown flag: --" + name);
+      }
+    }
+  }
+
+ private:
+  void note(const std::string& name) { known_.insert(name); }
+
+  std::map<std::string, std::string> values_;
+  std::set<std::string> known_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace kav
+
+#endif  // KAV_UTIL_FLAGS_H

@@ -1,0 +1,123 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace kav {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double Samples::mean() const {
+  if (xs_.empty()) return 0.0;
+  double total = 0;
+  for (double x : xs_) total += x;
+  return total / static_cast<double>(xs_.size());
+}
+
+double Samples::quantile(double q) const {
+  if (xs_.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> sorted = xs_;
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[rank];
+}
+
+PowerFit fit_power_law(const std::vector<double>& xs,
+                       const std::vector<double>& ys) {
+  PowerFit fit;
+  const std::size_t n = std::min(xs.size(), ys.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (xs[i] <= 0 || ys[i] <= 0) continue;
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    syy += ly * ly;
+    ++m;
+  }
+  fit.points = m;
+  if (m < 2) return fit;
+  const double dm = static_cast<double>(m);
+  const double denom = dm * sxx - sx * sx;
+  if (denom == 0) return fit;
+  fit.exponent = (dm * sxy - sx * sy) / denom;
+  const double intercept = (sy - fit.exponent * sx) / dm;
+  fit.coefficient = std::exp(intercept);
+  const double sst = syy - sy * sy / dm;
+  const double ssr =
+      syy - intercept * sy - fit.exponent * sxy;
+  fit.r_squared = sst == 0 ? 1.0 : 1.0 - ssr / sst;
+  return fit;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+          << " |";
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::fmt(std::int64_t v) { return std::to_string(v); }
+std::string TablePrinter::fmt(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace kav

