@@ -11,6 +11,8 @@
 //   - ZoneProfile: structural statistics of a history's zones and
 //     chunks -- the quantities FZF's complexity depends on, useful for
 //     predicting which decider (LBT vs FZF) will be faster.
+//
+// Paper-section map and guarantees for every procedure: docs/ALGORITHMS.md.
 #ifndef KAV_CORE_ANALYSIS_H
 #define KAV_CORE_ANALYSIS_H
 

@@ -16,6 +16,8 @@
 // backtracking. Stage 3 outputs YES iff every chunk passed, with a
 // witness assembled by concatenating per-chunk and per-dangling-cluster
 // orders along the timeline (the construction in Lemma 4.1's proof).
+//
+// Paper-section map and guarantees for every procedure: docs/ALGORITHMS.md.
 #ifndef KAV_CORE_FZF_H
 #define KAV_CORE_FZF_H
 

@@ -11,6 +11,8 @@
 // Preconditions: anomaly-free, normalized history (Section II-C); the
 // public entry point checks and reports violations as
 // precondition_failed rather than silently mis-deciding.
+//
+// Paper-section map and guarantees for every procedure: docs/ALGORITHMS.md.
 #ifndef KAV_CORE_GK_H
 #define KAV_CORE_GK_H
 

@@ -13,6 +13,8 @@
 // (earliest-deadline-first) -- a heuristic that can miss some k-atomic
 // orders, hence YES answers are definitive (the witness is validated)
 // while exhausting the search space yields UNDECIDED, never NO.
+//
+// Paper-section map and guarantees for every procedure: docs/ALGORITHMS.md.
 #ifndef KAV_CORE_GREEDY_H
 #define KAV_CORE_GREEDY_H
 

@@ -13,6 +13,8 @@
 //   - the Figure 5 construction mapping a bin-packing instance to a
 //     k-WAV instance, so tests can check
 //         bin_packing_feasible(I)  <=>  kwav(reduce(I)).yes().
+//
+// Paper-section map and guarantees for every procedure: docs/ALGORITHMS.md.
 #ifndef KAV_CORE_KWAV_H
 #define KAV_CORE_KWAV_H
 

@@ -19,6 +19,8 @@
 // where t is the work of the cheapest successful candidate); O(n^2)
 // worst case when c = Theta(n). The naive mode (candidates tried to
 // completion one by one) is kept for the ablation benchmark.
+//
+// Paper-section map and guarantees for every procedure: docs/ALGORITHMS.md.
 #ifndef KAV_CORE_LBT_H
 #define KAV_CORE_LBT_H
 

@@ -12,6 +12,8 @@
 // Every history that is anomaly-free is W-atomic where W is its number
 // of writes (any valid order bounds a read's separation by the total
 // write count), so the search space is [1, max(1, W)].
+//
+// Paper-section map and guarantees for every procedure: docs/ALGORITHMS.md.
 #ifndef KAV_CORE_MINIMAL_K_H
 #define KAV_CORE_MINIMAL_K_H
 

@@ -15,6 +15,8 @@
 //
 // Limits: histories up to 64 operations (bitmask states); a node budget
 // guards against exponential blowups in property sweeps.
+//
+// Paper-section map and guarantees for every procedure: docs/ALGORITHMS.md.
 #ifndef KAV_CORE_ORACLE_H
 #define KAV_CORE_ORACLE_H
 

@@ -20,6 +20,8 @@
 // (watermark - H) is final, and chunks composed of final clusters
 // whose extents lie below that line are verified with the batch FZF
 // machinery and evicted. Memory is O(window), not O(trace).
+//
+// Paper-section map and guarantees for every procedure: docs/ALGORITHMS.md.
 #ifndef KAV_CORE_STREAMING_H
 #define KAV_CORE_STREAMING_H
 

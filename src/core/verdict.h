@@ -6,6 +6,8 @@
 // budget-limited procedures (the greedy general-k checker, the oracle
 // at its node limit); precondition_failed reports inputs the algorithms
 // are not defined on (hard anomalies, see Section II-C of the paper).
+//
+// Paper-section map and guarantees for every procedure: docs/ALGORITHMS.md.
 #ifndef KAV_CORE_VERDICT_H
 #define KAV_CORE_VERDICT_H
 

@@ -3,6 +3,8 @@
 // multi-register traces) exploits locality -- k-atomicity is a local
 // property (Section II-B of the paper), so a trace is k-atomic iff its
 // projection onto each register is.
+//
+// Paper-section map and guarantees for every procedure: docs/ALGORITHMS.md.
 #ifndef KAV_CORE_VERIFY_H
 #define KAV_CORE_VERIFY_H
 

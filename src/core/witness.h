@@ -12,6 +12,8 @@
 //
 // The validator shares no code with the deciders, so a passing check is
 // genuinely independent evidence. Cost: O(n log n).
+//
+// Paper-section map and guarantees for every procedure: docs/ALGORITHMS.md.
 #ifndef KAV_CORE_WITNESS_H
 #define KAV_CORE_WITNESS_H
 
