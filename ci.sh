@@ -8,4 +8,7 @@ BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S . -DKAV_WERROR=ON
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+# Fast pre-pass: the seconds-scale unit suites fail first, before the
+# fuzz and integration sweeps get a chance to burn minutes.
+ctest --test-dir "$BUILD_DIR" -L unit --output-on-failure -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -LE unit --output-on-failure -j "$(nproc)"

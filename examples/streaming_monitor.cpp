@@ -6,13 +6,21 @@
 // memory stays bounded by the concurrency window rather than growing
 // with the trace.
 //
+// Per-key streams are independent (Section II-B locality), so each
+// key's monitor runs as a task on the work-stealing pool; --threads
+// sizes the pool (0 = one per hardware thread).
+//
 //   $ ./streaming_monitor --ops=200 --replicas=5 --write-quorum=1
-//         --read-quorum=1 --first-responders=false
+//         --read-quorum=1 --first-responders=false --threads=4
 #include <algorithm>
 #include <cstdio>
+#include <future>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "core/streaming.h"
+#include "pipeline/thread_pool.h"
 #include "quorum/sim.h"
 #include "util/flags.h"
 
@@ -30,6 +38,8 @@ int main(int argc, char** argv) {
   config.ops_per_client = static_cast<int>(flags.get_int("ops", 200));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const TimePoint horizon = flags.get_int("horizon", 400);
+  const auto threads =
+      static_cast<std::size_t>(flags.get_int("threads", 0));
   flags.check_unknown();
 
   const quorum::SimResult sim = quorum::run_sloppy_quorum_sim(config);
@@ -39,31 +49,49 @@ int main(int argc, char** argv) {
               config.first_responders ? "first-responder" : "fixed-subset");
 
   // Feed each key's stream in start order, watermarking as we go --
-  // exactly what a monitor tailing a per-key commit log would do.
+  // exactly what a monitor tailing a per-key commit log would do. The
+  // streams are independent (locality), so each one is a pool task.
   StreamingOptions options;
   options.staleness_horizon = horizon;
-  std::map<std::string, StreamingChecker> monitors;
   std::map<std::string, std::vector<Operation>> streams;
   for (const KeyedOperation& kop : sim.trace.ops) {
     streams[kop.key].push_back(kop.op);
   }
+  struct MonitorResult {
+    Verdict verdict;
+    StreamingStats stats;
+    std::vector<StreamingViolation> violations;
+  };
+  pipeline::ThreadPool pool(threads);
+  std::map<std::string, std::future<MonitorResult>> pending;
   for (auto& [key, ops] : streams) {
-    std::sort(ops.begin(), ops.end(),
-              [](const Operation& a, const Operation& b) {
-                return a.start < b.start;
-              });
-    auto [it, inserted] = monitors.try_emplace(key, options);
-    for (const Operation& op : ops) {
-      it->second.add(op);
-      it->second.advance_watermark(op.start);
-      if (!it->second.clean_so_far()) break;  // first finding is enough
-    }
+    std::vector<Operation>* stream = &ops;
+    pending.emplace(key, pool.submit([stream, options] {
+      std::sort(stream->begin(), stream->end(),
+                [](const Operation& a, const Operation& b) {
+                  return a.start < b.start;
+                });
+      StreamingChecker monitor(options);
+      for (const Operation& op : *stream) {
+        monitor.add(op);
+        monitor.advance_watermark(op.start);
+        if (!monitor.clean_so_far()) break;  // first finding is enough
+      }
+      MonitorResult result;
+      result.verdict = monitor.finish();
+      result.stats = monitor.stats();
+      result.violations = monitor.violations();
+      return result;
+    }));
   }
+  std::printf("monitoring %zu key stream(s) on %zu thread(s)\n",
+              pending.size(), pool.thread_count());
 
   int violations_total = 0;
-  for (auto& [key, monitor] : monitors) {
-    const Verdict verdict = monitor.finish();
-    const StreamingStats& stats = monitor.stats();
+  for (auto& [key, future] : pending) {
+    const MonitorResult result = future.get();
+    const Verdict& verdict = result.verdict;
+    const StreamingStats& stats = result.stats;
     std::printf(
         "key %-6s %-3s  ingested=%llu evicted=%llu chunks=%llu "
         "peak-window=%zu\n",
@@ -72,7 +100,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(stats.operations_evicted),
         static_cast<unsigned long long>(stats.chunks_verified),
         stats.peak_window);
-    for (const StreamingViolation& violation : monitor.violations()) {
+    for (const StreamingViolation& violation : result.violations) {
       std::printf("    at watermark %lld: %s\n",
                   static_cast<long long>(violation.when),
                   violation.detail.c_str());

@@ -46,6 +46,8 @@ struct VerifyStats {
   std::uint64_t dangling = 0;          // FZF: dangling backward clusters
   std::uint64_t orders_tested = 0;     // FZF: viability subroutine calls
   std::uint64_t nodes = 0;             // oracle: search nodes expanded
+
+  friend bool operator==(const VerifyStats&, const VerifyStats&) = default;
 };
 
 struct Verdict {

@@ -1,5 +1,6 @@
 #include "core/verify.h"
 
+#include "core/analysis.h"
 #include "core/fzf.h"
 #include "core/gk.h"
 #include "core/greedy.h"
@@ -27,6 +28,20 @@ const char* to_string(Algorithm algorithm) {
       return "oracle";
   }
   return "unknown";
+}
+
+Algorithm select_2av_algorithm(const ZoneProfile& profile) {
+  // A chunk with >= 3 backward clusters is an immediate NO for FZF with
+  // a localized conflict (Lemma 4.3); LBT would exhaust its candidate
+  // epochs to learn the same thing and report nothing localized.
+  if (profile.max_backward_per_chunk >= 3) return Algorithm::fzf;
+  // With writes nearly serial (c <= 2) LBT's candidate search is
+  // O(n log n + c*n) with at most two candidates per epoch, cheaper
+  // than FZF's up-to-four viability walks per chunk. Higher write
+  // concurrency is where LBT degrades toward O(n^2), so FZF's
+  // worst-case O(n log n) takes over.
+  if (profile.max_concurrent_writes <= 2) return Algorithm::lbt;
+  return Algorithm::fzf;
 }
 
 namespace {
@@ -82,12 +97,17 @@ Verdict dispatch(const History& history, int k, Algorithm algorithm) {
       break;
   }
   // Auto selection mirrors the paper's landscape: polynomial deciders
-  // for k = 1 (Gibbons-Korach) and k = 2 (FZF, Theorem 4.6); for k >= 3
+  // for k = 1 (Gibbons-Korach) and k = 2 (LBT or FZF, both exact --
+  // chosen per history by the ZoneProfile policy above); for k >= 3
   // the exact oracle when feasible, else the sound greedy checker with
   // an honest UNDECIDED when it finds no witness (Section VII open
   // problem).
   if (k == 1) return check_1atomicity_gk(history);
-  if (k == 2) return check_2atomicity_fzf(history);
+  if (k == 2) {
+    return select_2av_algorithm(zone_profile(history)) == Algorithm::lbt
+               ? check_2atomicity_lbt(history)
+               : check_2atomicity_fzf(history);
+  }
   if (history.size() <= 64) {
     const Verdict v = from_oracle(oracle_is_k_atomic(history, k));
     if (v.outcome != Outcome::undecided) return v;
@@ -135,6 +155,20 @@ std::size_t KeyedReport::count(Outcome outcome) const {
     if (verdict.outcome == outcome) ++n;
   }
   return n;
+}
+
+VerifyStats KeyedReport::total_stats() const {
+  VerifyStats total;
+  for (const auto& [key, verdict] : per_key) {
+    total.epochs += verdict.stats.epochs;
+    total.candidates_tried += verdict.stats.candidates_tried;
+    total.steps += verdict.stats.steps;
+    total.chunks += verdict.stats.chunks;
+    total.dangling += verdict.stats.dangling;
+    total.orders_tested += verdict.stats.orders_tested;
+    total.nodes += verdict.stats.nodes;
+  }
+  return total;
 }
 
 std::string KeyedReport::summary() const {

@@ -17,8 +17,12 @@
 
 namespace kav {
 
+struct ZoneProfile;      // core/analysis.h
+struct PipelineOptions;  // pipeline/sharded_verifier.h
+
 enum class Algorithm : unsigned char {
-  auto_select,  // GK for k=1, FZF for k=2, oracle/greedy for k>=3
+  auto_select,  // GK for k=1, LBT/FZF by ZoneProfile for k=2,
+                // oracle/greedy for k>=3
   gk,           // k = 1 only
   lbt,          // k = 2 only (iterative deepening)
   lbt_naive,    // k = 2 only (no iterative deepening; ablation)
@@ -28,6 +32,15 @@ enum class Algorithm : unsigned char {
 };
 
 const char* to_string(Algorithm algorithm);
+
+// The k = 2 policy behind Algorithm::auto_select: picks LBT when the
+// profile predicts its O(n log n + c*n) bound beats FZF's constants
+// (writes nearly serial, no chunk already doomed by Lemma 4.3), else
+// FZF. Returns Algorithm::lbt or Algorithm::fzf only. Both deciders
+// are exact for k = 2, so the choice never changes a verdict (property-
+// tested by tests/agreement_fuzz_test.cpp); it is a pure function of
+// the profile, so serial and sharded verification dispatch identically.
+Algorithm select_2av_algorithm(const ZoneProfile& profile);
 
 struct VerifyOptions {
   int k = 2;
@@ -50,10 +63,23 @@ struct KeyedReport {
   bool all_yes() const;
   std::size_t count(Outcome outcome) const;
   std::string summary() const;  // e.g. "7/8 keys 2-atomic, 1 NO"
+  // Work counters summed over all keys -- the aggregate effort of the
+  // whole trace, comparable between serial and sharded runs.
+  VerifyStats total_stats() const;
 };
 
 KeyedReport verify_keyed_trace(const KeyedTrace& trace,
                                const VerifyOptions& options = {});
+
+// Parallel variant: shards the trace by key and verifies shards on a
+// work-stealing thread pool. With fail_fast off and no shard_op_budget
+// the report is bit-identical to the serial overload above for any
+// thread count; those two options trade detail for speed (skipped
+// shards answer UNDECIDED). Defined in pipeline/sharded_verifier.cpp;
+// include pipeline/sharded_verifier.h for PipelineOptions.
+KeyedReport verify_keyed_trace(const KeyedTrace& trace,
+                               const VerifyOptions& options,
+                               const PipelineOptions& pipeline_options);
 
 }  // namespace kav
 

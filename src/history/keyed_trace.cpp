@@ -2,6 +2,27 @@
 
 namespace kav {
 
+std::vector<std::string> KeyedHistories::keys() const {
+  std::vector<std::string> out;
+  out.reserve(per_key.size());
+  for (const auto& [key, history] : per_key) out.push_back(key);
+  return out;
+}
+
+std::size_t KeyedHistories::total_ops() const {
+  std::size_t n = 0;
+  for (const auto& [key, history] : per_key) n += history.size();
+  return n;
+}
+
+std::size_t KeyedHistories::max_shard_ops() const {
+  std::size_t n = 0;
+  for (const auto& [key, history] : per_key) {
+    if (history.size() > n) n = history.size();
+  }
+  return n;
+}
+
 KeyedHistories split_by_key(const KeyedTrace& trace) {
   std::map<std::string, std::vector<Operation>> grouped;
   std::map<std::string, std::vector<std::size_t>> indexes;

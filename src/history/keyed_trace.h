@@ -38,6 +38,14 @@ struct KeyedHistories {
   std::map<std::string, History> per_key;
   // original trace position of each per-key op: trace_index[key][op id]
   std::map<std::string, std::vector<std::size_t>> trace_index;
+
+  // Keys in map (lexicographic) order -- the shard enumeration order
+  // the verification pipeline dispatches and merges in.
+  std::vector<std::string> keys() const;
+  // Total operations across all shards and the largest single shard;
+  // what PipelineOptions::shard_op_budget is measured against.
+  std::size_t total_ops() const;
+  std::size_t max_shard_ops() const;
 };
 
 KeyedHistories split_by_key(const KeyedTrace& trace);

@@ -1,0 +1,83 @@
+#include "pipeline/sharded_verifier.h"
+
+#include <atomic>
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace kav {
+
+ShardedVerifier::ShardedVerifier(VerifyOptions verify_options,
+                                 PipelineOptions pipeline_options)
+    : verify_options_(verify_options),
+      pipeline_options_(pipeline_options),
+      pool_(std::make_unique<pipeline::ThreadPool>(pipeline_options.threads)) {}
+
+KeyedReport ShardedVerifier::verify(const KeyedTrace& trace) {
+  return verify(split_by_key(trace));
+}
+
+KeyedReport ShardedVerifier::verify(const KeyedHistories& shards) {
+  return verify(shards, verify_options_);
+}
+
+KeyedReport ShardedVerifier::verify(const KeyedHistories& shards,
+                                    const VerifyOptions& verify_options) {
+  // One cancellation flag per call: fail-fast on one trace must not
+  // poison a later verify() on the same (reused) pool.
+  auto cancelled = std::make_shared<std::atomic<bool>>(false);
+  const bool fail_fast = pipeline_options_.fail_fast;
+  const std::size_t budget = pipeline_options_.shard_op_budget;
+  const VerifyOptions options = verify_options;
+
+  std::vector<std::future<Verdict>> futures;
+  futures.reserve(shards.per_key.size());
+  for (const auto& [key, history] : shards.per_key) {
+    const History* shard = &history;
+    futures.push_back(pool_->submit([shard, options, budget, fail_fast,
+                                     cancelled]() -> Verdict {
+      if (budget > 0 && shard->size() > budget) {
+        return Verdict::make_undecided(
+            "shard exceeds per-shard op budget (" +
+            std::to_string(shard->size()) + " ops > " +
+            std::to_string(budget) + ")");
+      }
+      if (fail_fast && cancelled->load(std::memory_order_acquire)) {
+        return Verdict::make_undecided(
+            "skipped: fail-fast cancellation after another shard answered "
+            "NO");
+      }
+      Verdict verdict = verify_k_atomicity(*shard, options);
+      if (fail_fast && verdict.no()) {
+        cancelled->store(true, std::memory_order_release);
+      }
+      return verdict;
+    }));
+  }
+
+  // Wait for every shard before any get() can rethrow: queued tasks
+  // hold pointers into `shards`, which the caller may destroy during
+  // unwinding while the reused pool lives on -- no task may outlive
+  // this function.
+  for (const auto& future : futures) future.wait();
+
+  // Merge in key order (shards.per_key is a sorted map and futures were
+  // submitted in that order), so the report layout never depends on
+  // which worker finished first.
+  KeyedReport report;
+  std::size_t i = 0;
+  for (const auto& [key, history] : shards.per_key) {
+    report.per_key.emplace(key, futures[i++].get());
+  }
+  return report;
+}
+
+KeyedReport verify_keyed_trace(const KeyedTrace& trace,
+                               const VerifyOptions& options,
+                               const PipelineOptions& pipeline_options) {
+  ShardedVerifier verifier(options, pipeline_options);
+  return verifier.verify(trace);
+}
+
+}  // namespace kav

@@ -1,0 +1,79 @@
+// Parallel multi-register verification. k-atomicity is local (paper
+// Section II-B): a trace is k-atomic iff its projection onto each
+// register is, and the projections share no state, so per-key shards
+// are embarrassingly parallel. ShardedVerifier splits a KeyedTrace by
+// key, dispatches each per-key History to a work-stealing ThreadPool,
+// and merges the per-key Verdicts back into a KeyedReport in key order.
+//
+// Determinism guarantee: with fail_fast off, every shard's verdict is a
+// pure function of (shard history, VerifyOptions, shard_op_budget) --
+// including the ZoneProfile-based LBT/FZF choice under
+// Algorithm::auto_select, which looks only at the shard -- and the
+// merge orders by key, so the returned KeyedReport never depends on
+// thread count or scheduling; with shard_op_budget also unset it is
+// bit-identical to the serial verify_keyed_trace() (checked by
+// tests/pipeline_fuzz_test.cpp).
+//
+// Fail-fast mode trades that for latency: once any shard answers NO,
+// shards that have not started yet return UNDECIDED instead of running.
+// At least one NO always survives into the report; *which* other shards
+// still get verdicts depends on scheduling.
+//
+// Paper-section map and guarantees for every procedure: docs/ALGORITHMS.md.
+#ifndef KAV_PIPELINE_SHARDED_VERIFIER_H
+#define KAV_PIPELINE_SHARDED_VERIFIER_H
+
+#include <cstddef>
+#include <memory>
+
+#include "core/verify.h"
+#include "history/keyed_trace.h"
+#include "pipeline/thread_pool.h"
+
+namespace kav {
+
+struct PipelineOptions {
+  // Worker threads; 0 picks std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+  // Largest shard (per-key operation count) the pipeline will hand to a
+  // decider; bigger shards answer UNDECIDED with a budget reason rather
+  // than stalling a worker. 0 = unlimited. The cutoff depends only on
+  // the shard, so it does not break determinism.
+  std::size_t shard_op_budget = 0;
+  // Early-cancel: once one shard answers NO, not-yet-started shards are
+  // skipped (UNDECIDED). Useful when any violation fails the audit and
+  // per-key detail beyond the first NO is not needed.
+  bool fail_fast = false;
+};
+
+class ShardedVerifier {
+ public:
+  explicit ShardedVerifier(VerifyOptions verify_options = {},
+                           PipelineOptions pipeline_options = {});
+
+  // The pool is created once and reused across verify() calls, so a
+  // monitor can re-verify batches without respawning threads.
+  KeyedReport verify(const KeyedTrace& trace);
+  KeyedReport verify(const KeyedHistories& shards);
+  // Same, overriding the constructor's VerifyOptions for this call --
+  // e.g. auditing the same shards at several k on one pool.
+  KeyedReport verify(const KeyedHistories& shards,
+                     const VerifyOptions& options);
+
+  std::size_t thread_count() const { return pool_->thread_count(); }
+
+ private:
+  VerifyOptions verify_options_;
+  PipelineOptions pipeline_options_;
+  std::unique_ptr<pipeline::ThreadPool> pool_;
+};
+
+// The facade overload declared in core/verify.h; spins up a pipeline
+// for a single trace.
+KeyedReport verify_keyed_trace(const KeyedTrace& trace,
+                               const VerifyOptions& options,
+                               const PipelineOptions& pipeline_options);
+
+}  // namespace kav
+
+#endif  // KAV_PIPELINE_SHARDED_VERIFIER_H

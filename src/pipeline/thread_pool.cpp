@@ -1,0 +1,102 @@
+#include "pipeline/thread_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace kav::pipeline {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  queues_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { run_worker(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> state_lock(state_mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::submit after shutdown");
+    }
+    const std::size_t target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    {
+      // Nested state -> queue locking is the one ordering used anywhere
+      // (workers never take state_mutex_ while holding a queue mutex).
+      // Pushing before ++pending_ means a woken worker always finds the
+      // task; incrementing first would let idle workers spin through
+      // empty queues until the push lands.
+      std::lock_guard<std::mutex> queue_lock(queues_[target]->mutex);
+      queues_[target]->tasks.push_back(std::move(task));
+    }
+    ++pending_;
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::try_run_one(std::size_t self) {
+  std::function<void()> task;
+  {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.front());
+      own.tasks.pop_front();
+    }
+  }
+  if (!task) {
+    // Steal from the back of the other queues (the end their owners
+    // will reach last), scanning from the next worker over so victims
+    // are spread instead of piling onto worker 0.
+    for (std::size_t hop = 1; hop < queues_.size() && !task; ++hop) {
+      WorkerQueue& victim = *queues_[(self + hop) % queues_.size()];
+      std::lock_guard<std::mutex> lock(victim.mutex);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.back());
+        victim.tasks.pop_back();
+      }
+    }
+  }
+  if (!task) return false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    --pending_;
+  }
+  task();  // packaged_task: exceptions are captured into the future
+  return true;
+}
+
+void ThreadPool::run_worker(std::size_t self) {
+  for (;;) {
+    if (try_run_one(self)) continue;
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    wake_.wait(lock, [this] { return stopping_ || pending_ > 0; });
+    if (stopping_ && pending_ == 0) return;
+  }
+}
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (stopping_) {
+      // Idempotent: the first call already joined the workers.
+      return;
+    }
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+}  // namespace kav::pipeline

@@ -1,0 +1,93 @@
+// A small work-stealing thread pool for per-shard verification tasks.
+//
+// Each worker owns a deque; submissions are distributed round-robin
+// across the deques. A worker drains its own deque front-first (FIFO:
+// all tasks here are external submissions, so this keeps execution
+// close to submission order -- which is what makes fail-fast skips
+// land on the *later* shards) and, when idle, steals from the back of
+// the other deques, so uneven shard sizes (one hot key, many cold
+// ones) keep every thread busy while owner and thief contend on
+// opposite ends.
+//
+// The pool makes two guarantees the verification pipeline leans on:
+//
+//   1. every task submitted before shutdown() runs to completion
+//      (shutdown drains, it does not abort), and
+//   2. a task's exception is captured and rethrown from the future
+//      submit() returned, never swallowed or left to terminate().
+//
+// Cancellation is cooperative and lives in the caller (see
+// pipeline/sharded_verifier.cpp's fail-fast flag): tasks that want to
+// be cancellable check shared state and return cheaply.
+#ifndef KAV_PIPELINE_THREAD_POOL_H
+#define KAV_PIPELINE_THREAD_POOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace kav::pipeline {
+
+class ThreadPool {
+ public:
+  // threads == 0 picks std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();  // shutdown()
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  // Schedules fn and returns a future for its result; an exception
+  // thrown by fn surfaces from future.get(). Throws std::runtime_error
+  // if the pool has been shut down.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using Result = std::invoke_result_t<std::decay_t<F>>;
+    // packaged_task is move-only but std::function requires copyable
+    // targets, so the task rides in a shared_ptr.
+    auto task =
+        std::make_shared<std::packaged_task<Result()>>(std::forward<F>(fn));
+    std::future<Result> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  // Runs every already-submitted task to completion, then joins the
+  // workers. Idempotent; later submit() calls throw.
+  void shutdown();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void enqueue(std::function<void()> task);
+  void run_worker(std::size_t self);
+  // Pops own front, else steals another queue's back. Claims one unit
+  // of pending_ on success.
+  bool try_run_one(std::size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex state_mutex_;  // guards the three fields below
+  std::condition_variable wake_;
+  std::size_t next_queue_ = 0;  // round-robin submission cursor
+  std::size_t pending_ = 0;     // queued tasks not yet claimed
+  bool stopping_ = false;
+};
+
+}  // namespace kav::pipeline
+
+#endif  // KAV_PIPELINE_THREAD_POOL_H

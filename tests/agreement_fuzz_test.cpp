@@ -8,8 +8,10 @@
 
 #include <string>
 
+#include "core/analysis.h"
 #include "core/fzf.h"
 #include "core/lbt.h"
+#include "core/verify.h"
 #include "core/witness.h"
 #include "gen/generators.h"
 #include "gen/mutators.h"
@@ -101,6 +103,37 @@ TEST_P(AgreementFuzz, StalenessInjectionNeverRaisesVerdict) {
     const History m = normalize(*mutated);
     EXPECT_EQ(check_2atomicity_lbt(m).yes(), check_2atomicity_fzf(m).yes())
         << "trial " << t;
+  }
+}
+
+TEST_P(AgreementFuzz, ZoneProfileAutoDispatchNeverChangesVerdicts) {
+  // The facade's auto_select at k = 2 routes each history to LBT or
+  // FZF by its ZoneProfile. Both are exact, so whichever decider the
+  // policy picks, the verdict must agree with *both* -- the dispatch
+  // is a performance choice, never a semantic one.
+  // (That the policy actually exercises both branches is pinned by the
+  // deterministic AutoDispatchPolicy tests in tests/pipeline_test.cpp;
+  // here the property is agreement on whatever it picks.)
+  Rng rng(GetParam().seed + 3);
+  for (int t = 0; t < kTrials; ++t) {
+    const History h = next_history(rng);
+    const Algorithm chosen = select_2av_algorithm(zone_profile(h));
+    ASSERT_TRUE(chosen == Algorithm::lbt || chosen == Algorithm::fzf)
+        << to_string(chosen);
+    VerifyOptions options;
+    options.k = 2;  // Algorithm::auto_select
+    const Verdict dispatched = verify_k_atomicity(h, options);
+    const Verdict lbt = check_2atomicity_lbt(h);
+    const Verdict fzf = check_2atomicity_fzf(h);
+    ASSERT_TRUE(dispatched.decided()) << dispatched.reason;
+    ASSERT_EQ(dispatched.yes(), lbt.yes())
+        << "trial " << t << ", dispatched to " << to_string(chosen);
+    ASSERT_EQ(dispatched.yes(), fzf.yes())
+        << "trial " << t << ", dispatched to " << to_string(chosen);
+    if (dispatched.yes()) {
+      const WitnessCheck check = validate_witness(h, dispatched.witness, 2);
+      ASSERT_TRUE(check.ok()) << check.detail;
+    }
   }
 }
 

@@ -1,0 +1,327 @@
+// Tests for the parallel sharded verification pipeline: the thread
+// pool's contract (drain-on-shutdown, exception propagation, rejection
+// after shutdown), determinism of the sharded verifier across thread
+// counts (the report must be bit-identical to the serial facade),
+// fail-fast cancellation, per-shard budgets, and stats aggregation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/verify.h"
+#include "gen/generators.h"
+#include "history/keyed_trace.h"
+#include "pipeline/sharded_verifier.h"
+#include "pipeline/thread_pool.h"
+#include "util/rng.h"
+
+namespace kav {
+namespace {
+
+// --- ThreadPool ---------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTaskAndReturnsResults) {
+  pipeline::ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  std::atomic<int> ran{0};
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i, &ran] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      return i * i;
+    }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsDefaultsToAtLeastOne) {
+  pipeline::ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  pipeline::ThreadPool pool(2);
+  auto bad = pool.submit([]() -> int {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool must survive a throwing task: later work still runs.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  pipeline::ThreadPool pool(2);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+  pool.shutdown();  // idempotent
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    pipeline::ThreadPool pool(1);
+    for (int i = 0; i < 32; ++i) {
+      // Discard the futures: completion must be guaranteed by shutdown
+      // (the destructor), not by anyone waiting.
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, TasksMaySubmitMoreTasks) {
+  pipeline::ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  auto outer = pool.submit([&] {
+    std::vector<std::future<void>> inner;
+    for (int i = 0; i < 8; ++i) {
+      inner.push_back(pool.submit(
+          [&ran] { ran.fetch_add(1, std::memory_order_relaxed); }));
+    }
+    for (auto& f : inner) f.get();
+  });
+  outer.get();
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, UnevenLoadCompletesEverywhere) {
+  // One queue gets all the heavy tasks (round-robin spreads them, but
+  // the load is skewed by cost); stealing must still finish them all.
+  pipeline::ThreadPool pool(4);
+  std::atomic<long> total{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    const long spin = (i % 4 == 0) ? 200000 : 100;
+    futures.push_back(pool.submit([spin, &total] {
+      long acc = 0;
+      for (long j = 0; j < spin; ++j) acc += j;
+      total.fetch_add(acc == -1 ? 0 : 1, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(total.load(), 64);
+}
+
+// --- ShardedVerifier ----------------------------------------------------
+
+KeyedTrace multi_key_trace(int keys, int ops_per_key, std::uint64_t seed) {
+  Rng rng(seed);
+  KeyedTrace trace;
+  for (int k = 0; k < keys; ++k) {
+    gen::RandomMixConfig config;
+    config.operations = ops_per_key;
+    const History h = gen::generate_random_mix(config, rng);
+    const std::string key = "key" + std::to_string(k);
+    for (const Operation& op : h.operations()) trace.add(key, op);
+  }
+  return trace;
+}
+
+void expect_reports_identical(const KeyedReport& a, const KeyedReport& b) {
+  ASSERT_EQ(a.per_key.size(), b.per_key.size());
+  auto ita = a.per_key.begin();
+  auto itb = b.per_key.begin();
+  for (; ita != a.per_key.end(); ++ita, ++itb) {
+    SCOPED_TRACE("key " + ita->first);
+    ASSERT_EQ(ita->first, itb->first);
+    EXPECT_EQ(ita->second.outcome, itb->second.outcome);
+    EXPECT_EQ(ita->second.witness, itb->second.witness);
+    EXPECT_EQ(ita->second.reason, itb->second.reason);
+    EXPECT_EQ(ita->second.conflict, itb->second.conflict);
+    EXPECT_TRUE(ita->second.stats == itb->second.stats);
+  }
+}
+
+TEST(ShardedVerifier, IdenticalToSerialAcrossThreadCounts) {
+  const KeyedTrace trace = multi_key_trace(12, 24, 91);
+  VerifyOptions options;
+  options.k = 2;
+  const KeyedReport serial = verify_keyed_trace(trace, options);
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    PipelineOptions pipeline;
+    pipeline.threads = threads;
+    expect_reports_identical(serial,
+                             verify_keyed_trace(trace, options, pipeline));
+  }
+}
+
+TEST(ShardedVerifier, EmptyTrace) {
+  ShardedVerifier verifier;
+  const KeyedReport report = verifier.verify(KeyedTrace{});
+  EXPECT_TRUE(report.per_key.empty());
+  EXPECT_TRUE(report.all_yes());  // vacuously
+  EXPECT_TRUE(report.total_stats() == VerifyStats{});
+}
+
+TEST(ShardedVerifier, SingleKeyMatchesSingleRegisterFacade) {
+  KeyedTrace trace;
+  trace.add("solo", make_write(0, 10, 1));
+  trace.add("solo", make_write(20, 30, 2));
+  trace.add("solo", make_read(40, 50, 1));
+  VerifyOptions options;
+  options.k = 2;
+  PipelineOptions pipeline;
+  pipeline.threads = 2;
+  const KeyedReport report = verify_keyed_trace(trace, options, pipeline);
+  ASSERT_EQ(report.per_key.size(), 1u);
+  const Verdict direct =
+      verify_k_atomicity(split_by_key(trace).per_key.at("solo"), options);
+  EXPECT_EQ(report.per_key.at("solo").outcome, direct.outcome);
+  EXPECT_EQ(report.per_key.at("solo").witness, direct.witness);
+}
+
+TEST(ShardedVerifier, TotalStatsAggregatesPerKeyCounters) {
+  const KeyedTrace trace = multi_key_trace(6, 20, 17);
+  PipelineOptions pipeline;
+  pipeline.threads = 4;
+  ShardedVerifier verifier({}, pipeline);
+  const KeyedReport report = verifier.verify(trace);
+  VerifyStats manual;
+  for (const auto& [key, verdict] : report.per_key) {
+    manual.epochs += verdict.stats.epochs;
+    manual.candidates_tried += verdict.stats.candidates_tried;
+    manual.steps += verdict.stats.steps;
+    manual.chunks += verdict.stats.chunks;
+    manual.dangling += verdict.stats.dangling;
+    manual.orders_tested += verdict.stats.orders_tested;
+    manual.nodes += verdict.stats.nodes;
+  }
+  EXPECT_TRUE(report.total_stats() == manual);
+  // The aggregate effort must also match the serial path's.
+  EXPECT_TRUE(report.total_stats() ==
+              verify_keyed_trace(trace).total_stats());
+}
+
+KeyedTrace one_bad_key_trace(int good_keys) {
+  KeyedTrace trace;
+  // Key "a" sorts first: forced separation 2 means minimal k = 3, so
+  // it answers NO at k = 2.
+  const History bad = gen::generate_forced_separation(2);
+  for (const Operation& op : bad.operations()) trace.add("a", op);
+  for (int i = 0; i < good_keys; ++i) {
+    const std::string key = "b" + std::to_string(i);
+    trace.add(key, make_write(0, 10, 1));
+    trace.add(key, make_read(12, 20, 1));
+  }
+  return trace;
+}
+
+TEST(ShardedVerifier, FailFastSkipsShardsAfterNo) {
+  const KeyedTrace trace = one_bad_key_trace(6);
+  VerifyOptions options;
+  options.k = 2;
+  PipelineOptions pipeline;
+  // One worker executes shards strictly in submission (key) order, so
+  // the NO on "a" lands before any "b*" shard starts: the skip set is
+  // deterministic here.
+  pipeline.threads = 1;
+  pipeline.fail_fast = true;
+  const KeyedReport report = verify_keyed_trace(trace, options, pipeline);
+  EXPECT_TRUE(report.per_key.at("a").no());
+  EXPECT_EQ(report.count(Outcome::no), 1u);
+  EXPECT_EQ(report.count(Outcome::undecided), 6u);
+  for (const auto& [key, verdict] : report.per_key) {
+    if (key == "a") continue;
+    EXPECT_EQ(verdict.outcome, Outcome::undecided);
+    EXPECT_NE(verdict.reason.find("fail-fast"), std::string::npos);
+  }
+}
+
+TEST(ShardedVerifier, FailFastOffDecidesEveryShard) {
+  const KeyedTrace trace = one_bad_key_trace(6);
+  VerifyOptions options;
+  options.k = 2;
+  PipelineOptions pipeline;
+  pipeline.threads = 4;
+  const KeyedReport report = verify_keyed_trace(trace, options, pipeline);
+  EXPECT_EQ(report.count(Outcome::no), 1u);
+  EXPECT_EQ(report.count(Outcome::yes), 6u);
+  EXPECT_EQ(report.count(Outcome::undecided), 0u);
+}
+
+TEST(ShardedVerifier, FailFastDoesNotPoisonLaterCalls) {
+  VerifyOptions options;
+  options.k = 2;
+  PipelineOptions pipeline;
+  pipeline.threads = 1;
+  pipeline.fail_fast = true;
+  ShardedVerifier verifier(options, pipeline);
+  const KeyedReport first = verifier.verify(one_bad_key_trace(3));
+  EXPECT_EQ(first.count(Outcome::undecided), 3u);
+  // A clean trace on the same verifier must verify fully: the
+  // cancellation flag is per call, and the pool is reused.
+  const KeyedReport second = verifier.verify(multi_key_trace(4, 10, 5));
+  EXPECT_EQ(second.count(Outcome::undecided), 0u);
+}
+
+TEST(ShardedVerifier, PerCallOptionsReuseOnePool) {
+  const KeyedTrace trace = multi_key_trace(5, 16, 33);
+  const KeyedHistories shards = split_by_key(trace);
+  PipelineOptions pipeline;
+  pipeline.threads = 2;
+  ShardedVerifier verifier({}, pipeline);  // constructed with k = 2
+  VerifyOptions options;
+  options.k = 1;
+  expect_reports_identical(verify_keyed_trace(trace, options),
+                           verifier.verify(shards, options));
+  options.k = 2;
+  expect_reports_identical(verify_keyed_trace(trace, options),
+                           verifier.verify(shards, options));
+}
+
+TEST(ShardedVerifier, ShardOpBudgetSkipsOversizedShards) {
+  KeyedTrace trace;
+  trace.add("small", make_write(0, 10, 1));
+  trace.add("small", make_read(12, 20, 1));
+  for (int i = 0; i < 5; ++i) {
+    trace.add("large", make_write(i * 100, i * 100 + 10, i + 1));
+  }
+  PipelineOptions pipeline;
+  pipeline.threads = 2;
+  pipeline.shard_op_budget = 3;
+  const KeyedReport report = verify_keyed_trace(trace, {}, pipeline);
+  EXPECT_TRUE(report.per_key.at("small").yes());
+  EXPECT_EQ(report.per_key.at("large").outcome, Outcome::undecided);
+  EXPECT_NE(report.per_key.at("large").reason.find("budget"),
+            std::string::npos);
+}
+
+TEST(AutoDispatchPolicy, ExercisesBothDeciders) {
+  // The ZoneProfile policy must be a real policy, not a constant: low
+  // write concurrency routes to LBT, high concurrency and doomed
+  // chunks (>= 3 backward clusters, Lemma 4.3) route to FZF. A
+  // regression to "always FZF" (the pre-pipeline behavior) or "always
+  // LBT" fails here deterministically.
+  ZoneProfile serial_writes;
+  serial_writes.max_concurrent_writes = 1;
+  EXPECT_EQ(select_2av_algorithm(serial_writes), Algorithm::lbt);
+
+  ZoneProfile concurrent_writes;
+  concurrent_writes.max_concurrent_writes = 5;
+  EXPECT_EQ(select_2av_algorithm(concurrent_writes), Algorithm::fzf);
+
+  ZoneProfile doomed_chunk;
+  doomed_chunk.max_concurrent_writes = 1;  // would pick LBT...
+  doomed_chunk.max_backward_per_chunk = 3;  // ...but FZF localizes the NO
+  EXPECT_EQ(select_2av_algorithm(doomed_chunk), Algorithm::fzf);
+}
+
+TEST(KeyedHistories, ShardHelpers) {
+  const KeyedTrace trace = one_bad_key_trace(2);
+  const KeyedHistories shards = split_by_key(trace);
+  EXPECT_EQ(shards.keys(), (std::vector<std::string>{"a", "b0", "b1"}));
+  EXPECT_EQ(shards.total_ops(), trace.size());
+  EXPECT_EQ(shards.max_shard_ops(), 4u);  // "a": 3 writes + 1 read
+}
+
+}  // namespace
+}  // namespace kav
