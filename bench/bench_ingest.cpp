@@ -1,0 +1,195 @@
+// Ingest-layer throughput: the cost of getting a million-operation
+// trace *into* the verifier, which bounds any production monitor long
+// before the decision procedures do. Compares the text parser
+// (history/serialization.h) against the binary .kavb reader
+// (ingest/binary_trace.h) on the same generated trace, measures both
+// writers, and streams the trace through the KeyedStreamingMonitor to
+// get end-to-end monitored ops/sec plus the peak window (the memory
+// bound the O(slack + horizon) argument promises).
+//
+// The workload defaults to 1,000,000 operations over 64 keys;
+// KAV_BENCH_OPS overrides it (bench/run_bench.sh --smoke sets a small
+// value for CI data points). Scratch files live under TMPDIR.
+//
+// Start or extend the trajectory file with
+//   ./bench_ingest --benchmark_out=BENCH_ingest.json
+//                  --benchmark_out_format=json
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "history/serialization.h"
+#include "ingest/binary_trace.h"
+#include "ingest/keyed_monitor.h"
+#include "util/rng.h"
+
+namespace kav {
+namespace {
+
+std::size_t bench_ops() {
+  if (const char* env = std::getenv("KAV_BENCH_OPS")) {
+    const long long parsed = std::atoll(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 1'000'000;
+}
+
+// A steady multi-key monitor workload: per key, a write followed by a
+// couple of reads of it, with short staleness gaps and bounded
+// concurrency -- so every format touches realistic key/value/client
+// variety and the monitor's chunks keep settling as time advances.
+KeyedTrace make_trace(std::size_t ops, int keys) {
+  Rng rng(2026);
+  KeyedTrace trace;
+  std::vector<TimePoint> clocks(static_cast<std::size_t>(keys), 0);
+  std::vector<Value> next_value(static_cast<std::size_t>(keys), 1);
+  int key = 0;
+  while (trace.size() < ops) {
+    auto k = static_cast<std::size_t>(key);
+    const Value value = next_value[k]++;
+    TimePoint t = clocks[k];
+    const TimePoint write_len = 2 + static_cast<TimePoint>(rng.bounded(6));
+    trace.add("key" + std::to_string(key),
+              make_write(t, t + write_len, value,
+                         static_cast<ClientId>(rng.bounded(16))));
+    const auto reads = 1 + rng.bounded(2);
+    for (std::uint64_t r = 0; r < reads && trace.size() < ops; ++r) {
+      const TimePoint rs = t + write_len + 1 + static_cast<TimePoint>(r) * 4;
+      trace.add("key" + std::to_string(key),
+                make_read(rs, rs + 3, value,
+                          static_cast<ClientId>(rng.bounded(16))));
+    }
+    clocks[k] = t + write_len + 12;
+    key = (key + 1) % keys;
+  }
+  return trace;
+}
+
+struct Fixture {
+  KeyedTrace trace;
+  std::string text_path;
+  std::string binary_path;
+
+  Fixture() {
+    trace = make_trace(bench_ops(), 64);
+    const std::string dir = std::filesystem::temp_directory_path().string();
+    text_path = dir + "/kav_bench_ingest.trace";
+    binary_path = dir + "/kav_bench_ingest.kavb";
+    write_trace_file(text_path, trace);
+    write_binary_trace_file(binary_path, trace);
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture instance;
+  return instance;
+}
+
+void ops_rate(benchmark::State& state, std::uint64_t ops_done) {
+  state.counters["trace_ops"] = static_cast<double>(fixture().trace.size());
+  state.counters["ops/s"] = benchmark::Counter(static_cast<double>(ops_done),
+                                               benchmark::Counter::kIsRate);
+}
+
+void text_read(benchmark::State& state) {
+  std::uint64_t ops_done = 0;
+  for (auto _ : state) {
+    const KeyedTrace trace = read_trace_file(fixture().text_path);
+    benchmark::DoNotOptimize(trace);
+    ops_done += trace.size();
+  }
+  ops_rate(state, ops_done);
+}
+BENCHMARK(text_read)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void binary_read(benchmark::State& state) {
+  std::uint64_t ops_done = 0;
+  for (auto _ : state) {
+    const KeyedTrace trace = read_binary_trace_file(fixture().binary_path);
+    benchmark::DoNotOptimize(trace);
+    ops_done += trace.size();
+  }
+  ops_rate(state, ops_done);
+}
+BENCHMARK(binary_read)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// The pure record-decode rate, without KeyedTrace materialization --
+// what a monitor tailing a .kavb log actually pays per record.
+void binary_stream_decode(benchmark::State& state) {
+  std::uint64_t ops_done = 0;
+  for (auto _ : state) {
+    std::ifstream in(fixture().binary_path, std::ios::binary);
+    BinaryTraceReader reader(in);
+    std::string_view key;
+    Operation op;
+    while (reader.next(key, op)) benchmark::DoNotOptimize(op);
+    ops_done += reader.records_read();
+  }
+  ops_rate(state, ops_done);
+}
+BENCHMARK(binary_stream_decode)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void text_write(benchmark::State& state) {
+  std::uint64_t ops_done = 0;
+  for (auto _ : state) {
+    std::ostringstream out;
+    write_trace(out, fixture().trace);
+    benchmark::DoNotOptimize(out);
+    ops_done += fixture().trace.size();
+  }
+  ops_rate(state, ops_done);
+}
+BENCHMARK(text_write)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void binary_write(benchmark::State& state) {
+  std::uint64_t ops_done = 0;
+  for (auto _ : state) {
+    std::ostringstream out;
+    write_binary_trace(out, fixture().trace);
+    benchmark::DoNotOptimize(out);
+    ops_done += fixture().trace.size();
+  }
+  ops_rate(state, ops_done);
+}
+BENCHMARK(binary_write)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// End-to-end online monitoring: every operation through the reorder
+// buffer, per-key queue, and streaming checker. peak_window is the
+// reported memory high-water mark -- it must stay O(slack + horizon),
+// not O(trace).
+void monitor_stream(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  MonitorOptions options;
+  options.streaming.staleness_horizon = 200;
+  options.reorder_slack = 64;
+  options.threads = threads;
+  std::uint64_t ops_done = 0;
+  double peak_window = 0;
+  for (auto _ : state) {
+    KeyedStreamingMonitor monitor(options);
+    for (const KeyedOperation& kop : fixture().trace.ops) {
+      monitor.ingest(kop);
+    }
+    const MonitorReport report = monitor.finish();
+    benchmark::DoNotOptimize(report);
+    ops_done += report.totals.operations_ingested;
+    peak_window =
+        std::max(peak_window, static_cast<double>(report.totals.peak_window));
+  }
+  ops_rate(state, ops_done);
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["peak_window"] = peak_window;
+}
+BENCHMARK(monitor_stream)->Arg(1)->Arg(4)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kav
+
+BENCHMARK_MAIN();

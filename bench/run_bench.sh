@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Perf trajectory data points: runs the ingest and pipeline benchmarks
+# and writes BENCH_ingest.json / BENCH_pipeline.json (Google Benchmark
+# JSON: ops/s, peak_window, keys/s counters) at the repo root so
+# successive PRs can compare numbers.
+#
+# Usage: bench/run_bench.sh [--smoke] [build-dir]   (default: build)
+#   --smoke: quick mode for CI -- a 200k-op workload and minimal
+#            per-benchmark time, enough for a data point and to catch
+#            crashes/regressions in the bench binaries themselves.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE=full
+if [[ "${1:-}" == "--smoke" ]]; then
+  MODE=smoke
+  shift
+fi
+BUILD_DIR="${1:-build}"
+
+for bench in bench_ingest bench_pipeline; do
+  if [[ ! -x "$BUILD_DIR/$bench" ]]; then
+    echo "run_bench.sh: $BUILD_DIR/$bench not built" \
+         "(Google Benchmark missing or KAV_BUILD_BENCH=OFF)" >&2
+    exit 1
+  fi
+done
+
+ARGS=(--benchmark_out_format=json)
+if [[ "$MODE" == smoke ]]; then
+  # System libbenchmark 1.7.x: min_time is a plain double (no 's').
+  ARGS+=(--benchmark_min_time=0.01)
+  export KAV_BENCH_OPS="${KAV_BENCH_OPS:-200000}"
+fi
+
+"$BUILD_DIR/bench_ingest"   "${ARGS[@]}" --benchmark_out=BENCH_ingest.json
+"$BUILD_DIR/bench_pipeline" "${ARGS[@]}" --benchmark_out=BENCH_pipeline.json
+
+echo
+echo "wrote BENCH_ingest.json and BENCH_pipeline.json ($MODE mode)"

@@ -12,3 +12,9 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 # fuzz and integration sweeps get a chance to burn minutes.
 ctest --test-dir "$BUILD_DIR" -L unit --output-on-failure -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR" -LE unit --output-on-failure -j "$(nproc)"
+
+# Perf smoke: quick bench data points (skipped when Google Benchmark
+# was absent and the bench binaries were not built).
+if [[ -x "$BUILD_DIR/bench_ingest" ]]; then
+  bench/run_bench.sh --smoke "$BUILD_DIR"
+fi

@@ -1,115 +1,156 @@
-// Online 2-atomicity monitoring of a live store -- Section VII's
-// proposed experiment as a deployable pattern. A sloppy-quorum store is
-// simulated; its per-key operation streams are fed to StreamingChecker
-// instances in completion order, with the watermark trailing the
-// stream. The monitor verifies and evicts settled chunks as it goes, so
-// memory stays bounded by the concurrency window rather than growing
-// with the trace.
+// Online keyed 2-atomicity monitoring of a trace file -- Section VII's
+// proposed experiment ("test whether existing storage systems provide
+// 2-atomicity in practice") as a deployable tool. Operations stream
+// through the ingest subsystem's KeyedStreamingMonitor in file order
+// (a completed-operation log): each key gets a ReorderBuffer that
+// absorbs bounded arrival disorder and a StreamingChecker that
+// verifies and evicts settled chunks, so memory stays O(slack +
+// horizon) per key rather than growing with the trace.
 //
-// Per-key streams are independent (Section II-B locality), so each
-// key's monitor runs as a task on the work-stealing pool; --threads
-// sizes the pool (0 = one per hardware thread).
+// Accepts both trace formats, deciding by magic bytes: the text format
+// (`# kav trace v1`, history/serialization.h) is replayed from memory;
+// the binary format (.kavb, ingest/binary_trace.h) streams record by
+// record without ever holding the whole trace.
 //
-//   $ ./streaming_monitor --ops=200 --replicas=5 --write-quorum=1
-//         --read-quorum=1 --first-responders=false --threads=4
-#include <algorithm>
+//   $ ./streaming_monitor --horizon=10000 --slack=1000 trace.kavb
+//   $ ./streaming_monitor --demo --ops=200 --replicas=5 --write-quorum=1
+//         --read-quorum=1 --save=demo.kavb
+//
+// Exit status: 0 when every key's stream is clean, 1 otherwise.
 #include <cstdio>
-#include <future>
-#include <map>
-#include <utility>
-#include <vector>
+#include <fstream>
+#include <string>
 
 #include "core/streaming.h"
-#include "pipeline/thread_pool.h"
+#include "history/serialization.h"
+#include "ingest/binary_trace.h"
+#include "ingest/keyed_monitor.h"
 #include "quorum/sim.h"
 #include "util/flags.h"
 
 using namespace kav;
 
+namespace {
+
+const char* kind_name(StreamingViolation::Kind kind) {
+  switch (kind) {
+    case StreamingViolation::Kind::not_2atomic:
+      return "not-2-atomic";
+    case StreamingViolation::Kind::horizon_exceeded:
+      return "horizon-exceeded";
+    case StreamingViolation::Kind::hard_anomaly:
+      return "hard-anomaly";
+    case StreamingViolation::Kind::late_arrival:
+      return "late-arrival";
+  }
+  return "unknown";
+}
+
+void save_trace(const std::string& path, const KeyedTrace& trace) {
+  const bool binary =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".kavb") == 0;
+  if (binary) {
+    write_binary_trace_file(path, trace);
+  } else {
+    write_trace_file(path, trace);
+  }
+  std::printf("saved %zu operations to %s (%s format)\n", trace.size(),
+              path.c_str(), binary ? "binary" : "text");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  quorum::QuorumConfig config;
-  config.replicas = static_cast<int>(flags.get_int("replicas", 3));
-  config.write_quorum = static_cast<int>(flags.get_int("write-quorum", 2));
-  config.read_quorum = static_cast<int>(flags.get_int("read-quorum", 2));
-  config.first_responders = flags.get_bool("first-responders", true);
-  config.clients = static_cast<int>(flags.get_int("clients", 4));
-  config.keys = static_cast<int>(flags.get_int("keys", 2));
-  config.ops_per_client = static_cast<int>(flags.get_int("ops", 200));
-  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
-  const TimePoint horizon = flags.get_int("horizon", 400);
-  const auto threads =
-      static_cast<std::size_t>(flags.get_int("threads", 0));
-  flags.check_unknown();
+  MonitorOptions options;
+  options.streaming.staleness_horizon = flags.get_int("horizon", 10'000);
+  options.reorder_slack = flags.get_int("slack", 1'000);
+  options.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  options.queue_capacity =
+      static_cast<std::size_t>(flags.get_int("queue", 1'024));
+  const bool demo = flags.get_bool("demo", false);
 
-  const quorum::SimResult sim = quorum::run_sloppy_quorum_sim(config);
-  std::printf("simulated %zu operations (N=%d W=%d R=%d, %s quorums)\n",
-              sim.trace.size(), config.replicas, config.write_quorum,
-              config.read_quorum,
-              config.first_responders ? "first-responder" : "fixed-subset");
+  KeyedStreamingMonitor monitor(options);
+  if (demo) {
+    quorum::QuorumConfig config;
+    config.replicas = static_cast<int>(flags.get_int("replicas", 3));
+    config.write_quorum = static_cast<int>(flags.get_int("write-quorum", 2));
+    config.read_quorum = static_cast<int>(flags.get_int("read-quorum", 2));
+    config.first_responders = flags.get_bool("first-responders", true);
+    config.clients = static_cast<int>(flags.get_int("clients", 4));
+    config.keys = static_cast<int>(flags.get_int("keys", 2));
+    config.ops_per_client = static_cast<int>(flags.get_int("ops", 200));
+    config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+    const std::string save_path = flags.get_string("save", "");
+    flags.check_unknown();
+    if (!flags.positional().empty()) {
+      std::fprintf(stderr,
+                   "streaming_monitor: --demo does not take a trace file "
+                   "(got '%s'); drop --demo to monitor a file\n",
+                   flags.positional().front().c_str());
+      return 2;
+    }
 
-  // Feed each key's stream in start order, watermarking as we go --
-  // exactly what a monitor tailing a per-key commit log would do. The
-  // streams are independent (locality), so each one is a pool task.
-  StreamingOptions options;
-  options.staleness_horizon = horizon;
-  std::map<std::string, std::vector<Operation>> streams;
-  for (const KeyedOperation& kop : sim.trace.ops) {
-    streams[kop.key].push_back(kop.op);
-  }
-  struct MonitorResult {
-    Verdict verdict;
-    StreamingStats stats;
-    std::vector<StreamingViolation> violations;
-  };
-  pipeline::ThreadPool pool(threads);
-  std::map<std::string, std::future<MonitorResult>> pending;
-  for (auto& [key, ops] : streams) {
-    std::vector<Operation>* stream = &ops;
-    pending.emplace(key, pool.submit([stream, options] {
-      std::sort(stream->begin(), stream->end(),
-                [](const Operation& a, const Operation& b) {
-                  return a.start < b.start;
-                });
-      StreamingChecker monitor(options);
-      for (const Operation& op : *stream) {
-        monitor.add(op);
-        monitor.advance_watermark(op.start);
-        if (!monitor.clean_so_far()) break;  // first finding is enough
-      }
-      MonitorResult result;
-      result.verdict = monitor.finish();
-      result.stats = monitor.stats();
-      result.violations = monitor.violations();
-      return result;
-    }));
-  }
-  std::printf("monitoring %zu key stream(s) on %zu thread(s)\n",
-              pending.size(), pool.thread_count());
-
-  int violations_total = 0;
-  for (auto& [key, future] : pending) {
-    const MonitorResult result = future.get();
-    const Verdict& verdict = result.verdict;
-    const StreamingStats& stats = result.stats;
-    std::printf(
-        "key %-6s %-3s  ingested=%llu evicted=%llu chunks=%llu "
-        "peak-window=%zu\n",
-        key.c_str(), verdict.yes() ? "ok" : "NO",
-        static_cast<unsigned long long>(stats.operations_ingested),
-        static_cast<unsigned long long>(stats.operations_evicted),
-        static_cast<unsigned long long>(stats.chunks_verified),
-        stats.peak_window);
-    for (const StreamingViolation& violation : result.violations) {
-      std::printf("    at watermark %lld: %s\n",
-                  static_cast<long long>(violation.when),
-                  violation.detail.c_str());
-      ++violations_total;
+    const quorum::SimResult sim = quorum::run_sloppy_quorum_sim(config);
+    std::printf("simulated %zu operations (N=%d W=%d R=%d, %s quorums)\n",
+                sim.trace.size(), config.replicas, config.write_quorum,
+                config.read_quorum,
+                config.first_responders ? "first-responder" : "fixed-subset");
+    if (!save_path.empty()) save_trace(save_path, sim.trace);
+    for (const KeyedOperation& kop : sim.trace.ops) monitor.ingest(kop);
+  } else {
+    flags.check_unknown();
+    if (flags.positional().size() != 1) {
+      std::fprintf(stderr,
+                   "usage: streaming_monitor [--horizon=N] [--slack=N] "
+                   "[--threads=N] [--queue=N] <trace-file>\n"
+                   "       streaming_monitor --demo [sim flags] "
+                   "[--save=path[.kavb]]\n");
+      return 2;
+    }
+    const std::string& path = flags.positional().front();
+    if (is_binary_trace_file(path)) {
+      // True streaming: one record in flight, never the whole trace.
+      std::ifstream in(path, std::ios::binary);
+      BinaryTraceReader reader(in);
+      std::string_view key;
+      Operation op;
+      while (reader.next(key, op)) monitor.ingest(std::string(key), op);
+      std::printf("streamed %llu binary records (%zu keys) from %s\n",
+                  static_cast<unsigned long long>(reader.records_read()),
+                  reader.key_count(), path.c_str());
+    } else {
+      const KeyedTrace trace = read_trace_file(path);
+      std::printf("replaying %zu text-format operations from %s\n",
+                  trace.size(), path.c_str());
+      for (const KeyedOperation& kop : trace.ops) monitor.ingest(kop);
     }
   }
-  std::printf(violations_total == 0
-                  ? "\nstream clean: every settled chunk was 2-atomic.\n"
-                  : "\n%d violation(s) found while streaming.\n",
-              violations_total);
-  return violations_total == 0 ? 0 : 1;
+
+  const MonitorReport report = monitor.finish();
+  for (const auto& [key, result] : report.per_key) {
+    std::printf(
+        "key %-8s %-3s ingested=%llu evicted=%llu chunks=%llu "
+        "peak-window=%zu\n",
+        key.c_str(), result.violations.empty() ? "ok" : "NO",
+        static_cast<unsigned long long>(result.stats.operations_ingested),
+        static_cast<unsigned long long>(result.stats.operations_evicted),
+        static_cast<unsigned long long>(result.stats.chunks_verified),
+        result.stats.peak_window);
+    for (const StreamingViolation& violation : result.violations) {
+      std::printf("    [%s] at watermark %lld: %s\n",
+                  kind_name(violation.kind),
+                  static_cast<long long>(violation.when),
+                  violation.detail.c_str());
+    }
+  }
+  const MonitorStats& totals = report.totals;
+  std::printf(
+      "%s | %llu ops in %.3fs (%.0f ops/s) on %zu thread(s), "
+      "peak window %zu, watermark lag %lld\n",
+      report.summary().c_str(),
+      static_cast<unsigned long long>(totals.operations_ingested),
+      totals.elapsed_seconds, totals.ops_per_second, monitor.thread_count(),
+      totals.peak_window, static_cast<long long>(totals.max_watermark_lag));
+  return report.all_clean() ? 0 : 1;
 }

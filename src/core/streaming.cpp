@@ -61,6 +61,16 @@ Verdict StreamingChecker::finish() {
                           violations_.front().detail);
 }
 
+void StreamingChecker::reset() {
+  window_.clear();
+  evicted_write_values_.clear();
+  violations_.clear();
+  stats_ = StreamingStats{};
+  watermark_ = kTimeMin;
+  min_window_finish_ = kTimeMax;
+  finished_ = false;
+}
+
 void StreamingChecker::flush_settled(TimePoint settled_before) {
   ++stats_.flushes;
   if (window_.empty()) return;

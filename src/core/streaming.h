@@ -55,6 +55,9 @@ struct StreamingViolation {
     not_2atomic,        // a settled chunk failed Stage 2
     horizon_exceeded,   // read of an already-evicted write
     hard_anomaly,       // e.g. read without dictating write at flush
+    late_arrival,       // ingest: arrival beyond the reorder slack
+                        // (reported by ingest/keyed_monitor.h, never by
+                        // StreamingChecker itself)
   };
   Kind kind;
   TimePoint when;      // watermark at detection time
@@ -80,7 +83,13 @@ class StreamingChecker {
   // the overall verdict: YES iff no violation was ever detected.
   Verdict finish();
 
+  // Reuse hook: returns the checker to its freshly-constructed state
+  // (same options), so long-lived monitors can recycle instances
+  // instead of reallocating one per stream.
+  void reset();
+
   bool clean_so_far() const { return violations_.empty(); }
+  TimePoint watermark() const { return watermark_; }
   const std::vector<StreamingViolation>& violations() const {
     return violations_;
   }

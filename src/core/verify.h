@@ -19,6 +19,8 @@ namespace kav {
 
 struct ZoneProfile;      // core/analysis.h
 struct PipelineOptions;  // pipeline/sharded_verifier.h
+struct MonitorOptions;   // ingest/keyed_monitor.h
+struct MonitorReport;    // ingest/keyed_monitor.h
 
 enum class Algorithm : unsigned char {
   auto_select,  // GK for k=1, LBT/FZF by ZoneProfile for k=2,
@@ -80,6 +82,16 @@ KeyedReport verify_keyed_trace(const KeyedTrace& trace,
 KeyedReport verify_keyed_trace(const KeyedTrace& trace,
                                const VerifyOptions& options,
                                const PipelineOptions& pipeline_options);
+
+// Online variant: replays the trace in its arrival order through the
+// ingest subsystem's KeyedStreamingMonitor (per-key StreamingChecker
+// shards behind reorder buffers on the thread pool), returning per-key
+// streaming verdicts and aggregate throughput/window statistics
+// instead of batch verdicts. Memory stays O(slack + horizon) per key
+// rather than O(trace). Defined in ingest/keyed_monitor.cpp; include
+// ingest/keyed_monitor.h for the option and report types.
+MonitorReport monitor_trace(const KeyedTrace& trace,
+                            const MonitorOptions& options);
 
 }  // namespace kav
 

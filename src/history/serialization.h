@@ -3,14 +3,18 @@
 //   # kav trace v1
 //   op <key> <R|W> <value> <start> <finish> [client]
 //
-// Lines starting with '#' and blank lines are ignored. The format is
+// Lines starting with '#' and blank lines are ignored; CRLF line
+// endings and trailing whitespace are tolerated. The format is
 // deliberately trivial so traces from real systems can be converted
-// with a few lines of awk. Reader errors carry 1-based line numbers.
+// with a few lines of awk. Reader errors carry 1-based line numbers
+// and quote the offending token. Byte-for-byte spec (and the binary
+// .kavb sibling, ingest/binary_trace.h): docs/FORMATS.md.
 #ifndef KAV_HISTORY_SERIALIZATION_H
 #define KAV_HISTORY_SERIALIZATION_H
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "history/keyed_trace.h"
 
@@ -24,6 +28,12 @@ KeyedTrace parse_trace(const std::string& text);
 void write_trace(std::ostream& out, const KeyedTrace& trace);
 void write_trace_file(const std::string& path, const KeyedTrace& trace);
 std::string format_trace(const KeyedTrace& trace);
+
+// One `op ...` line, exactly as write_trace emits it -- the shared
+// primitive that lets the binary->text converter stream record by
+// record without materializing a KeyedTrace.
+void write_trace_op(std::ostream& out, std::string_view key,
+                    const Operation& op);
 
 // Single-register convenience wrappers (key defaults to "r0").
 History parse_history(const std::string& text);

@@ -1,0 +1,326 @@
+#include "ingest/binary_trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+#include "history/serialization.h"
+
+namespace kav {
+
+namespace {
+
+// Encoding helpers append little-endian bytes to a string buffer; the
+// byte-composition idiom compiles to single moves on LE hardware.
+void append_u16(std::string& buffer, std::uint16_t v) {
+  buffer.push_back(static_cast<char>(v & 0xff));
+  buffer.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void append_u32(std::string& buffer, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void append_u64(std::string& buffer, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buffer.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void append_i64(std::string& buffer, std::int64_t v) {
+  append_u64(buffer, static_cast<std::uint64_t>(v));
+}
+
+std::uint16_t load_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t load_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t load_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::int64_t load_i64(const unsigned char* p) {
+  return static_cast<std::int64_t>(load_u64(p));
+}
+
+[[noreturn]] void fail_at(std::uint64_t offset, const std::string& message) {
+  throw std::runtime_error("binary trace error at byte " +
+                           std::to_string(offset) + ": " + message);
+}
+
+// Reads exactly `n` bytes or fails; `what` names the structure being
+// read so truncation errors say what was expected.
+void read_exact(std::istream& in, unsigned char* dst, std::size_t n,
+                std::uint64_t offset, const char* what) {
+  in.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(in.gcount()) != n) {
+    fail_at(offset + static_cast<std::uint64_t>(in.gcount()),
+            std::string("truncated ") + what);
+  }
+}
+
+}  // namespace
+
+// --- Writer ----------------------------------------------------------------
+
+BinaryTraceWriter::BinaryTraceWriter(std::ostream& out,
+                                     std::size_t records_per_chunk)
+    : out_(&out),
+      // Clamp into what the reader accepts: 0 would never flush, and a
+      // chunk above the reader's sanity cap would make the library
+      // write files its own reader rejects.
+      records_per_chunk_(std::clamp<std::size_t>(
+          records_per_chunk, 1, kBinaryTraceMaxChunkRecords)) {
+  std::string header;
+  append_u32(header, kBinaryTraceMagic);
+  append_u16(header, kBinaryTraceVersion);
+  append_u16(header, 0);  // reserved
+  out_->write(header.data(), static_cast<std::streamsize>(header.size()));
+}
+
+BinaryTraceWriter::~BinaryTraceWriter() {
+  try {
+    flush();
+  } catch (...) {
+    // Destructors must not throw; call flush() explicitly to observe
+    // stream errors.
+  }
+}
+
+void BinaryTraceWriter::add(std::string_view key, const Operation& op) {
+  if (op.start >= op.finish) {
+    throw std::invalid_argument(
+        "binary trace writer: start must be < finish (got [" +
+        std::to_string(op.start) + ", " + std::to_string(op.finish) + "))");
+  }
+  if (key.size() > std::numeric_limits<std::uint16_t>::max()) {
+    throw std::invalid_argument("binary trace writer: key longer than 65535 "
+                                "bytes");
+  }
+  auto [it, inserted] = key_ids_.try_emplace(
+      std::string(key), static_cast<std::uint32_t>(key_ids_.size()));
+  if (inserted) {
+    append_u16(pending_keys_, static_cast<std::uint16_t>(key.size()));
+    pending_keys_.append(key);
+    ++pending_key_count_;
+  }
+  append_u32(pending_records_, it->second);
+  append_i64(pending_records_, op.start);
+  append_i64(pending_records_, op.finish);
+  append_i64(pending_records_, op.value);
+  append_u32(pending_records_, static_cast<std::uint32_t>(op.client));
+  pending_records_.push_back(op.is_write() ? '\x01' : '\x00');
+  ++pending_record_count_;
+  // The key-cap guard matters only for pathological all-new-key
+  // streams; each record introduces at most one key.
+  if (pending_record_count_ >= records_per_chunk_ ||
+      pending_key_count_ >= kBinaryTraceMaxChunkKeys) {
+    flush();
+  }
+}
+
+void BinaryTraceWriter::add(const KeyedTrace& trace) {
+  for (const KeyedOperation& kop : trace.ops) add(kop.key, kop.op);
+}
+
+void BinaryTraceWriter::flush() {
+  if (pending_record_count_ == 0) return;
+  std::string chunk_header;
+  append_u32(chunk_header, pending_key_count_);
+  append_u32(chunk_header, pending_record_count_);
+  out_->write(chunk_header.data(),
+              static_cast<std::streamsize>(chunk_header.size()));
+  out_->write(pending_keys_.data(),
+              static_cast<std::streamsize>(pending_keys_.size()));
+  out_->write(pending_records_.data(),
+              static_cast<std::streamsize>(pending_records_.size()));
+  records_written_ += pending_record_count_;
+  pending_keys_.clear();
+  pending_records_.clear();
+  pending_key_count_ = 0;
+  pending_record_count_ = 0;
+}
+
+// --- Reader ----------------------------------------------------------------
+
+BinaryTraceReader::BinaryTraceReader(std::istream& in) : in_(&in) {
+  unsigned char header[kBinaryTraceHeaderBytes];
+  read_exact(*in_, header, sizeof header, offset_, "header");
+  const std::uint32_t magic = load_u32(header);
+  if (magic != kBinaryTraceMagic) {
+    fail_at(0, "bad magic (not a .kavb trace)");
+  }
+  const std::uint16_t version = load_u16(header + 4);
+  if (version != kBinaryTraceVersion) {
+    fail_at(4, "unsupported format version " + std::to_string(version));
+  }
+  offset_ += sizeof header;
+}
+
+bool BinaryTraceReader::load_chunk() {
+  unsigned char chunk_header[8];
+  in_->read(reinterpret_cast<char*>(chunk_header), sizeof chunk_header);
+  if (in_->gcount() == 0) return false;  // clean EOF at a chunk boundary
+  if (static_cast<std::size_t>(in_->gcount()) != sizeof chunk_header) {
+    fail_at(offset_ + static_cast<std::uint64_t>(in_->gcount()),
+            "truncated chunk header");
+  }
+  const std::uint32_t new_keys = load_u32(chunk_header);
+  const std::uint32_t records = load_u32(chunk_header + 4);
+  if (new_keys > kBinaryTraceMaxChunkKeys) {
+    fail_at(offset_, "implausible chunk key count " + std::to_string(new_keys));
+  }
+  if (records > kBinaryTraceMaxChunkRecords) {
+    fail_at(offset_ + 4,
+            "implausible chunk record count " + std::to_string(records));
+  }
+  if (new_keys == 0 && records == 0) {
+    fail_at(offset_, "empty chunk");
+  }
+  offset_ += sizeof chunk_header;
+
+  for (std::uint32_t i = 0; i < new_keys; ++i) {
+    unsigned char len_bytes[2];
+    read_exact(*in_, len_bytes, sizeof len_bytes, offset_, "key length");
+    const std::uint16_t length = load_u16(len_bytes);
+    offset_ += sizeof len_bytes;
+    std::string key(length, '\0');
+    if (length > 0) {
+      read_exact(*in_, reinterpret_cast<unsigned char*>(key.data()), length,
+                 offset_, "key bytes");
+    }
+    offset_ += length;
+    keys_.push_back(std::move(key));
+  }
+
+  const std::size_t payload =
+      static_cast<std::size_t>(records) * kBinaryTraceRecordBytes;
+  buffer_.resize(payload);
+  if (payload > 0) {
+    read_exact(*in_, buffer_.data(), payload, offset_, "record payload");
+  }
+  buffer_pos_ = 0;
+  return true;
+}
+
+bool BinaryTraceReader::next(std::string_view& key, Operation& op) {
+  while (buffer_pos_ >= buffer_.size()) {
+    if (!load_chunk()) return false;
+  }
+  const unsigned char* p = buffer_.data() + buffer_pos_;
+  const std::uint32_t key_id = load_u32(p);
+  if (key_id >= keys_.size()) {
+    fail_at(offset_ + buffer_pos_,
+            "key id " + std::to_string(key_id) + " out of range (table has " +
+                std::to_string(keys_.size()) + " entries)");
+  }
+  op.start = load_i64(p + 4);
+  op.finish = load_i64(p + 12);
+  op.value = load_i64(p + 20);
+  op.client = static_cast<ClientId>(load_u32(p + 28));
+  const unsigned char type = p[32];
+  if (type > 1) {
+    fail_at(offset_ + buffer_pos_ + 32,
+            "bad record type byte " + std::to_string(type));
+  }
+  op.type = type == 1 ? OpType::write : OpType::read;
+  if (op.start >= op.finish) {
+    fail_at(offset_ + buffer_pos_ + 4,
+            "start must be < finish (got [" + std::to_string(op.start) + ", " +
+                std::to_string(op.finish) + "))");
+  }
+  key = keys_[key_id];
+  buffer_pos_ += kBinaryTraceRecordBytes;
+  if (buffer_pos_ >= buffer_.size()) {
+    // Chunk fully consumed; account for it before the next load reports
+    // offsets.
+    offset_ += buffer_.size();
+  }
+  ++records_read_;
+  return true;
+}
+
+bool BinaryTraceReader::next(KeyedOperation& out) {
+  std::string_view key;
+  if (!next(key, out.op)) return false;
+  out.key.assign(key);
+  return true;
+}
+
+// --- Whole-trace wrappers --------------------------------------------------
+
+void write_binary_trace(std::ostream& out, const KeyedTrace& trace,
+                        std::size_t records_per_chunk) {
+  BinaryTraceWriter writer(out, records_per_chunk);
+  writer.add(trace);
+  writer.flush();
+}
+
+void write_binary_trace_file(const std::string& path,
+                             const KeyedTrace& trace) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open trace file: " + path);
+  write_binary_trace(out, trace);
+  if (!out) throw std::runtime_error("error writing trace file: " + path);
+}
+
+KeyedTrace read_binary_trace(std::istream& in) {
+  BinaryTraceReader reader(in);
+  KeyedTrace trace;
+  std::string_view key;
+  Operation op;
+  while (reader.next(key, op)) trace.add(std::string(key), op);
+  return trace;
+}
+
+KeyedTrace read_binary_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  return read_binary_trace(in);
+}
+
+bool is_binary_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open trace file: " + path);
+  unsigned char magic_bytes[4];
+  in.read(reinterpret_cast<char*>(magic_bytes), sizeof magic_bytes);
+  return static_cast<std::size_t>(in.gcount()) == sizeof magic_bytes &&
+         load_u32(magic_bytes) == kBinaryTraceMagic;
+}
+
+KeyedTrace read_any_trace_file(const std::string& path) {
+  return is_binary_trace_file(path) ? read_binary_trace_file(path)
+                                    : read_trace_file(path);
+}
+
+// --- Converters ------------------------------------------------------------
+
+void convert_text_to_binary(std::istream& text_in, std::ostream& binary_out) {
+  write_binary_trace(binary_out, read_trace(text_in));
+}
+
+void convert_binary_to_text(std::istream& binary_in, std::ostream& text_out) {
+  BinaryTraceReader reader(binary_in);
+  text_out << "# kav trace v1\n";
+  std::string_view key;
+  Operation op;
+  while (reader.next(key, op)) write_trace_op(text_out, key, op);
+}
+
+}  // namespace kav

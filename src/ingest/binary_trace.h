@@ -1,0 +1,140 @@
+// The compact binary trace format (.kavb) -- the ingest-side answer to
+// the text format's parse cost. A trace from a real storage system is
+// millions of operations; reading them through a line parser costs more
+// than deciding 2-atomicity does, so the binary format stores
+// fixed-width little-endian records behind a versioned header, interns
+// repeated keys into an id table, and groups records into chunks so
+// both writer and reader stream in O(chunk) memory.
+//
+// Byte-for-byte layout (all integers little-endian): docs/FORMATS.md.
+// In short:
+//
+//   file   := header chunk*
+//   header := magic 'KAVB' (u32) | version (u16) | reserved (u16)
+//   chunk  := new_keys (u32) | records (u32)
+//             new_keys * { length (u16) | bytes }      -- key table delta
+//             records  * { key_id (u32) | start (i64) | finish (i64) |
+//                          value (i64) | client (i32) | type (u8) }
+//
+// Key ids are file-global and assigned in order of first appearance; a
+// chunk carries only the table entries it introduces, so appending
+// chunks never rewrites earlier bytes. A reader detects truncation,
+// bad magic/version, out-of-range key ids, bad type bytes, and
+// non-increasing intervals, and reports the absolute byte offset.
+//
+// Both formats are lossless for any trace the text format accepts
+// (property-tested by tests/ingest_fuzz_test.cpp); the binary format
+// additionally allows keys containing whitespace, which the text
+// format cannot express.
+#ifndef KAV_INGEST_BINARY_TRACE_H
+#define KAV_INGEST_BINARY_TRACE_H
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "history/keyed_trace.h"
+
+namespace kav {
+
+inline constexpr std::uint32_t kBinaryTraceMagic = 0x4256414Bu;  // "KAVB"
+inline constexpr std::uint16_t kBinaryTraceVersion = 1;
+inline constexpr std::size_t kBinaryTraceHeaderBytes = 8;
+inline constexpr std::size_t kBinaryTraceRecordBytes = 33;
+// Reader sanity caps: a corrupt chunk header cannot make the reader
+// allocate unbounded memory.
+inline constexpr std::uint32_t kBinaryTraceMaxChunkRecords = 1u << 24;
+inline constexpr std::uint32_t kBinaryTraceMaxChunkKeys = 1u << 20;
+
+// Streaming writer: add() operations in any key order; records are
+// buffered and emitted as one chunk every `records_per_chunk` adds (or
+// on flush()). Keys are interned on first use; the entry rides in the
+// chunk that introduces it. The destructor flushes best-effort, but
+// call flush() explicitly to observe stream errors.
+class BinaryTraceWriter {
+ public:
+  // Writes the file header immediately. The stream must be binary.
+  explicit BinaryTraceWriter(std::ostream& out,
+                             std::size_t records_per_chunk = 4096);
+  ~BinaryTraceWriter();
+
+  BinaryTraceWriter(const BinaryTraceWriter&) = delete;
+  BinaryTraceWriter& operator=(const BinaryTraceWriter&) = delete;
+
+  // Throws std::invalid_argument on start >= finish or a key longer
+  // than 65535 bytes (the u16 length field).
+  void add(std::string_view key, const Operation& op);
+  void add(const KeyedTrace& trace);
+
+  // Emits buffered records as a chunk (no-op when empty).
+  void flush();
+
+  std::uint64_t records_written() const { return records_written_; }
+  std::size_t key_count() const { return key_ids_.size(); }
+
+ private:
+  std::ostream* out_;
+  std::size_t records_per_chunk_;
+  std::unordered_map<std::string, std::uint32_t> key_ids_;
+  std::string pending_keys_;     // encoded table delta for the open chunk
+  std::uint32_t pending_key_count_ = 0;
+  std::string pending_records_;  // encoded records for the open chunk
+  std::uint32_t pending_record_count_ = 0;
+  std::uint64_t records_written_ = 0;
+};
+
+// Streaming reader: pull one record at a time; memory stays O(chunk +
+// key table). Throws std::runtime_error with the absolute byte offset
+// on any malformed input.
+class BinaryTraceReader {
+ public:
+  // Reads and validates the header immediately.
+  explicit BinaryTraceReader(std::istream& in);
+
+  // Returns false at a clean end of stream. The string_view overload
+  // avoids a per-record key copy; the view stays valid for the
+  // reader's lifetime (the interned table never discards entries).
+  bool next(std::string_view& key, Operation& op);
+  bool next(KeyedOperation& out);
+
+  std::size_t key_count() const { return keys_.size(); }
+  const std::string& key(std::uint32_t id) const { return keys_[id]; }
+  std::uint64_t records_read() const { return records_read_; }
+
+ private:
+  bool load_chunk();  // false at clean EOF
+
+  std::istream* in_;
+  // deque: growth never moves existing strings, so string_views handed
+  // to the caller stay valid across chunk loads.
+  std::deque<std::string> keys_;
+  std::vector<unsigned char> buffer_;  // current chunk's record payload
+  std::size_t buffer_pos_ = 0;
+  std::uint64_t records_read_ = 0;
+  std::uint64_t offset_ = 0;  // absolute byte offset, for error messages
+};
+
+// Whole-trace convenience wrappers, mirroring history/serialization.h.
+void write_binary_trace(std::ostream& out, const KeyedTrace& trace,
+                        std::size_t records_per_chunk = 4096);
+void write_binary_trace_file(const std::string& path, const KeyedTrace& trace);
+KeyedTrace read_binary_trace(std::istream& in);
+KeyedTrace read_binary_trace_file(const std::string& path);
+
+// Format sniffing: true iff the file starts with the .kavb magic.
+bool is_binary_trace_file(const std::string& path);
+// Reads either format, deciding by magic (not by file extension).
+KeyedTrace read_any_trace_file(const std::string& path);
+
+// Lossless format converters. text -> binary loads the trace (the text
+// reader is whole-stream); binary -> text streams record by record.
+void convert_text_to_binary(std::istream& text_in, std::ostream& binary_out);
+void convert_binary_to_text(std::istream& binary_in, std::ostream& text_out);
+
+}  // namespace kav
+
+#endif  // KAV_INGEST_BINARY_TRACE_H

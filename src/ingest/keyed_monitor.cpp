@@ -1,0 +1,280 @@
+#include "ingest/keyed_monitor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace kav {
+
+struct KeyedStreamingMonitor::KeyState {
+  explicit KeyState(const MonitorOptions& options)
+      : queue(options.queue_capacity),
+        reorder(options.reorder_slack),
+        checker(options.streaming) {}
+
+  pipeline::BoundedQueue<Operation> queue;
+  // True while a drain task is scheduled or running; together with
+  // process_mutex this guarantees at most one drainer per key, so the
+  // (non-thread-safe) reorder buffer and checker see serial access.
+  std::atomic<bool> scheduled{false};
+  std::atomic<std::int64_t> ingested{0};
+  std::atomic<TimePoint> newest_start{kTimeMin};
+  std::atomic<TimePoint> oldest_start{kTimeMax};
+
+  std::mutex process_mutex;  // guards everything below
+  ReorderBuffer reorder;
+  StreamingChecker checker;
+  // Violations detected by the monitor layer rather than the checker:
+  // late arrivals, and drain-task failures (which must be surfaced as
+  // findings -- a swallowed exception would wedge the key forever).
+  std::vector<StreamingViolation> extra_violations;
+  std::size_t peak_window = 0;
+};
+
+// --- MonitorReport ---------------------------------------------------------
+
+bool MonitorReport::all_clean() const {
+  for (const auto& [key, result] : per_key) {
+    if (!result.violations.empty()) return false;
+  }
+  return true;
+}
+
+std::string MonitorReport::summary() const {
+  std::size_t dirty = 0;
+  for (const auto& [key, result] : per_key) {
+    if (!result.violations.empty()) ++dirty;
+  }
+  std::string text = std::to_string(per_key.size() - dirty) + "/" +
+                     std::to_string(per_key.size()) + " keys clean";
+  if (dirty > 0) {
+    text += ", " + std::to_string(dirty) + " with violations (" +
+            std::to_string(totals.violations) + " total)";
+  }
+  return text;
+}
+
+// --- KeyedStreamingMonitor -------------------------------------------------
+
+KeyedStreamingMonitor::KeyedStreamingMonitor(const MonitorOptions& options)
+    : options_(options),
+      pool_(std::make_unique<pipeline::ThreadPool>(options.threads)) {}
+
+KeyedStreamingMonitor::~KeyedStreamingMonitor() {
+  // Drains any still-queued drain tasks before the key states they
+  // reference are destroyed.
+  pool_->shutdown();
+}
+
+KeyedStreamingMonitor::KeyState& KeyedStreamingMonitor::state_for(
+    const std::string& key) {
+  {
+    std::shared_lock<std::shared_mutex> lock(keys_mutex_);
+    auto it = keys_.find(key);
+    if (it != keys_.end()) return *it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(keys_mutex_);
+  if (!started_) {
+    started_ = true;
+    start_time_ = std::chrono::steady_clock::now();
+  }
+  auto it = keys_.find(key);  // re-check: another producer may have won
+  if (it == keys_.end()) {
+    it = keys_.emplace(key, std::make_unique<KeyState>(options_)).first;
+  }
+  return *it->second;
+}
+
+void KeyedStreamingMonitor::ingest(const std::string& key,
+                                   const Operation& op) {
+  if (finished_.load(std::memory_order_acquire)) {
+    throw std::logic_error("KeyedStreamingMonitor::ingest after finish()");
+  }
+  KeyState& state = state_for(key);
+  state.queue.push(op);  // blocks when full: backpressure
+  state.ingested.fetch_add(1, std::memory_order_relaxed);
+  TimePoint seen = state.newest_start.load(std::memory_order_relaxed);
+  while (op.start > seen &&
+         !state.newest_start.compare_exchange_weak(
+             seen, op.start, std::memory_order_relaxed)) {
+  }
+  seen = state.oldest_start.load(std::memory_order_relaxed);
+  while (op.start < seen &&
+         !state.oldest_start.compare_exchange_weak(
+             seen, op.start, std::memory_order_relaxed)) {
+  }
+  // Claim the drainer role for this key if nobody holds it. The drain
+  // task re-checks the queue after releasing the role, so an arrival
+  // that lands between its last pop and the release is never stranded.
+  if (!state.scheduled.exchange(true, std::memory_order_acq_rel)) {
+    pool_->submit([this, &state] { drain(state); });
+  }
+}
+
+void KeyedStreamingMonitor::ingest(const KeyedOperation& kop) {
+  ingest(kop.key, kop.op);
+}
+
+void KeyedStreamingMonitor::process_one(KeyState& state, const Operation& op) {
+  if (!state.reorder.push(op)) {
+    state.extra_violations.push_back(
+        {StreamingViolation::Kind::late_arrival, state.reorder.watermark(),
+         "arrival with start " + std::to_string(op.start) +
+             " behind watermark " + std::to_string(state.reorder.watermark()) +
+             " (reorder slack " + std::to_string(options_.reorder_slack) +
+             " exceeded)"});
+    return;
+  }
+  Operation released;
+  while (state.reorder.pop(released)) state.checker.add(released);
+}
+
+void KeyedStreamingMonitor::drain(KeyState& state) {
+  for (;;) {
+    // Nothing may escape this task: its future is discarded, and an
+    // unwound drain would leave `scheduled` stuck true -- no later
+    // ingest would ever schedule another drainer, wedging the key and
+    // deadlocking producers on its full queue. Failures become
+    // hard_anomaly findings instead.
+    try {
+      std::lock_guard<std::mutex> lock(state.process_mutex);
+      Operation op;
+      bool any = false;
+      while (state.queue.try_pop(op)) {
+        process_one(state, op);
+        any = true;
+      }
+      if (any) {
+        state.checker.advance_watermark(state.reorder.watermark());
+      }
+      state.peak_window =
+          std::max(state.peak_window,
+                   state.checker.window_size() + state.reorder.pending());
+    } catch (const std::exception& e) {
+      std::lock_guard<std::mutex> lock(state.process_mutex);
+      state.extra_violations.push_back(
+          {StreamingViolation::Kind::hard_anomaly, state.reorder.watermark(),
+           std::string("monitor drain failed: ") + e.what()});
+    }
+    state.scheduled.store(false, std::memory_order_release);
+    if (state.queue.empty()) return;
+    // An arrival slipped in after the final pop; re-claim the drainer
+    // role unless its producer already scheduled a successor.
+    if (state.scheduled.exchange(true, std::memory_order_acq_rel)) return;
+  }
+}
+
+MonitorReport KeyedStreamingMonitor::finish() {
+  if (finished_.exchange(true, std::memory_order_acq_rel)) {
+    throw std::logic_error("KeyedStreamingMonitor::finish called twice");
+  }
+
+  std::vector<std::pair<std::string, KeyState*>> states;
+  {
+    std::shared_lock<std::shared_mutex> lock(keys_mutex_);
+    states.reserve(keys_.size());
+    for (auto& [key, state] : keys_) states.emplace_back(key, state.get());
+  }
+
+  MonitorReport report;
+  for (auto& [key, state] : states) {
+    std::lock_guard<std::mutex> lock(state->process_mutex);
+    Operation op;
+    while (state->queue.try_pop(op)) process_one(*state, op);
+    state->reorder.flush();
+    while (state->reorder.pop(op)) state->checker.add(op);
+    state->peak_window =
+        std::max(state->peak_window, state->checker.window_size());
+
+    KeyMonitorResult result;
+    result.verdict = state->checker.finish();
+    result.stats = state->checker.stats();
+    result.violations = state->checker.violations();
+    result.violations.insert(result.violations.end(),
+                             state->extra_violations.begin(),
+                             state->extra_violations.end());
+    if (result.verdict.yes() && !result.violations.empty()) {
+      result.verdict = Verdict::make_no(
+          std::to_string(state->extra_violations.size()) +
+          " monitor-level violation(s); first: " +
+          state->extra_violations.front().detail);
+    }
+    report.per_key.emplace(key, std::move(result));
+  }
+  report.totals = snapshot_totals();
+  return report;
+}
+
+MonitorStats KeyedStreamingMonitor::stats() const { return snapshot_totals(); }
+
+MonitorStats KeyedStreamingMonitor::snapshot_totals() const {
+  MonitorStats totals;
+  std::vector<std::pair<std::string, KeyState*>> states;
+  bool started = false;
+  std::chrono::steady_clock::time_point start_time;
+  {
+    std::shared_lock<std::shared_mutex> lock(keys_mutex_);
+    states.reserve(keys_.size());
+    for (const auto& [key, state] : keys_) {
+      states.emplace_back(key, state.get());
+    }
+    started = started_;
+    start_time = start_time_;
+  }
+  totals.keys = states.size();
+  for (const auto& [key, state] : states) {
+    totals.operations_ingested += static_cast<std::uint64_t>(
+        state->ingested.load(std::memory_order_relaxed));
+    std::lock_guard<std::mutex> lock(state->process_mutex);
+    for (const StreamingViolation& violation : state->extra_violations) {
+      if (violation.kind == StreamingViolation::Kind::late_arrival) {
+        ++totals.late_arrivals;
+      }
+    }
+    const std::uint64_t key_violations =
+        state->checker.violations().size() + state->extra_violations.size();
+    totals.violations += key_violations;
+    if (key_violations > 0) totals.violations_per_key[key] = key_violations;
+    totals.chunks_verified += state->checker.stats().chunks_verified;
+    totals.peak_window = std::max(totals.peak_window, state->peak_window);
+    // Lag of verification behind ingest: newest enqueued start minus
+    // the checker's watermark (clamped to the oldest start while the
+    // watermark has not left kTimeMin yet).
+    const TimePoint newest =
+        state->newest_start.load(std::memory_order_relaxed);
+    const TimePoint oldest =
+        state->oldest_start.load(std::memory_order_relaxed);
+    if (newest != kTimeMin) {
+      const TimePoint floor = std::max(state->checker.watermark(), oldest);
+      totals.max_watermark_lag =
+          std::max(totals.max_watermark_lag, newest - floor);
+    }
+  }
+  if (started) {
+    const auto elapsed = std::chrono::steady_clock::now() - start_time;
+    totals.elapsed_seconds =
+        std::chrono::duration<double>(elapsed).count();
+    if (totals.elapsed_seconds > 0.0) {
+      totals.ops_per_second = static_cast<double>(totals.operations_ingested) /
+                              totals.elapsed_seconds;
+    }
+  }
+  return totals;
+}
+
+std::size_t KeyedStreamingMonitor::key_count() const {
+  std::shared_lock<std::shared_mutex> lock(keys_mutex_);
+  return keys_.size();
+}
+
+MonitorReport monitor_trace(const KeyedTrace& trace,
+                            const MonitorOptions& options) {
+  KeyedStreamingMonitor monitor(options);
+  for (const KeyedOperation& kop : trace.ops) monitor.ingest(kop);
+  return monitor.finish();
+}
+
+}  // namespace kav

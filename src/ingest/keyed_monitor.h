@@ -1,0 +1,146 @@
+// Keyed online monitoring: the piece that lets a storage system stream
+// live traffic through the checker. k-atomicity is local (paper
+// Section II-B), so the monitor shards incoming operations to one
+// StreamingChecker per key; a ReorderBuffer in front of each checker
+// turns bounded arrival disorder into the watermark promise the
+// checker needs, and a bounded per-key queue decouples producers from
+// checking while capping memory (backpressure: ingest() blocks when a
+// key's queue is full). Checking runs as tasks on the existing
+// work-stealing pipeline::ThreadPool -- at most one drain task per key
+// at a time, so per-key processing is serial (checkers are not
+// thread-safe) while distinct keys check in parallel.
+//
+// Soundness inherits from the two layers (see docs/ALGORITHMS.md):
+// the reorder slack S gives each checker a valid watermark, and the
+// staleness horizon H lets it evict settled chunks, so each per-key
+// window is O(ops in flight within S + H ticks) -- not O(trace).
+//
+// Ingest may be called from many producer threads concurrently;
+// per-key violation order is arrival order. finish() must be called
+// from one thread after all producers stop.
+#ifndef KAV_INGEST_KEYED_MONITOR_H
+#define KAV_INGEST_KEYED_MONITOR_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/streaming.h"
+#include "history/keyed_trace.h"
+#include "ingest/reorder_buffer.h"
+#include "pipeline/bounded_queue.h"
+#include "pipeline/thread_pool.h"
+
+namespace kav {
+
+struct MonitorOptions {
+  // Per-key checker options (staleness horizon).
+  StreamingOptions streaming;
+  // Arrival disorder bound handed to each key's ReorderBuffer: every
+  // arrival starts at most this many ticks before the key's maximum
+  // start seen so far. Safe choice: max operation duration plus
+  // delivery jitter. Arrivals beyond the slack are late_arrival
+  // violations, not crashes.
+  TimePoint reorder_slack = 1'000;
+  // Worker threads; 0 picks std::thread::hardware_concurrency().
+  std::size_t threads = 0;
+  // Per-key queue capacity; a producer that outruns checking blocks
+  // here (backpressure) instead of growing an unbounded backlog.
+  std::size_t queue_capacity = 1'024;
+};
+
+// Aggregated snapshot across all keys; available mid-stream via
+// stats() and as MonitorReport::totals after finish().
+struct MonitorStats {
+  std::uint64_t operations_ingested = 0;  // ingest() calls accepted
+  std::uint64_t late_arrivals = 0;        // beyond the reorder slack
+  std::uint64_t violations = 0;           // all kinds, all keys
+  std::uint64_t chunks_verified = 0;
+  std::size_t keys = 0;
+  // Max over keys of (checker window + reorder pending): the memory
+  // high-water mark, bounded by O(slack + horizon) ops in flight.
+  std::size_t peak_window = 0;
+  // Max over keys of (newest start enqueued - checker watermark): how
+  // far verification trails ingest.
+  TimePoint max_watermark_lag = 0;
+  double elapsed_seconds = 0.0;  // since the first ingest()
+  double ops_per_second = 0.0;
+  // Keys with at least one violation and their counts.
+  std::map<std::string, std::uint64_t> violations_per_key;
+};
+
+struct KeyMonitorResult {
+  Verdict verdict;  // YES iff the key's stream produced no violations
+  StreamingStats stats;
+  std::vector<StreamingViolation> violations;  // late_arrivals appended
+};
+
+struct MonitorReport {
+  std::map<std::string, KeyMonitorResult> per_key;
+  MonitorStats totals;
+
+  bool all_clean() const;
+  std::string summary() const;  // e.g. "7/8 keys clean, 1 with violations"
+};
+
+class KeyedStreamingMonitor {
+ public:
+  explicit KeyedStreamingMonitor(const MonitorOptions& options = {});
+  ~KeyedStreamingMonitor();
+
+  KeyedStreamingMonitor(const KeyedStreamingMonitor&) = delete;
+  KeyedStreamingMonitor& operator=(const KeyedStreamingMonitor&) = delete;
+
+  // Thread-safe; blocks when the key's queue is full (backpressure).
+  // Throws std::logic_error after finish().
+  void ingest(const std::string& key, const Operation& op);
+  void ingest(const KeyedOperation& kop);
+
+  // Drains every queue, flushes every reorder buffer, finishes every
+  // checker, and returns the per-key results. Call once, from one
+  // thread, after all producers have stopped.
+  MonitorReport finish();
+
+  // Aggregated snapshot; safe to call from any thread mid-stream.
+  MonitorStats stats() const;
+
+  std::size_t thread_count() const { return pool_->thread_count(); }
+  std::size_t key_count() const;
+
+ private:
+  struct KeyState;
+
+  KeyState& state_for(const std::string& key);
+  void drain(KeyState& state);
+  // Feeds one arrival through the reorder buffer into the checker.
+  // Caller holds state.process_mutex.
+  void process_one(KeyState& state, const Operation& op);
+  MonitorStats snapshot_totals() const;
+
+  MonitorOptions options_;
+  std::unique_ptr<pipeline::ThreadPool> pool_;
+
+  // Guards keys_, started_, start_time_. Shared for the per-ingest
+  // known-key lookup (the hot path stays contention-free across
+  // producers), exclusive only when a key is first seen.
+  mutable std::shared_mutex keys_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<KeyState>> keys_;
+  std::chrono::steady_clock::time_point start_time_;
+  bool started_ = false;
+  std::atomic<bool> finished_{false};
+};
+
+// The facade overload declared in core/verify.h: replays a complete
+// trace (in its arrival order) through a KeyedStreamingMonitor.
+MonitorReport monitor_trace(const KeyedTrace& trace,
+                            const MonitorOptions& options);
+
+}  // namespace kav
+
+#endif  // KAV_INGEST_KEYED_MONITOR_H

@@ -1,0 +1,36 @@
+#include "ingest/reorder_buffer.h"
+
+#include <algorithm>
+
+namespace kav {
+
+ReorderBuffer::ReorderBuffer(TimePoint slack)
+    : slack_(std::max<TimePoint>(slack, 0)) {}
+
+bool ReorderBuffer::push(const Operation& op) {
+  if (op.start <= watermark_) {
+    ++late_rejected_;
+    return false;
+  }
+  ++accepted_;
+  max_start_seen_ = std::max(max_start_seen_, op.start);
+  pending_.push(op);
+  // Future arrivals start >= max_start_seen - slack, i.e. strictly
+  // after max_start_seen - slack - 1. Guarded against underflow near
+  // kTimeMin and against degenerate slacks that would wrap.
+  if (slack_ < kTimeMax / 2 && max_start_seen_ > kTimeMin + slack_ + 1) {
+    watermark_ = std::max(watermark_, max_start_seen_ - slack_ - 1);
+  }
+  return true;
+}
+
+bool ReorderBuffer::pop(Operation& out) {
+  if (pending_.empty() || pending_.top().start > watermark_) return false;
+  out = pending_.top();
+  pending_.pop();
+  return true;
+}
+
+void ReorderBuffer::flush() { watermark_ = kTimeMax; }
+
+}  // namespace kav

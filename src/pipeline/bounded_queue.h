@@ -1,0 +1,76 @@
+// A small bounded MPMC blocking queue -- the backpressure primitive the
+// ingest subsystem puts in front of every per-key streaming checker.
+//
+// push() blocks while the queue is at capacity, so a producer that
+// outruns a slow consumer is throttled instead of growing an unbounded
+// backlog (the monitor's memory bound depends on this); try_pop() never
+// blocks, so a pool worker can drain a queue and move on the moment it
+// runs dry. Capacity 0 is normalized to 1 so push() can always make
+// progress.
+#ifndef KAV_PIPELINE_BOUNDED_QUEUE_H
+#define KAV_PIPELINE_BOUNDED_QUEUE_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace kav::pipeline {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks until there is room (backpressure), then enqueues.
+  void push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+    items_.push_back(std::move(value));
+  }
+
+  // Enqueues only if there is room; never blocks.
+  bool try_push(T value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    return true;
+  }
+
+  // Dequeues into `out` if an item is available; never blocks.
+  bool try_pop(T& out) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.empty();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+};
+
+}  // namespace kav::pipeline
+
+#endif  // KAV_PIPELINE_BOUNDED_QUEUE_H

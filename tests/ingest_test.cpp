@@ -1,0 +1,487 @@
+// Unit tests for the ingest subsystem: the .kavb binary trace format
+// (header validation, chunking, key interning, corruption reporting),
+// the format converters, the ReorderBuffer's watermark contract, the
+// bounded backpressure queue, the streaming checker's reuse hook, and
+// the KeyedStreamingMonitor end to end (including its bounded-window
+// guarantee on a long steady stream).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/streaming.h"
+#include "core/verify.h"
+#include "gen/generators.h"
+#include "history/serialization.h"
+#include "ingest/binary_trace.h"
+#include "ingest/keyed_monitor.h"
+#include "ingest/reorder_buffer.h"
+#include "pipeline/bounded_queue.h"
+#include "util/rng.h"
+
+namespace kav {
+namespace {
+
+void expect_traces_equal(const KeyedTrace& a, const KeyedTrace& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.ops[i].key, b.ops[i].key) << "op " << i;
+    EXPECT_EQ(a.ops[i].op, b.ops[i].op) << "op " << i;
+  }
+}
+
+KeyedTrace sample_trace() {
+  KeyedTrace trace;
+  trace.add("alpha", make_write(0, 10, 42, 7));
+  trace.add("alpha", make_read(12, 20, 42));
+  trace.add("beta", make_write(-5, 3, 1));
+  trace.add("alpha", make_write(25, 30, 43, 0));
+  trace.add("beta", make_read(4, 9, 1, 3));
+  return trace;
+}
+
+// --- Binary format ---------------------------------------------------------
+
+TEST(BinaryTrace, RoundTripPreservesEverything) {
+  const KeyedTrace trace = sample_trace();
+  std::stringstream buffer;
+  write_binary_trace(buffer, trace);
+  expect_traces_equal(trace, read_binary_trace(buffer));
+}
+
+TEST(BinaryTrace, EmptyTraceIsJustAHeader) {
+  std::stringstream buffer;
+  write_binary_trace(buffer, KeyedTrace{});
+  EXPECT_EQ(buffer.str().size(), kBinaryTraceHeaderBytes);
+  EXPECT_TRUE(read_binary_trace(buffer).empty());
+}
+
+TEST(BinaryTrace, ChunkingIsInvisibleToTheReader) {
+  const KeyedTrace trace = sample_trace();
+  for (std::size_t chunk : {1u, 2u, 3u, 100u}) {
+    std::stringstream buffer;
+    write_binary_trace(buffer, trace, chunk);
+    expect_traces_equal(trace, read_binary_trace(buffer));
+  }
+}
+
+TEST(BinaryTrace, KeysAreInternedOncePerFile) {
+  // 3-record chunks split "alpha"'s uses across chunks; the table must
+  // still carry one entry per distinct key.
+  const KeyedTrace trace = sample_trace();
+  std::stringstream buffer;
+  write_binary_trace(buffer, trace, 3);
+  BinaryTraceReader reader(buffer);
+  KeyedOperation kop;
+  while (reader.next(kop)) {
+  }
+  EXPECT_EQ(reader.key_count(), 2u);
+  EXPECT_EQ(reader.key(0), "alpha");
+  EXPECT_EQ(reader.key(1), "beta");
+}
+
+TEST(BinaryTrace, BinaryKeysMayContainWhitespace) {
+  KeyedTrace trace;
+  trace.add("user profile:42\tshard 1", make_write(0, 5, 1));
+  std::stringstream buffer;
+  write_binary_trace(buffer, trace);
+  expect_traces_equal(trace, read_binary_trace(buffer));
+}
+
+TEST(BinaryTrace, StreamingReaderYieldsStableViews) {
+  const KeyedTrace trace = sample_trace();
+  std::stringstream buffer;
+  write_binary_trace(buffer, trace, 2);
+  BinaryTraceReader reader(buffer);
+  std::vector<std::string_view> keys;
+  std::string_view key;
+  Operation op;
+  while (reader.next(key, op)) keys.push_back(key);
+  ASSERT_EQ(keys.size(), trace.size());
+  // Views handed out before later chunk loads must still be valid.
+  EXPECT_EQ(keys.front(), "alpha");
+  EXPECT_EQ(keys[2], "beta");
+}
+
+TEST(BinaryTrace, RejectsBadMagic) {
+  std::stringstream buffer("not a kavb file at all");
+  try {
+    read_binary_trace(buffer);
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos);
+  }
+}
+
+TEST(BinaryTrace, RejectsUnsupportedVersion) {
+  const KeyedTrace trace = sample_trace();
+  std::stringstream buffer;
+  write_binary_trace(buffer, trace);
+  std::string bytes = buffer.str();
+  bytes[4] = '\x07';  // version low byte
+  std::stringstream patched(bytes);
+  try {
+    read_binary_trace(patched);
+    FAIL() << "expected a version error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version 7"), std::string::npos);
+  }
+}
+
+TEST(BinaryTrace, ReportsTruncationWithByteOffset) {
+  const KeyedTrace trace = sample_trace();
+  std::stringstream buffer;
+  write_binary_trace(buffer, trace);
+  const std::string bytes = buffer.str();
+  // Chop mid-record; the reader must say what it was reading and where.
+  std::stringstream truncated(bytes.substr(0, bytes.size() - 5));
+  try {
+    read_binary_trace(truncated);
+    FAIL() << "expected a truncation error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+    EXPECT_NE(what.find("byte"), std::string::npos) << what;
+  }
+}
+
+TEST(BinaryTrace, RejectsOutOfRangeKeyId) {
+  KeyedTrace trace;
+  trace.add("k", make_write(0, 5, 1));
+  std::stringstream buffer;
+  write_binary_trace(buffer, trace);
+  std::string bytes = buffer.str();
+  // Record starts after header(8) + chunk header(8) + key entry(2+1).
+  const std::size_t record_at = 8 + 8 + 3;
+  bytes[record_at] = '\x09';  // key_id = 9, table has 1 entry
+  std::stringstream patched(bytes);
+  try {
+    read_binary_trace(patched);
+    FAIL() << "expected a key id error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("key id 9"), std::string::npos);
+  }
+}
+
+TEST(BinaryTrace, RejectsBadTypeByte) {
+  KeyedTrace trace;
+  trace.add("k", make_write(0, 5, 1));
+  std::stringstream buffer;
+  write_binary_trace(buffer, trace);
+  std::string bytes = buffer.str();
+  bytes[bytes.size() - 1] = '\x05';  // type byte is the record's last
+  std::stringstream patched(bytes);
+  EXPECT_THROW(read_binary_trace(patched), std::runtime_error);
+}
+
+TEST(BinaryTrace, WriterRejectsMalformedIntervals) {
+  std::stringstream buffer;
+  BinaryTraceWriter writer(buffer);
+  EXPECT_THROW(writer.add("k", make_write(10, 10, 1)), std::invalid_argument);
+}
+
+TEST(BinaryTrace, FileRoundTripAndSniffing) {
+  const KeyedTrace trace = sample_trace();
+  const std::string dir = testing::TempDir();
+  const std::string binary_path = dir + "/kav_ingest_test.kavb";
+  const std::string text_path = dir + "/kav_ingest_test.trace";
+  write_binary_trace_file(binary_path, trace);
+  write_trace_file(text_path, trace);
+  EXPECT_TRUE(is_binary_trace_file(binary_path));
+  EXPECT_FALSE(is_binary_trace_file(text_path));
+  expect_traces_equal(trace, read_any_trace_file(binary_path));
+  expect_traces_equal(trace, read_any_trace_file(text_path));
+  std::remove(binary_path.c_str());
+  std::remove(text_path.c_str());
+}
+
+TEST(BinaryTrace, ConvertersAreLossless) {
+  const KeyedTrace trace = sample_trace();
+  // text -> binary -> text reproduces the text bytes exactly.
+  std::stringstream text_in(format_trace(trace));
+  std::stringstream binary_out;
+  convert_text_to_binary(text_in, binary_out);
+  std::stringstream text_out;
+  convert_binary_to_text(binary_out, text_out);
+  EXPECT_EQ(text_out.str(), format_trace(trace));
+  // binary -> text -> binary reproduces the binary bytes exactly
+  // (default chunk size on both sides).
+  std::stringstream binary_in;
+  write_binary_trace(binary_in, trace);
+  const std::string original = binary_in.str();
+  std::stringstream text_mid;
+  convert_binary_to_text(binary_in, text_mid);
+  std::stringstream binary_back;
+  convert_text_to_binary(text_mid, binary_back);
+  EXPECT_EQ(binary_back.str(), original);
+}
+
+// --- ReorderBuffer ---------------------------------------------------------
+
+TEST(ReorderBuffer, InOrderStreamPassesThrough) {
+  ReorderBuffer buffer(/*slack=*/0);
+  Operation out;
+  EXPECT_TRUE(buffer.push(make_write(0, 5, 1)));
+  EXPECT_FALSE(buffer.pop(out));  // nothing newer seen yet
+  EXPECT_TRUE(buffer.push(make_read(6, 9, 1)));
+  ASSERT_TRUE(buffer.pop(out));
+  EXPECT_EQ(out.start, 0);
+  EXPECT_FALSE(buffer.pop(out));  // start-6 op still inside slack 0 of max 6
+  buffer.flush();
+  ASSERT_TRUE(buffer.pop(out));
+  EXPECT_EQ(out.start, 6);
+  EXPECT_FALSE(buffer.pop(out));
+}
+
+TEST(ReorderBuffer, RestoresStartOrderWithinSlack) {
+  ReorderBuffer buffer(/*slack=*/10);
+  // Arrival order 20, 14, 26, 23, 35 -- disorder bounded by 10.
+  for (TimePoint start : {20, 14, 26, 23, 35}) {
+    ASSERT_TRUE(buffer.push(make_write(start, start + 2, start)));
+  }
+  buffer.flush();
+  std::vector<TimePoint> released;
+  Operation out;
+  while (buffer.pop(out)) released.push_back(out.start);
+  EXPECT_EQ(released, (std::vector<TimePoint>{14, 20, 23, 26, 35}));
+  EXPECT_EQ(buffer.accepted(), 5u);
+  EXPECT_EQ(buffer.late_rejected(), 0u);
+}
+
+TEST(ReorderBuffer, WatermarkIsMonotoneAndHonest) {
+  ReorderBuffer buffer(/*slack=*/5);
+  EXPECT_EQ(buffer.watermark(), kTimeMin);
+  buffer.push(make_write(100, 105, 1));
+  EXPECT_EQ(buffer.watermark(), 94);  // 100 - 5 - 1
+  buffer.push(make_write(96, 99, 2));  // within slack: accepted
+  EXPECT_EQ(buffer.watermark(), 94);  // never regresses
+  buffer.push(make_write(200, 205, 3));
+  EXPECT_EQ(buffer.watermark(), 194);
+  // Everything at or below the watermark must be ready, in order.
+  Operation out;
+  ASSERT_TRUE(buffer.pop(out));
+  EXPECT_EQ(out.start, 96);
+  ASSERT_TRUE(buffer.pop(out));
+  EXPECT_EQ(out.start, 100);
+  EXPECT_FALSE(buffer.pop(out));  // 200 > watermark 194
+}
+
+TEST(ReorderBuffer, RejectsArrivalsBeyondTheSlack) {
+  ReorderBuffer buffer(/*slack=*/5);
+  EXPECT_TRUE(buffer.push(make_write(100, 105, 1)));
+  EXPECT_FALSE(buffer.push(make_write(90, 95, 2)));  // 90 <= watermark 94
+  EXPECT_EQ(buffer.late_rejected(), 1u);
+  EXPECT_EQ(buffer.accepted(), 1u);
+  EXPECT_EQ(buffer.pending(), 1u);
+}
+
+// --- BoundedQueue ----------------------------------------------------------
+
+TEST(BoundedQueue, FifoAndCapacity) {
+  pipeline::BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));  // full
+  int out = 0;
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.try_push(3));
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, 3);
+  EXPECT_FALSE(queue.try_pop(out));
+}
+
+TEST(BoundedQueue, PushBlocksUntilAPopMakesRoom) {
+  pipeline::BoundedQueue<int> queue(1);
+  queue.push(1);
+  std::thread producer([&queue] { queue.push(2); });  // blocks: full
+  int out = 0;
+  // The consumer side keeps popping until both items came through; the
+  // producer can only finish if push() unblocked.
+  ASSERT_TRUE(queue.try_pop(out));
+  EXPECT_EQ(out, 1);
+  while (!queue.try_pop(out)) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(out, 2);
+  producer.join();
+}
+
+// --- StreamingChecker reuse hook -------------------------------------------
+
+TEST(StreamingReset, ResetChecksLikeAFreshInstance) {
+  const History bad = gen::generate_forced_separation(2);
+  StreamingChecker checker;
+  for (OpId id : bad.by_start()) {
+    checker.add(bad.op(id));
+    checker.advance_watermark(bad.op(id).start);
+  }
+  ASSERT_FALSE(checker.finish().yes());
+  checker.reset();
+  EXPECT_EQ(checker.stats().operations_ingested, 0u);
+  EXPECT_EQ(checker.window_size(), 0u);
+  EXPECT_EQ(checker.watermark(), kTimeMin);
+  EXPECT_TRUE(checker.clean_so_far());
+  // A clean stream after reset() must come out clean -- no residue.
+  Rng rng(3);
+  gen::KAtomicConfig config;
+  config.writes = 12;
+  config.k = 2;
+  const History good = gen::generate_k_atomic(config, rng).history;
+  for (OpId id : good.by_start()) {
+    checker.add(good.op(id));
+    checker.advance_watermark(good.op(id).start);
+  }
+  EXPECT_TRUE(checker.finish().yes());
+}
+
+// --- KeyedStreamingMonitor -------------------------------------------------
+
+MonitorOptions test_options(std::size_t threads = 2) {
+  MonitorOptions options;
+  options.streaming.staleness_horizon = 1 << 24;
+  options.reorder_slack = 1 << 20;
+  options.threads = threads;
+  return options;
+}
+
+TEST(KeyedMonitor, CleanStreamsComeOutClean) {
+  Rng rng(11);
+  KeyedTrace trace;
+  for (int k = 0; k < 4; ++k) {
+    gen::KAtomicConfig config;
+    config.writes = 15;
+    config.k = 2;
+    const History shard = gen::generate_k_atomic(config, rng).history;
+    for (const Operation& op : shard.operations()) {
+      trace.add("k" + std::to_string(k), op);
+    }
+  }
+  const MonitorReport report = monitor_trace(trace, test_options());
+  EXPECT_TRUE(report.all_clean());
+  ASSERT_EQ(report.per_key.size(), 4u);
+  EXPECT_EQ(report.totals.keys, 4u);
+  EXPECT_EQ(report.totals.operations_ingested, trace.size());
+  EXPECT_EQ(report.totals.late_arrivals, 0u);
+  EXPECT_EQ(report.totals.violations, 0u);
+  for (const auto& [key, result] : report.per_key) {
+    EXPECT_TRUE(result.verdict.yes()) << key << ": " << result.verdict.reason;
+  }
+}
+
+TEST(KeyedMonitor, FlagsExactlyTheViolatingKey) {
+  Rng rng(12);
+  KeyedTrace trace;
+  gen::KAtomicConfig config;
+  config.writes = 15;
+  config.k = 2;
+  const History good = gen::generate_k_atomic(config, rng).history;
+  for (const Operation& op : good.operations()) trace.add("good", op);
+  const History bad = gen::generate_forced_separation(2);
+  for (const Operation& op : bad.operations()) trace.add("bad", op);
+
+  const MonitorReport report = monitor_trace(trace, test_options());
+  EXPECT_FALSE(report.all_clean());
+  EXPECT_TRUE(report.per_key.at("good").verdict.yes());
+  EXPECT_TRUE(report.per_key.at("bad").verdict.no());
+  ASSERT_EQ(report.totals.violations_per_key.size(), 1u);
+  EXPECT_EQ(report.totals.violations_per_key.begin()->first, "bad");
+  EXPECT_EQ(report.summary(), "1/2 keys clean, 1 with violations (1 total)");
+}
+
+TEST(KeyedMonitor, ReportsLateArrivalsAsViolations) {
+  MonitorOptions options = test_options(1);
+  options.reorder_slack = 5;
+  KeyedStreamingMonitor monitor(options);
+  monitor.ingest("k", make_write(100, 105, 1));
+  monitor.ingest("k", make_read(10, 15, 1));  // 90 ticks behind: late
+  const MonitorReport report = monitor.finish();
+  EXPECT_EQ(report.totals.late_arrivals, 1u);
+  ASSERT_EQ(report.per_key.size(), 1u);
+  const KeyMonitorResult& result = report.per_key.at("k");
+  EXPECT_TRUE(result.verdict.no());
+  ASSERT_FALSE(result.violations.empty());
+  EXPECT_EQ(result.violations.back().kind,
+            StreamingViolation::Kind::late_arrival);
+}
+
+TEST(KeyedMonitor, BackpressureWithTinyQueuesStillCompletes) {
+  MonitorOptions options = test_options(2);
+  options.queue_capacity = 1;
+  Rng rng(13);
+  gen::KAtomicConfig config;
+  config.writes = 40;
+  config.k = 2;
+  const History shard = gen::generate_k_atomic(config, rng).history;
+  KeyedStreamingMonitor monitor(options);
+  for (const Operation& op : shard.operations()) monitor.ingest("k", op);
+  const MonitorReport report = monitor.finish();
+  EXPECT_TRUE(report.all_clean());
+  EXPECT_EQ(report.totals.operations_ingested, shard.size());
+}
+
+TEST(KeyedMonitor, IngestAfterFinishThrows) {
+  KeyedStreamingMonitor monitor(test_options(1));
+  monitor.ingest("k", make_write(0, 5, 1));
+  monitor.finish();
+  EXPECT_THROW(monitor.ingest("k", make_write(10, 15, 2)), std::logic_error);
+}
+
+TEST(KeyedMonitor, FinishTwiceThrows) {
+  KeyedStreamingMonitor monitor(test_options(1));
+  monitor.finish();
+  EXPECT_THROW(monitor.finish(), std::logic_error);
+}
+
+TEST(KeyedMonitor, MidStreamStatsSeeIngestedOps) {
+  KeyedStreamingMonitor monitor(test_options(1));
+  for (TimePoint t = 0; t < 100; t += 10) {
+    monitor.ingest("a", make_write(t, t + 4, t));
+    monitor.ingest("b", make_write(t + 1, t + 5, t + 1000));
+  }
+  const MonitorStats stats = monitor.stats();
+  EXPECT_EQ(stats.operations_ingested, 20u);
+  EXPECT_EQ(stats.keys, 2u);
+  EXPECT_GE(stats.elapsed_seconds, 0.0);
+  monitor.finish();
+}
+
+// The memory bound the subsystem exists for: on a steady stream, the
+// peak window tracks the slack + horizon, not the trace length --
+// quadrupling the trace must not budge it.
+TEST(KeyedMonitor, PeakWindowIsBoundedBySlackPlusHorizon) {
+  const auto run = [](std::size_t ops) {
+    MonitorOptions options;
+    options.streaming.staleness_horizon = 1'000;
+    options.reorder_slack = 100;
+    options.threads = 1;
+    options.queue_capacity = 64;  // keeps un-drained backlog small too
+    KeyedStreamingMonitor monitor(options);
+    TimePoint t = 0;
+    for (std::size_t i = 0; i < ops; i += 2) {
+      const auto value = static_cast<Value>(i);
+      monitor.ingest("k", make_write(t, t + 5, value));
+      monitor.ingest("k", make_read(t + 6, t + 9, value));
+      t += 10;  // ~0.2 ops per tick: window ~ (1000 + 100) / 5
+    }
+    const MonitorReport report = monitor.finish();
+    EXPECT_TRUE(report.all_clean());
+    return report.totals.peak_window;
+  };
+  const std::size_t peak_short = run(10'000);
+  const std::size_t peak_long = run(40'000);
+  // Ops in flight within one slack+horizon span is ~220, plus at most
+  // one queue of backlog -- generous headroom below, but far below
+  // O(trace): quadrupling the stream must not move the ceiling.
+  EXPECT_LE(peak_short, 1'000u);
+  EXPECT_LE(peak_long, 1'000u);
+}
+
+}  // namespace
+}  // namespace kav

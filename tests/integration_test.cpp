@@ -1,11 +1,17 @@
 // End-to-end integration sweeps: simulator -> trace -> (serialize ->
 // parse) -> normalize -> every decider -> witness validation ->
-// spectrum analysis -> streaming re-check, parameterized over quorum
-// configurations. This is the whole pipeline a downstream user would
-// run, exercised as one property.
+// spectrum analysis -> streaming re-check -> keyed monitor,
+// parameterized over quorum configurations. This is the whole pipeline
+// a downstream user would run, exercised as one property. Properties
+// that only hold for strict quorums (W + R > N) run in their own
+// StrictQuorumSweep instantiation instead of skipping at runtime, so
+// the suite has no silent holes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/analysis.h"
 #include "core/fzf.h"
@@ -16,6 +22,8 @@
 #include "core/witness.h"
 #include "history/anomaly.h"
 #include "history/serialization.h"
+#include "ingest/binary_trace.h"
+#include "ingest/keyed_monitor.h"
 #include "quorum/sim.h"
 
 namespace kav {
@@ -57,6 +65,18 @@ class PipelineSweep : public testing::TestWithParam<PipelineParam> {
 TEST_P(PipelineSweep, SerializationIsLossless) {
   const quorum::SimResult sim = simulate();
   const KeyedTrace round_tripped = parse_trace(format_trace(sim.trace));
+  ASSERT_EQ(round_tripped.size(), sim.trace.size());
+  for (std::size_t i = 0; i < sim.trace.size(); ++i) {
+    EXPECT_EQ(round_tripped.ops[i].key, sim.trace.ops[i].key);
+    EXPECT_EQ(round_tripped.ops[i].op, sim.trace.ops[i].op);
+  }
+}
+
+TEST_P(PipelineSweep, BinarySerializationIsLossless) {
+  const quorum::SimResult sim = simulate();
+  std::stringstream buffer;
+  write_binary_trace(buffer, sim.trace);
+  const KeyedTrace round_tripped = read_binary_trace(buffer);
   ASSERT_EQ(round_tripped.size(), sim.trace.size());
   for (std::size_t i = 0; i < sim.trace.size(); ++i) {
     EXPECT_EQ(round_tripped.ops[i].key, sim.trace.ops[i].key);
@@ -116,11 +136,47 @@ TEST_P(PipelineSweep, SpectrumIsConsistentWithMinimalK) {
   }
 }
 
-TEST_P(PipelineSweep, StrictQuorumImpliesLowMinimalK) {
-  if (GetParam().write_quorum + GetParam().read_quorum <=
-      GetParam().replicas) {
-    GTEST_SKIP() << "sloppy configuration";
+TEST_P(PipelineSweep, MonitorAgreesWithBatch) {
+  // The keyed monitor (ingest subsystem) must flag exactly the keys
+  // the batch facade answers NO for. Batch verification normalizes
+  // per-key histories, so feed the monitor the normalized operations,
+  // merged across keys in global start order.
+  const quorum::SimResult sim = simulate();
+  const KeyedHistories split = split_by_key(sim.trace);
+  KeyedTrace normalized;
+  for (const auto& [key, raw] : split.per_key) {
+    const History h = normalize(raw);
+    for (const Operation& op : h.operations()) normalized.add(key, op);
   }
+  std::stable_sort(normalized.ops.begin(), normalized.ops.end(),
+                   [](const KeyedOperation& a, const KeyedOperation& b) {
+                     return a.op.start < b.op.start;
+                   });
+  VerifyOptions options;
+  options.k = 2;
+  const KeyedReport batch = verify_keyed_trace(normalized, options);
+  MonitorOptions monitor_options;
+  monitor_options.streaming.staleness_horizon = 1 << 24;
+  monitor_options.reorder_slack = 64;  // arrivals already in start order
+  const MonitorReport streamed = monitor_trace(normalized, monitor_options);
+  ASSERT_EQ(streamed.per_key.size(), batch.per_key.size());
+  EXPECT_EQ(streamed.totals.late_arrivals, 0u);
+  for (const auto& [key, verdict] : batch.per_key) {
+    ASSERT_TRUE(streamed.per_key.count(key)) << key;
+    EXPECT_EQ(streamed.per_key.at(key).verdict.yes(), verdict.yes())
+        << key << ": batch says " << to_string(verdict.outcome);
+  }
+}
+
+// Properties that hold only for strict quorums (W + R > N) get their
+// own instantiation over exactly the strict configurations -- no
+// runtime GTEST_SKIP holes.
+class StrictQuorumSweep : public PipelineSweep {};
+
+TEST_P(StrictQuorumSweep, StrictQuorumImpliesLowMinimalK) {
+  ASSERT_GT(GetParam().write_quorum + GetParam().read_quorum,
+            GetParam().replicas)
+      << "StrictQuorumSweep instantiated with a sloppy configuration";
   const quorum::SimResult sim = simulate();
   const KeyedHistories split = split_by_key(sim.trace);
   for (const auto& [key, raw] : split.per_key) {
@@ -144,6 +200,16 @@ INSTANTIATE_TEST_SUITE_P(
                     PipelineParam{5, 1, 1, false, 8},
                     PipelineParam{7, 4, 4, true, 9},
                     PipelineParam{7, 1, 1, false, 10}),
+    param_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    StrictConfigs, StrictQuorumSweep,
+    testing::Values(PipelineParam{3, 2, 2, true, 1},
+                    PipelineParam{3, 2, 2, true, 2},
+                    PipelineParam{5, 3, 3, true, 6},
+                    PipelineParam{5, 4, 2, true, 11},
+                    PipelineParam{7, 4, 4, true, 9},
+                    PipelineParam{7, 5, 3, false, 12}),
     param_name);
 
 }  // namespace

@@ -116,5 +116,55 @@ TEST(Serialization, CrlfTolerated) {
   EXPECT_EQ(trace.size(), 2u);
 }
 
+TEST(Serialization, TrailingWhitespaceTolerated) {
+  const KeyedTrace trace = parse_trace(
+      "op k0 W 1 0 10   \n"
+      "op k0 R 1 12 20 3\t \r\n"
+      "   \t\n");
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.ops[1].op.client, 3);
+}
+
+TEST(Serialization, TabSeparatedFieldsTolerated) {
+  const KeyedTrace trace = parse_trace("op\tk0\tW\t1\t0\t10\n");
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.ops[0].key, "k0");
+}
+
+TEST(Serialization, ErrorsQuoteTheOffendingToken) {
+  try {
+    parse_trace("op k0 W 1 0 10\nop k1 W banana 0 10\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("'banana'"), std::string::npos) << what;
+    EXPECT_NE(what.find("value"), std::string::npos) << what;
+  }
+}
+
+TEST(Serialization, BadTypeErrorQuotesToken) {
+  try {
+    parse_trace("op k0 X 1 0 10\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("'X'"), std::string::npos);
+  }
+}
+
+TEST(Serialization, RejectsTrailingJunkWithToken) {
+  try {
+    parse_trace("op k0 W 1 0 10 3 surprise\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("'surprise'"), std::string::npos);
+  }
+}
+
+TEST(Serialization, RejectsOutOfRangeClient) {
+  EXPECT_THROW(parse_trace("op k0 W 1 0 10 99999999999\n"),
+               std::runtime_error);
+}
+
 }  // namespace
 }  // namespace kav
