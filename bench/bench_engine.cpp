@@ -1,0 +1,220 @@
+// Engine-session overhead: what the kav::Engine front door costs (and
+// saves) relative to the legacy free functions.
+//
+//  * pool amortization -- the legacy parallel facade spins a fresh
+//    ThreadPool up per call; a reused Engine pays that once. Measured
+//    as repeated verification of a many-key trace through both paths,
+//    plus batch + monitor interleaving on one engine.
+//  * source abstraction -- a virtual next() per record vs the raw
+//    BinaryTraceReader loop on the same .kavb file, and Engine::verify
+//    from a file source vs legacy read_any_trace_file + verify.
+//
+// The workload defaults to 200,000 operations over 128 keys (smaller
+// than bench_ingest: every iteration verifies, not just parses);
+// KAV_BENCH_OPS overrides it. Scratch files live under TMPDIR.
+//
+// Start or extend the trajectory file with
+//   ./bench_engine --benchmark_out=BENCH_engine.json
+//                  --benchmark_out_format=json
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "kav.h"
+#include "util/rng.h"
+
+namespace kav {
+namespace {
+
+std::size_t bench_ops() {
+  if (const char* env = std::getenv("KAV_BENCH_OPS")) {
+    const long long parsed = std::atoll(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed) / 5;
+  }
+  return 200'000;
+}
+
+// Many small, clean per-key shards: pool spin-up and scheduling are a
+// visible fraction of the run, which is exactly what this bench
+// isolates (bench_pipeline covers decider-bound scaling).
+KeyedTrace make_trace(std::size_t ops, int keys) {
+  Rng rng(2026);
+  KeyedTrace trace;
+  std::vector<TimePoint> clocks(static_cast<std::size_t>(keys), 0);
+  std::vector<Value> next_value(static_cast<std::size_t>(keys), 1);
+  int key = 0;
+  while (trace.size() < ops) {
+    auto k = static_cast<std::size_t>(key);
+    const Value value = next_value[k]++;
+    const TimePoint t = clocks[k];
+    trace.add("key" + std::to_string(key), make_write(t, t + 4, value));
+    if (trace.size() < ops) {
+      trace.add("key" + std::to_string(key),
+                make_read(t + 5, t + 8, value,
+                          static_cast<ClientId>(rng.bounded(8))));
+    }
+    clocks[k] = t + 12;
+    key = (key + 1) % keys;
+  }
+  return trace;
+}
+
+struct Fixture {
+  KeyedTrace trace;
+  KeyedHistories shards;
+  std::string binary_path;
+
+  Fixture() {
+    trace = make_trace(bench_ops(), 128);
+    shards = split_by_key(trace);
+    binary_path = std::filesystem::temp_directory_path().string() +
+                  "/kav_bench_engine.kavb";
+    write_binary_trace_file(binary_path, trace);
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture instance;
+  return instance;
+}
+
+void ops_rate(benchmark::State& state, std::uint64_t ops_done) {
+  state.counters["trace_ops"] = static_cast<double>(fixture().trace.size());
+  state.counters["ops/s"] = benchmark::Counter(static_cast<double>(ops_done),
+                                               benchmark::Counter::kIsRate);
+}
+
+// --- Pool amortization -----------------------------------------------------
+
+// Legacy path: every call builds a temporary Engine (and so a pool).
+void verify_per_call_pool(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  VerifyOptions options;
+  PipelineOptions pipeline;
+  pipeline.threads = threads;
+  std::uint64_t ops_done = 0;
+  for (auto _ : state) {
+    const KeyedReport report =
+        verify_keyed_trace(fixture().trace, options, pipeline);
+    benchmark::DoNotOptimize(report);
+    ops_done += fixture().trace.size();
+  }
+  ops_rate(state, ops_done);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(verify_per_call_pool)->Arg(1)->Arg(4)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Session path: one Engine, pool reused across calls; shards pre-split
+// so the measured delta against verify_per_call_pool is pool spin-up +
+// per-call splitting, the two costs a session amortizes.
+void verify_reused_engine(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  EngineOptions options;
+  options.threads = threads;
+  Engine engine(options);
+  std::uint64_t ops_done = 0;
+  for (auto _ : state) {
+    const Report report = engine.verify(fixture().shards);
+    benchmark::DoNotOptimize(report);
+    ops_done += fixture().trace.size();
+  }
+  ops_rate(state, ops_done);
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(verify_reused_engine)->Arg(1)->Arg(4)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// Mixed session: batch audit + online monitor replay per iteration on
+// one engine -- the workload shape the shared pool exists for.
+void batch_plus_monitor_one_engine(benchmark::State& state) {
+  EngineOptions options;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  options.streaming.staleness_horizon = 200;
+  options.reorder_slack = 64;
+  Engine engine(options);
+  std::uint64_t ops_done = 0;
+  for (auto _ : state) {
+    const Report batch = engine.verify(fixture().shards);
+    benchmark::DoNotOptimize(batch);
+    const Report live = engine.monitor(fixture().trace);
+    benchmark::DoNotOptimize(live);
+    ops_done += 2 * fixture().trace.size();
+  }
+  ops_rate(state, ops_done);
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(batch_plus_monitor_one_engine)->Arg(1)->Arg(4)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// --- Source abstraction overhead -------------------------------------------
+
+// Baseline: the raw streaming reader, no virtual dispatch.
+void binary_raw_reader(benchmark::State& state) {
+  std::uint64_t ops_done = 0;
+  for (auto _ : state) {
+    std::ifstream in(fixture().binary_path, std::ios::binary);
+    BinaryTraceReader reader(in);
+    KeyedOperation kop;
+    while (reader.next(kop)) benchmark::DoNotOptimize(kop);
+    ops_done += reader.records_read();
+  }
+  ops_rate(state, ops_done);
+}
+BENCHMARK(binary_raw_reader)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// The same records through the polymorphic TraceSource: one virtual
+// call per record on top of the baseline above.
+void binary_trace_source(benchmark::State& state) {
+  std::uint64_t ops_done = 0;
+  for (auto _ : state) {
+    auto source = open_trace_source(fixture().binary_path);
+    KeyedOperation kop;
+    std::uint64_t pulled = 0;
+    while (source->next(kop)) {
+      benchmark::DoNotOptimize(kop);
+      ++pulled;
+    }
+    ops_done += pulled;
+  }
+  ops_rate(state, ops_done);
+}
+BENCHMARK(binary_trace_source)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+// End to end from disk: Engine::verify over a file source vs the
+// legacy read-then-verify spelling of the same job.
+void verify_from_file_engine(benchmark::State& state) {
+  EngineOptions options;
+  options.threads = 1;
+  Engine engine(options);
+  std::uint64_t ops_done = 0;
+  for (auto _ : state) {
+    auto source = open_trace_source(fixture().binary_path);
+    const Report report = engine.verify(*source);
+    benchmark::DoNotOptimize(report);
+    ops_done += fixture().trace.size();
+  }
+  ops_rate(state, ops_done);
+}
+BENCHMARK(verify_from_file_engine)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void verify_from_file_legacy(benchmark::State& state) {
+  std::uint64_t ops_done = 0;
+  for (auto _ : state) {
+    const KeyedTrace trace = read_any_trace_file(fixture().binary_path);
+    const KeyedReport report = verify_keyed_trace(trace);
+    benchmark::DoNotOptimize(report);
+    ops_done += trace.size();
+  }
+  ops_rate(state, ops_done);
+}
+BENCHMARK(verify_from_file_legacy)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kav
+
+BENCHMARK_MAIN();

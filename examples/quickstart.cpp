@@ -1,87 +1,25 @@
-// Quickstart: build a small history by hand, run every decision
-// procedure in the library on it, and compute its minimal k.
-//
-//   $ ./quickstart
-//
-// The history staged here is the paper's motivating shape: a register
-// in a replicated store where one read lags a write by one version
-// (2-atomic but not atomic), plus a healthy cluster.
+// Quickstart: the kav::Engine front door -- verify a two-key trace for
+// 2-atomicity, print the unified report. Full surface map: docs/API.md.
 #include <cstdio>
 
-#include "core/gk.h"
-#include "core/lbt.h"
-#include "core/fzf.h"
-#include "core/minimal_k.h"
-#include "core/verify.h"
-#include "core/witness.h"
-#include "history/history.h"
-#include "history/serialization.h"
-
-using namespace kav;
-
-namespace {
-
-void print_verdict(const char* name, const Verdict& verdict,
-                   const History& history) {
-  std::printf("  %-10s -> %s", name, to_string(verdict.outcome));
-  if (verdict.yes()) {
-    std::printf("   witness:");
-    for (OpId id : verdict.witness) {
-      const Operation& op = history.op(id);
-      std::printf(" %c%lld", op.is_write() ? 'W' : 'R',
-                  static_cast<long long>(op.value));
-    }
-  } else if (!verdict.reason.empty()) {
-    std::printf("   (%s)", verdict.reason.c_str());
-  }
-  std::printf("\n");
-}
-
-}  // namespace
+#include "kav.h"
 
 int main() {
-  // Stage the history. Timeline (one register):
-  //
-  //   w(1) |----|
-  //   w(2)        |----|
-  //   r(1)               |----|     <- stale: returns v1 after w(2)
-  //   r(2)                      |----|
-  HistoryBuilder builder;
-  builder.write(0, 10, 1);
-  builder.write(20, 30, 2);
-  builder.read(40, 50, 1);
-  builder.read(60, 70, 2);
-  const History history = builder.build();
-
-  std::printf("history (kav trace format):\n%s\n",
-              format_history(history).c_str());
-
-  std::printf("1-atomicity (linearizability):\n");
-  print_verdict("GK", check_1atomicity_gk(history), history);
-
-  std::printf("2-atomicity (this paper's algorithms):\n");
-  print_verdict("LBT", check_2atomicity_lbt(history), history);
-  print_verdict("FZF", check_2atomicity_fzf(history), history);
-
-  // Every YES carries a witness order; validate one independently.
-  const Verdict fzf = check_2atomicity_fzf(history);
-  if (fzf.yes()) {
-    const WitnessCheck check = validate_witness(history, fzf.witness, 2);
-    std::printf("  witness independently validated: %s\n",
-                check.ok() ? "ok" : check.detail.c_str());
+  kav::KeyedTrace trace;
+  trace.add("ticker", kav::make_write(0, 10, 1));
+  trace.add("ticker", kav::make_write(20, 30, 2));
+  trace.add("ticker", kav::make_read(40, 50, 1));  // one version stale
+  trace.add("ticker", kav::make_read(60, 70, 2));
+  trace.add("healthy", kav::make_write(0, 10, 7));
+  trace.add("healthy", kav::make_read(12, 20, 7));
+  kav::EngineOptions options;
+  options.verify.k = 2;  // bounded staleness: reads lag <= 1 version
+  kav::Engine engine(options);
+  const kav::Report report = engine.verify(trace);
+  for (const auto& [key, result] : report.per_key) {
+    std::printf("%-8s %s\n", key.c_str(),
+                kav::describe(result.verdict).c_str());
   }
-
-  const MinimalKResult min_k = minimal_k(history);
-  std::printf("\nminimal k: %d (%s, via %s)\n", min_k.k,
-              min_k.exact ? "exact" : "upper bound", min_k.note.c_str());
-
-  // The facade picks the right decider per k.
-  std::printf("\nfacade sweep:\n");
-  for (int k = 1; k <= 3; ++k) {
-    VerifyOptions options;
-    options.k = k;
-    const Verdict verdict = verify_k_atomicity(history, options);
-    std::printf("  k=%d -> %s\n", k, to_string(verdict.outcome));
-  }
-  return 0;
+  std::printf("%s\n", report.summary().c_str());
+  return report.all_yes() ? 0 : 1;
 }

@@ -1,24 +1,19 @@
 // Audits a simulated Dynamo-style sloppy-quorum store for bounded
 // staleness -- the experiment Section VII of the paper proposes
 // ("test whether existing storage systems provide 2-atomicity in
-// practice"). Runs the discrete-event simulator, splits the trace by
-// key (k-atomicity is local, Section II-B), and reports per-key
-// verdicts for k = 1 and k = 2 plus the exact minimal k when the trace
-// is small enough.
-//
-// The k = 1 and k = 2 audits run on the sharded pipeline (per-key
-// locality, Section II-B); --threads controls the pool size (0 = one
-// per hardware thread).
+// practice"). Runs the discrete-event simulator, then drives ONE
+// kav::Engine three ways over the same trace: a batch k = 1 audit, a
+// batch k = 2 audit (per-call VerifyOptions overrides on the same
+// shards), and an online monitoring replay -- all three share the
+// engine's single work-stealing pool, which is the point of the
+// session API.
 //
 //   $ ./quorum_audit --replicas=5 --write-quorum=1 --read-quorum=1
 //         --first-responders=false --clients=4 --ops=60 --seed=7
 //         --threads=4
 #include <cstdio>
 
-#include "core/minimal_k.h"
-#include "core/verify.h"
-#include "history/anomaly.h"
-#include "pipeline/sharded_verifier.h"
+#include "kav.h"
 #include "quorum/sim.h"
 #include "util/flags.h"
 #include "util/stats.h"
@@ -67,19 +62,23 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(result.stats.messages),
               static_cast<unsigned long long>(result.stats.stale_reads));
 
-  // Both audits ride the sharded pipeline: one pool, reused for the
-  // k = 1 and k = 2 passes over all keys.
-  PipelineOptions pipeline;
-  pipeline.threads = threads;
-  ShardedVerifier audit({}, pipeline);
+  // One Engine, one pool: the k = 1 and k = 2 batch audits reuse the
+  // split shards with per-call overrides, and the online monitor replay
+  // below runs on the same threads.
+  EngineOptions engine_options;
+  engine_options.threads = threads;
+  Engine engine(engine_options);
   const KeyedHistories split = split_by_key(result.trace);
-  VerifyOptions options;
-  options.k = 1;
-  const KeyedReport report1 = audit.verify(split, options);
-  options.k = 2;
-  const KeyedReport report2 = audit.verify(split, options);
-  std::printf("pipeline: %zu threads, %zu shards (largest %zu ops)\n\n",
-              audit.thread_count(), split.per_key.size(),
+  RunOptions run;
+  VerifyOptions verify;
+  verify.k = 1;
+  run.verify = verify;
+  const Report report1 = engine.verify(split, run);
+  verify.k = 2;
+  run.verify = verify;
+  const Report report2 = engine.verify(split, run);
+  std::printf("engine: %zu threads, %zu shards (largest %zu ops)\n\n",
+              engine.thread_count(), split.per_key.size(),
               split.max_shard_ops());
 
   TablePrinter table({"key", "ops", "writes", "c", "1-atomic", "2-atomic",
@@ -88,13 +87,14 @@ int main(int argc, char** argv) {
   for (const auto& [key, history] : split.per_key) {
     // The facade normalizes repairable anomalies itself; hard anomalies
     // surface as precondition_failed.
-    if (report2.per_key.at(key).outcome == Outcome::precondition_failed) {
+    if (report2.per_key.at(key).verdict.outcome ==
+        Outcome::precondition_failed) {
       table.add_row({key, std::to_string(history.size()), "-", "-",
                      "anomalous", "anomalous", "-"});
       continue;
     }
-    const bool atomic1 = report1.per_key.at(key).yes();
-    const bool atomic2 = report2.per_key.at(key).yes();
+    const bool atomic1 = report1.per_key.at(key).verdict.yes();
+    const bool atomic2 = report2.per_key.at(key).verdict.yes();
     violations += !atomic2;
     const History normalized = normalize(history);
     MinimalKOptions min_options;
@@ -108,12 +108,21 @@ int main(int argc, char** argv) {
                    min_k_text});
   }
   std::printf("%s\n", table.to_string().c_str());
+
+  // Online replay on the same engine (and the same pool): the monitor
+  // flags the same keys the batch k = 2 audit does, plus streaming-only
+  // findings like staleness-horizon violations.
+  const Report live = engine.monitor(result.trace);
+  std::printf("online monitor replay: %s | %.0f ops/s, peak window %zu\n",
+              live.summary().c_str(), live.monitor_totals.ops_per_second,
+              live.monitor_totals.peak_window);
+
   if (violations > 0) {
-    std::printf("%d key(s) exceed 2-atomicity: this configuration cannot "
+    std::printf("\n%d key(s) exceed 2-atomicity: this configuration cannot "
                 "promise staleness <= 1 version.\n",
                 violations);
     return 1;
   }
-  std::printf("all keys within the 2-atomicity staleness bound.\n");
+  std::printf("\nall keys within the 2-atomicity staleness bound.\n");
   return 0;
 }

@@ -3,17 +3,17 @@
 // example of Section I), how far can the quorum sizes be turned down
 // before the staleness bound is exceeded?
 //
-// Sweeps quorum configurations over several seeds, verifying every
-// per-key history at k = 1 and k = 2 and recording observed staleness,
-// then prints a table from which the operator can read off the
+// Sweeps quorum configurations over several seeds through ONE
+// kav::Engine -- every per-key history in the whole sweep is verified
+// at k = 1 and k = 2 on the same reused thread pool (per-call
+// VerifyOptions overrides), then a table shows the operator the
 // cheapest configuration that still meets the application's bound.
 //
 //   $ ./staleness_tuning --seeds=10 --ops=40 --clients=4
 #include <cstdio>
 #include <vector>
 
-#include "core/verify.h"
-#include "history/anomaly.h"
+#include "kav.h"
 #include "quorum/sim.h"
 #include "util/flags.h"
 #include "util/stats.h"
@@ -50,6 +50,16 @@ int main(int argc, char** argv) {
       {5, 1, 1, false},  // sloppiest
   };
 
+  // One Engine for the entire sweep: 8 configurations x N seeds x 2
+  // values of k all reuse one pool instead of spawning one per run.
+  Engine engine;
+  RunOptions run1, run2;
+  VerifyOptions verify;
+  verify.k = 1;
+  run1.verify = verify;
+  verify.k = 2;
+  run2.verify = verify;
+
   TablePrinter table({"N", "W", "R", "mode", "keys 1-atomic", "keys 2-atomic",
                       "stale reads", "msgs/op"});
   for (const SweepPoint& point : sweep) {
@@ -72,15 +82,18 @@ int main(int argc, char** argv) {
       operations += result.stats.reads + result.stats.writes;
 
       const KeyedHistories split = split_by_key(result.trace);
-      for (const auto& [key, history] : split.per_key) {
-        if (!find_anomalies(history).repairable()) continue;
-        const History normalized = normalize(history);
+      const Report report1 = engine.verify(split, run1);
+      const Report report2 = engine.verify(split, run2);
+      for (const auto& [key, result2] : report2.per_key) {
+        // Keys with hard anomalies (precondition_failed) are excluded
+        // from the percentages, as the serial sweep always did;
+        // repairable ones were normalized by the facade.
+        if (result2.verdict.outcome == Outcome::precondition_failed) {
+          continue;
+        }
         ++total_keys;
-        VerifyOptions options;
-        options.k = 1;
-        atomic1 += verify_k_atomicity(normalized, options).yes();
-        options.k = 2;
-        atomic2 += verify_k_atomicity(normalized, options).yes();
+        atomic1 += report1.per_key.at(key).verdict.yes();
+        atomic2 += result2.verdict.yes();
       }
     }
     auto percent = [&](int count) {

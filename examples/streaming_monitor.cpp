@@ -1,16 +1,17 @@
 // Online keyed 2-atomicity monitoring of a trace file -- Section VII's
 // proposed experiment ("test whether existing storage systems provide
-// 2-atomicity in practice") as a deployable tool. Operations stream
-// through the ingest subsystem's KeyedStreamingMonitor in file order
-// (a completed-operation log): each key gets a ReorderBuffer that
-// absorbs bounded arrival disorder and a StreamingChecker that
-// verifies and evicts settled chunks, so memory stays O(slack +
-// horizon) per key rather than growing with the trace.
+// 2-atomicity in practice") as a deployable tool, driven through the
+// kav::Engine session API. The trace streams through the engine's
+// monitor path (per-key ReorderBuffer + StreamingChecker shards on the
+// engine's shared pool, memory O(slack + horizon) per key), with
+// violations printed live as they are detected; --verify then re-runs
+// the same trace through the engine's batch path -- on the same thread
+// pool, which is the point of the session API.
 //
-// Accepts both trace formats, deciding by magic bytes: the text format
-// (`# kav trace v1`, history/serialization.h) is replayed from memory;
-// the binary format (.kavb, ingest/binary_trace.h) streams record by
-// record without ever holding the whole trace.
+// Accepts both trace formats, deciding by magic bytes via
+// open_trace_source: text (`# kav trace v1`, history/serialization.h)
+// or binary (.kavb, ingest/binary_trace.h -- streamed record by record
+// without ever holding the whole trace).
 //
 //   $ ./streaming_monitor --horizon=10000 --slack=1000 trace.kavb
 //   $ ./streaming_monitor --demo --ops=200 --replicas=5 --write-quorum=1
@@ -18,13 +19,9 @@
 //
 // Exit status: 0 when every key's stream is clean, 1 otherwise.
 #include <cstdio>
-#include <fstream>
 #include <string>
 
-#include "core/streaming.h"
-#include "history/serialization.h"
-#include "ingest/binary_trace.h"
-#include "ingest/keyed_monitor.h"
+#include "kav.h"
 #include "quorum/sim.h"
 #include "util/flags.h"
 
@@ -62,15 +59,33 @@ void save_trace(const std::string& path, const KeyedTrace& trace) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  MonitorOptions options;
+  EngineOptions options;
+  options.verify.k = 2;
   options.streaming.staleness_horizon = flags.get_int("horizon", 10'000);
   options.reorder_slack = flags.get_int("slack", 1'000);
   options.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
   options.queue_capacity =
       static_cast<std::size_t>(flags.get_int("queue", 1'024));
   const bool demo = flags.get_bool("demo", false);
+  // Batch re-verify on the same engine; defaults on in demo mode (the
+  // trace is already in memory there).
+  const bool reverify = flags.get_bool("verify", demo);
 
-  KeyedStreamingMonitor monitor(options);
+  // Live sink: violations print the moment a drain task detects them,
+  // not at finish() -- what a production deployment would page on.
+  RunOptions run;
+  run.on_finding = [](const std::string& key,
+                      const StreamingViolation& violation) {
+    std::printf("  LIVE [%s] key %s at watermark %lld: %s\n",
+                kind_name(violation.kind), key.c_str(),
+                static_cast<long long>(violation.when),
+                violation.detail.c_str());
+  };
+
+  Engine engine(options);
+  Report report;
+  KeyedTrace demo_trace;
+  std::string path;
   if (demo) {
     quorum::QuorumConfig config;
     config.replicas = static_cast<int>(flags.get_int("replicas", 3));
@@ -91,66 +106,73 @@ int main(int argc, char** argv) {
       return 2;
     }
 
-    const quorum::SimResult sim = quorum::run_sloppy_quorum_sim(config);
+    demo_trace = quorum::run_sloppy_quorum_sim(config).trace;
     std::printf("simulated %zu operations (N=%d W=%d R=%d, %s quorums)\n",
-                sim.trace.size(), config.replicas, config.write_quorum,
+                demo_trace.size(), config.replicas, config.write_quorum,
                 config.read_quorum,
                 config.first_responders ? "first-responder" : "fixed-subset");
-    if (!save_path.empty()) save_trace(save_path, sim.trace);
-    for (const KeyedOperation& kop : sim.trace.ops) monitor.ingest(kop);
+    if (!save_path.empty()) save_trace(save_path, demo_trace);
+    report = engine.monitor(demo_trace, run);
   } else {
     flags.check_unknown();
     if (flags.positional().size() != 1) {
       std::fprintf(stderr,
                    "usage: streaming_monitor [--horizon=N] [--slack=N] "
-                   "[--threads=N] [--queue=N] <trace-file>\n"
+                   "[--threads=N] [--queue=N] [--verify] <trace-file>\n"
                    "       streaming_monitor --demo [sim flags] "
                    "[--save=path[.kavb]]\n");
       return 2;
     }
-    const std::string& path = flags.positional().front();
-    if (is_binary_trace_file(path)) {
-      // True streaming: one record in flight, never the whole trace.
-      std::ifstream in(path, std::ios::binary);
-      BinaryTraceReader reader(in);
-      std::string_view key;
-      Operation op;
-      while (reader.next(key, op)) monitor.ingest(std::string(key), op);
-      std::printf("streamed %llu binary records (%zu keys) from %s\n",
-                  static_cast<unsigned long long>(reader.records_read()),
-                  reader.key_count(), path.c_str());
-    } else {
-      const KeyedTrace trace = read_trace_file(path);
-      std::printf("replaying %zu text-format operations from %s\n",
-                  trace.size(), path.c_str());
-      for (const KeyedOperation& kop : trace.ops) monitor.ingest(kop);
+    path = flags.positional().front();
+    try {
+      // Binary files stream record by record: one op in flight, never
+      // the whole trace.
+      auto source = open_trace_source(path);
+      report = engine.monitor(*source, run);
+      std::printf("monitored %s\n", source->describe().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 2;
     }
   }
 
-  const MonitorReport report = monitor.finish();
   for (const auto& [key, result] : report.per_key) {
     std::printf(
         "key %-8s %-3s ingested=%llu evicted=%llu chunks=%llu "
         "peak-window=%zu\n",
-        key.c_str(), result.violations.empty() ? "ok" : "NO",
-        static_cast<unsigned long long>(result.stats.operations_ingested),
-        static_cast<unsigned long long>(result.stats.operations_evicted),
-        static_cast<unsigned long long>(result.stats.chunks_verified),
-        result.stats.peak_window);
-    for (const StreamingViolation& violation : result.violations) {
+        key.c_str(), result.findings.empty() ? "ok" : "NO",
+        static_cast<unsigned long long>(result.stream.operations_ingested),
+        static_cast<unsigned long long>(result.stream.operations_evicted),
+        static_cast<unsigned long long>(result.stream.chunks_verified),
+        result.stream.peak_window);
+    for (const StreamingViolation& violation : result.findings) {
       std::printf("    [%s] at watermark %lld: %s\n",
                   kind_name(violation.kind),
                   static_cast<long long>(violation.when),
                   violation.detail.c_str());
     }
   }
-  const MonitorStats& totals = report.totals;
+  const MonitorStats& totals = report.monitor_totals;
   std::printf(
       "%s | %llu ops in %.3fs (%.0f ops/s) on %zu thread(s), "
       "peak window %zu, watermark lag %lld\n",
       report.summary().c_str(),
       static_cast<unsigned long long>(totals.operations_ingested),
-      totals.elapsed_seconds, totals.ops_per_second, monitor.thread_count(),
+      totals.elapsed_seconds, totals.ops_per_second, engine.thread_count(),
       totals.peak_window, static_cast<long long>(totals.max_watermark_lag));
-  return report.all_clean() ? 0 : 1;
+
+  if (reverify) {
+    // Same engine, same pool: the batch k = 2 audit double-checks the
+    // online verdicts from the already-loaded (or re-opened) trace.
+    Report batch;
+    if (demo) {
+      batch = engine.verify(demo_trace);
+    } else {
+      auto source = open_trace_source(path);
+      batch = engine.verify(*source);
+    }
+    std::printf("batch re-verify (same engine, same pool): %s\n",
+                batch.summary().c_str());
+  }
+  return report.all_yes() ? 0 : 1;
 }

@@ -1,16 +1,17 @@
-// Command-line trace checker: reads a trace in the kav text format
-// (see history/serialization.h), verifies k-atomicity per key, and
-// exits non-zero on violation -- suitable for CI pipelines over traces
-// exported from a real store.
+// Command-line trace checker: opens a recorded trace in either format
+// (text or binary .kavb, auto-detected by magic via open_trace_source),
+// verifies k-atomicity per key on a kav::Engine, and exits non-zero on
+// violation -- suitable for CI pipelines over traces exported from a
+// real store.
 //
 //   $ ./trace_check --k=2 trace.txt
-//   $ ./trace_check --k=1 --algorithm=gk trace.txt
+//   $ ./trace_check --k=1 --algorithm=gk --threads=4 trace.kavb
+//   $ ./trace_check --k=2 --fail-fast --timeout-ms=5000 trace.kavb
 //   $ ./trace_check --demo          # generates and checks a demo trace
 #include <cstdio>
 #include <string>
 
-#include "core/verify.h"
-#include "history/serialization.h"
+#include "kav.h"
 #include "quorum/sim.h"
 #include "util/flags.h"
 
@@ -33,14 +34,21 @@ Algorithm parse_algorithm(const std::string& name) {
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
-  VerifyOptions options;
-  options.k = static_cast<int>(flags.get_int("k", 2));
-  options.algorithm = parse_algorithm(flags.get_string("algorithm", "auto"));
+  EngineOptions options;
+  options.verify.k = static_cast<int>(flags.get_int("k", 2));
+  options.verify.algorithm =
+      parse_algorithm(flags.get_string("algorithm", "auto"));
+  options.threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  options.fail_fast = flags.get_bool("fail-fast", false);
+  RunOptions run;
+  run.timeout =
+      std::chrono::milliseconds(flags.get_int("timeout-ms", 0));
   const bool demo = flags.get_bool("demo", false);
   const bool verbose = flags.get_bool("verbose", false);
   flags.check_unknown();
 
-  KeyedTrace trace;
+  Engine engine(options);
+  Report report;
   if (demo) {
     quorum::QuorumConfig config;
     config.replicas = 5;
@@ -49,37 +57,37 @@ int main(int argc, char** argv) {
     config.first_responders = false;
     config.ops_per_client = 30;
     config.seed = 4;
-    trace = quorum::run_sloppy_quorum_sim(config).trace;
+    const KeyedTrace trace = quorum::run_sloppy_quorum_sim(config).trace;
     std::printf("generated demo trace (sloppy quorum, N=5 W=1 R=1): "
                 "%zu ops\n",
                 trace.size());
+    report = engine.verify(trace, run);
   } else {
     if (flags.positional().empty()) {
       std::fprintf(stderr,
-                   "usage: trace_check [--k=K] [--algorithm=A] <trace-file>\n"
+                   "usage: trace_check [--k=K] [--algorithm=A] [--threads=N] "
+                   "[--fail-fast] [--timeout-ms=N] <trace-file>\n"
                    "       trace_check --demo\n");
       return 2;
     }
     try {
-      trace = read_trace_file(flags.positional().front());
+      auto source = open_trace_source(flags.positional().front());
+      report = engine.verify(*source, run);
+      std::printf("checked %zu key(s) from %s\n", report.per_key.size(),
+                  source->describe().c_str());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
     }
-    std::printf("read %zu operations from %s\n", trace.size(),
-                flags.positional().front().c_str());
   }
 
-  const KeyedReport report = verify_keyed_trace(trace, options);
-  std::printf("checking %d-atomicity with algorithm '%s'\n", options.k,
-              to_string(options.algorithm));
-  for (const auto& [key, verdict] : report.per_key) {
-    if (verdict.yes() && !verbose) continue;
-    std::printf("  key %-12s %s", key.c_str(), to_string(verdict.outcome));
-    if (!verdict.yes() && !verdict.reason.empty()) {
-      std::printf("  %s", verdict.reason.c_str());
-    }
-    std::printf("\n");
+  std::printf("checking %d-atomicity with algorithm '%s' on %zu thread(s)\n",
+              options.verify.k, to_string(options.verify.algorithm),
+              engine.thread_count());
+  for (const auto& [key, result] : report.per_key) {
+    if (result.verdict.yes() && !verbose) continue;
+    std::printf("  key %-12s %s\n", key.c_str(),
+                describe(result.verdict).c_str());
   }
   std::printf("%s\n", report.summary().c_str());
   return report.all_yes() ? 0 : 1;

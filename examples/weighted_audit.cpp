@@ -11,9 +11,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/kwav.h"
-#include "core/witness.h"
-#include "history/history.h"
+#include "kav.h"
 
 using namespace kav;
 
@@ -34,6 +32,23 @@ void part_one_weighted_trace() {
 
   std::vector<Weight> weights(history.size(), 1);
   weights[w_password] = 5;
+
+  // Baseline: the unweighted Engine view. The stale read lags two
+  // writes, so the trace is 3-atomic but not 2-atomic -- every write
+  // counts the same. The weighted bound below is what distinguishes
+  // lagging the password change from lagging presence noise.
+  Engine engine;
+  KeyedTrace trace;
+  for (const Operation& op : history.operations()) trace.add("acct", op);
+  RunOptions run;
+  VerifyOptions verify;
+  for (int k = 2; k <= 3; ++k) {
+    verify.k = k;
+    run.verify = verify;
+    const Report report = engine.verify(trace, run);
+    std::printf("  unweighted k=%d -> %s\n", k,
+                describe(report.per_key.at("acct").verdict).c_str());
+  }
 
   const WeightedHistory weighted{history, weights};
   std::printf("read of v1 lags two writes; one of them is important "

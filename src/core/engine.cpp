@@ -1,0 +1,265 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "ingest/keyed_monitor.h"
+#include "pipeline/sharded_verifier.h"
+#include "pipeline/thread_pool.h"
+
+namespace kav {
+
+namespace {
+
+// The earlier of the absolute deadline and the relative timeout,
+// anchored at call entry (RunOptions precedence rule 2).
+std::optional<std::chrono::steady_clock::time_point> effective_deadline(
+    const RunOptions& run) {
+  std::optional<std::chrono::steady_clock::time_point> deadline =
+      run.deadline;
+  if (run.timeout.count() > 0) {
+    const auto from_timeout = std::chrono::steady_clock::now() + run.timeout;
+    if (!deadline || from_timeout < *deadline) deadline = from_timeout;
+  }
+  return deadline;
+}
+
+bool is_skip_reason(const Verdict& verdict, std::string* reason) {
+  if (verdict.outcome != Outcome::undecided) return false;
+  if (verdict.reason != kSkipCancelledReason &&
+      verdict.reason != kSkipDeadlineReason) {
+    return false;
+  }
+  if (reason->empty()) *reason = verdict.reason;
+  return true;
+}
+
+// Shared run-control scaffolding for every source-consuming loop.
+constexpr std::chrono::milliseconds kPullWait{100};
+// Deadline polls on hot item paths are amortized to one steady_clock
+// read per this many items (the cancel flag is a plain atomic load and
+// is checked every time).
+constexpr std::uint64_t kDeadlinePollMask = 255;
+
+// Non-empty stop reason when the run must stop now. `always_check`
+// bypasses the amortization (a pending pull already waited ~kPullWait,
+// so its clock read is free by comparison).
+std::string check_stop(
+    const RunOptions& run,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    bool always_check, std::uint64_t pulled, const std::string& activity) {
+  if (run.cancel.cancelled()) {
+    return "cancelled by caller while " + activity;
+  }
+  if (deadline && (always_check || (pulled & kDeadlinePollMask) == 0) &&
+      std::chrono::steady_clock::now() >= *deadline) {
+    return "wall-clock deadline exceeded while " + activity;
+  }
+  return {};
+}
+
+// Pulls `source` dry through bounded try_next_for waits -- so a
+// blocking source (PushTraceSource) cannot starve cancellation --
+// feeding each operation to `per_item`. Returns the empty string on a
+// clean end of stream, else the stop reason.
+template <typename PerItem>
+std::string drive_source(
+    TraceSource& source, const RunOptions& run,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    const std::string& activity, PerItem&& per_item) {
+  KeyedOperation kop;
+  std::uint64_t pulled = 0;
+  for (;;) {
+    const TraceSource::Pull pull = source.try_next_for(kop, kPullWait);
+    if (pull == TraceSource::Pull::closed) return {};
+    if (pull == TraceSource::Pull::item) {
+      per_item(std::move(kop));
+      ++pulled;
+    }
+    std::string stop = check_stop(
+        run, deadline, pull == TraceSource::Pull::pending, pulled, activity);
+    if (!stop.empty()) return stop;
+  }
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)),
+      pool_(std::make_unique<pipeline::ThreadPool>(options_.threads)) {
+  PipelineOptions pipeline_options;
+  pipeline_options.shard_op_budget = options_.shard_op_budget;
+  pipeline_options.fail_fast = options_.fail_fast;
+  verifier_ = std::make_unique<ShardedVerifier>(*pool_, options_.verify,
+                                                pipeline_options);
+}
+
+Engine::~Engine() = default;
+
+std::size_t Engine::thread_count() const { return pool_->thread_count(); }
+
+Report Engine::run_batch(
+    const KeyedHistories& shards, const RunOptions& run,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  RunControl control;
+  control.cancel = run.cancel;
+  control.deadline = deadline;
+  control.on_key = run.on_key;
+  KeyedReport keyed = verifier_->verify(
+      shards, run.verify ? *run.verify : options_.verify, control);
+
+  Report report;
+  report.mode = Report::Mode::batch;
+  report.verify_totals = keyed.total_stats();
+  for (auto& [key, verdict] : keyed.per_key) {
+    if (is_skip_reason(verdict, &report.stop_reason)) {
+      report.cancelled = true;
+    }
+    report.per_key.emplace(key, KeyResult{std::move(verdict), {}, {}});
+  }
+  return report;
+}
+
+Report Engine::verify(const KeyedTrace& trace, const RunOptions& run) {
+  return run_batch(split_by_key(trace), run, effective_deadline(run));
+}
+
+Report Engine::verify(const KeyedHistories& shards, const RunOptions& run) {
+  return run_batch(shards, run, effective_deadline(run));
+}
+
+Report Engine::verify(TraceSource& source, const RunOptions& run) {
+  // Anchored once at entry: the same cutoff governs reading the source
+  // AND the shard phase, so a slow source cannot re-arm the timeout.
+  const auto deadline = effective_deadline(run);
+  KeyedTrace trace;
+  const std::string stop =
+      drive_source(source, run, deadline, "reading " + source.describe(),
+                   [&trace](KeyedOperation kop) {
+                     trace.ops.push_back(std::move(kop));
+                   });
+  Report report = run_batch(split_by_key(trace), run, deadline);
+  if (!stop.empty()) {
+    report.cancelled = true;
+    report.stop_reason = stop;
+  }
+  return report;
+}
+
+namespace {
+
+MonitorOptions monitor_options_for(const EngineOptions& options,
+                                   const RunOptions& run) {
+  MonitorOptions monitor_options;
+  monitor_options.streaming = options.streaming;
+  monitor_options.reorder_slack = options.reorder_slack;
+  monitor_options.queue_capacity = options.queue_capacity;
+  monitor_options.on_violation = run.on_finding;
+  return monitor_options;
+}
+
+// A cancelled run still finishes cleanly: what was ingested is fully
+// checked, so the partial report is sound for the prefix.
+void finish_monitor_into(KeyedStreamingMonitor& monitor, Report& report) {
+  MonitorReport finished = monitor.finish();
+  report.monitor_totals = std::move(finished.totals);
+  for (auto& [key, result] : finished.per_key) {
+    report.per_key.emplace(key,
+                           KeyResult{std::move(result.verdict), result.stats,
+                                     std::move(result.violations)});
+  }
+}
+
+}  // namespace
+
+Report Engine::monitor(const KeyedTrace& trace, const RunOptions& run) {
+  // Dedicated loop rather than a MemoryTraceSource: the trace is
+  // already in memory, so every operation is ingested by reference --
+  // no O(trace) copy on this (and the legacy monitor_trace) path.
+  const auto deadline = effective_deadline(run);
+  const std::string activity =
+      "monitoring memory(" + std::to_string(trace.size()) + " ops)";
+  Report report;
+  report.mode = Report::Mode::monitor;
+  {
+    KeyedStreamingMonitor monitor(*pool_, monitor_options_for(options_, run));
+    std::uint64_t pulled = 0;
+    for (const KeyedOperation& kop : trace.ops) {
+      monitor.ingest(kop);
+      ++pulled;
+      std::string stop = check_stop(run, deadline, false, pulled, activity);
+      if (!stop.empty()) {
+        report.cancelled = true;
+        report.stop_reason = std::move(stop);
+        break;
+      }
+    }
+    finish_monitor_into(monitor, report);
+  }
+  return report;
+}
+
+Report Engine::monitor(TraceSource& source, const RunOptions& run) {
+  const auto deadline = effective_deadline(run);
+  Report report;
+  report.mode = Report::Mode::monitor;
+  {
+    KeyedStreamingMonitor monitor(*pool_, monitor_options_for(options_, run));
+    const std::string stop = drive_source(
+        source, run, deadline, "monitoring " + source.describe(),
+        [&monitor](KeyedOperation kop) { monitor.ingest(kop); });
+    if (!stop.empty()) {
+      report.cancelled = true;
+      report.stop_reason = stop;
+    }
+    finish_monitor_into(monitor, report);
+  }
+  return report;
+}
+
+// --- Legacy facade wrappers ------------------------------------------------
+
+// The parallel overload declared in core/verify.h: a temporary Engine
+// per call. Kept for source compatibility; a reused Engine amortizes
+// the pool spin-up this wrapper pays every time (bench_engine measures
+// the difference).
+KeyedReport verify_keyed_trace(const KeyedTrace& trace,
+                               const VerifyOptions& options,
+                               const PipelineOptions& pipeline_options) {
+  EngineOptions engine_options;
+  engine_options.verify = options;
+  engine_options.threads = pipeline_options.threads;
+  engine_options.shard_op_budget = pipeline_options.shard_op_budget;
+  engine_options.fail_fast = pipeline_options.fail_fast;
+  Engine engine(engine_options);
+  Report report = engine.verify(trace);
+  KeyedReport keyed;
+  for (auto& [key, result] : report.per_key) {
+    keyed.per_key.emplace(key, std::move(result.verdict));
+  }
+  return keyed;
+}
+
+// The monitor facade declared in core/verify.h, same deal.
+MonitorReport monitor_trace(const KeyedTrace& trace,
+                            const MonitorOptions& options) {
+  EngineOptions engine_options;
+  engine_options.threads = options.threads;
+  engine_options.streaming = options.streaming;
+  engine_options.reorder_slack = options.reorder_slack;
+  engine_options.queue_capacity = options.queue_capacity;
+  Engine engine(engine_options);
+  RunOptions run;
+  run.on_finding = options.on_violation;
+  Report report = engine.monitor(trace, run);
+  MonitorReport monitor_report;
+  monitor_report.totals = std::move(report.monitor_totals);
+  for (auto& [key, result] : report.per_key) {
+    monitor_report.per_key.emplace(
+        key, KeyMonitorResult{std::move(result.verdict), result.stream,
+                              std::move(result.findings)});
+  }
+  return monitor_report;
+}
+
+}  // namespace kav

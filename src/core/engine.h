@@ -1,0 +1,149 @@
+// kav::Engine -- the library's one front door. A long-lived session
+// object in the spirit of a production verifier (the paper's Section
+// VII experiment run as a service, not a one-shot function call):
+// constructed once from a consolidated EngineOptions, owning ONE
+// work-stealing thread pool shared by sharded batch verification
+// (pipeline/sharded_verifier.h) and keyed online monitoring
+// (ingest/keyed_monitor.h), and consuming any input through the
+// polymorphic TraceSource abstraction (ingest/trace_source.h). Both
+// entry points return the unified Report (core/report.h) and accept
+// per-call RunOptions: a VerifyOptions override, a CancelToken, a
+// wall-clock deadline, and live per-key / per-violation callbacks.
+//
+// Option precedence, from strongest to weakest:
+//   1. RunOptions::verify (per call) overrides EngineOptions::verify.
+//   2. RunOptions::deadline and ::timeout compose: the earlier cutoff
+//      wins when both are set.
+//   3. EngineOptions::threads is the only pool size -- the threads
+//      fields of the absorbed PipelineOptions / MonitorOptions have no
+//      Engine equivalent, because the whole point is one pool.
+//
+// Determinism: Engine::verify inherits the sharded pipeline's
+// guarantee -- with fail_fast off and no cancel/deadline trigger, the
+// Report's verdicts are bit-identical to the legacy serial
+// verify_keyed_trace for any thread count (differentially fuzzed by
+// tests/engine_fuzz_test.cpp).
+//
+// The free functions in core/verify.h survive as thin legacy wrappers
+// (the parallel and monitor ones over a temporary Engine); new code
+// should include kav.h and construct an Engine. Full surface map and
+// migration table: docs/API.md.
+#ifndef KAV_CORE_ENGINE_H
+#define KAV_CORE_ENGINE_H
+
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/report.h"
+#include "core/run_control.h"
+#include "core/streaming.h"
+#include "core/verify.h"
+#include "history/keyed_trace.h"
+#include "ingest/trace_source.h"
+
+namespace kav::pipeline {
+class ThreadPool;
+}  // namespace kav::pipeline
+
+namespace kav {
+
+class ShardedVerifier;
+
+// Everything the three legacy options structs said, minus their
+// duplicated thread counts. Field-by-field origin: VerifyOptions
+// (unchanged, nested), PipelineOptions (shard_op_budget, fail_fast),
+// MonitorOptions (streaming, reorder_slack, queue_capacity).
+struct EngineOptions {
+  // What to verify: k, algorithm, normalization (core/verify.h).
+  VerifyOptions verify;
+  // Size of the one shared pool; 0 picks hardware_concurrency().
+  std::size_t threads = 0;
+
+  // Batch verification (Engine::verify):
+  // Largest per-key shard handed to a decider; bigger shards answer
+  // UNDECIDED. 0 = unlimited.
+  std::size_t shard_op_budget = 0;
+  // Once one shard answers NO, not-yet-started shards are skipped.
+  bool fail_fast = false;
+
+  // Online monitoring (Engine::monitor):
+  StreamingOptions streaming;       // per-key staleness horizon
+  TimePoint reorder_slack = 1'000;  // arrival disorder bound
+  std::size_t queue_capacity = 1'024;  // per-key backpressure queue
+};
+
+// Per-call run options. Default-constructed RunOptions reproduce the
+// legacy facade behavior exactly.
+struct RunOptions {
+  // Overrides EngineOptions::verify for this call, e.g. auditing the
+  // same shards at several k on one pool.
+  std::optional<VerifyOptions> verify;
+  // Cooperative cancellation: keep a copy, call cancel() from any
+  // thread. Shards that have not started answer UNDECIDED
+  // (kSkipCancelledReason); a monitor run stops ingesting. Checked at
+  // shard / operation granularity -- running deciders complete.
+  CancelToken cancel;
+  // Relative wall-clock budget for this call; 0 = none.
+  std::chrono::milliseconds timeout{0};
+  // Absolute wall-clock cutoff; composes with timeout (earlier wins).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  // Batch: live per-key verdict sink, invoked from pool workers as
+  // each shard lands (serialized; completion order; exactly once per
+  // key, skipped shards included). Keep it cheap.
+  std::function<void(const std::string& key, const Verdict& verdict)> on_key;
+  // Monitor: live violation sink, invoked at detection time (see
+  // MonitorOptions::on_violation for the threading contract).
+  std::function<void(const std::string& key,
+                     const StreamingViolation& violation)>
+      on_finding;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Batch verification: split by key, verify shards on the shared
+  // pool, merge in key order. Report::mode == batch.
+  Report verify(const KeyedTrace& trace, const RunOptions& run = {});
+  Report verify(const KeyedHistories& shards, const RunOptions& run = {});
+  // Pulls the source dry first (cancellable), then verifies.
+  Report verify(TraceSource& source, const RunOptions& run = {});
+
+  // Online monitoring: stream the source through a per-key
+  // StreamingChecker array on the same shared pool. Report::mode ==
+  // monitor; per-key findings and MonitorStats totals are filled in.
+  // RunOptions::verify is ignored (the streaming checker is the k = 2
+  // online decider).
+  Report monitor(const KeyedTrace& trace, const RunOptions& run = {});
+  Report monitor(TraceSource& source, const RunOptions& run = {});
+
+  const EngineOptions& options() const { return options_; }
+  std::size_t thread_count() const;
+  // The one shared pool -- exposed so bespoke subsystems can schedule
+  // side work without spawning their own.
+  pipeline::ThreadPool& pool() { return *pool_; }
+
+ private:
+  // `deadline` is the already-anchored cutoff for the whole call --
+  // computed once at the public entry point so a slow TraceSource read
+  // phase cannot re-arm a relative timeout for the shard phase.
+  Report run_batch(
+      const KeyedHistories& shards, const RunOptions& run,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline);
+
+  EngineOptions options_;
+  std::unique_ptr<pipeline::ThreadPool> pool_;
+  std::unique_ptr<ShardedVerifier> verifier_;
+};
+
+}  // namespace kav
+
+#endif  // KAV_CORE_ENGINE_H

@@ -1,0 +1,50 @@
+#include "core/report.h"
+
+namespace kav {
+
+std::string format_key_counts(std::size_t total, std::size_t yes,
+                              std::size_t no, std::size_t undecided,
+                              std::size_t invalid) {
+  return std::to_string(yes) + "/" + std::to_string(total) +
+         " keys atomic within bound, " + std::to_string(no) + " NO, " +
+         std::to_string(undecided) + " undecided, " +
+         std::to_string(invalid) + " invalid";
+}
+
+std::string describe(const Verdict& verdict) {
+  std::string text = to_string(verdict.outcome);
+  if (verdict.yes()) {
+    if (!verdict.witness.empty()) {
+      text += " (witness over " + std::to_string(verdict.witness.size()) +
+              " ops)";
+    }
+    return text;
+  }
+  if (!verdict.reason.empty()) text += ": " + verdict.reason;
+  return text;
+}
+
+bool Report::all_yes() const {
+  for (const auto& [key, result] : per_key) {
+    if (!result.verdict.yes()) return false;
+  }
+  return true;
+}
+
+std::size_t Report::count(Outcome outcome) const {
+  std::size_t n = 0;
+  for (const auto& [key, result] : per_key) {
+    if (result.verdict.outcome == outcome) ++n;
+  }
+  return n;
+}
+
+std::string Report::summary() const {
+  std::string text = format_key_counts(
+      per_key.size(), count(Outcome::yes), count(Outcome::no),
+      count(Outcome::undecided), count(Outcome::precondition_failed));
+  if (cancelled) text += " [cancelled: " + stop_reason + "]";
+  return text;
+}
+
+}  // namespace kav

@@ -1,6 +1,7 @@
 #include "core/verify.h"
 
 #include "core/analysis.h"
+#include "core/report.h"
 #include "core/fzf.h"
 #include "core/gk.h"
 #include "core/greedy.h"
@@ -172,11 +173,9 @@ VerifyStats KeyedReport::total_stats() const {
 }
 
 std::string KeyedReport::summary() const {
-  return std::to_string(count(Outcome::yes)) + "/" +
-         std::to_string(per_key.size()) + " keys atomic within bound, " +
-         std::to_string(count(Outcome::no)) + " NO, " +
-         std::to_string(count(Outcome::undecided)) + " undecided, " +
-         std::to_string(count(Outcome::precondition_failed)) + " invalid";
+  return format_key_counts(per_key.size(), count(Outcome::yes),
+                           count(Outcome::no), count(Outcome::undecided),
+                           count(Outcome::precondition_failed));
 }
 
 KeyedReport verify_keyed_trace(const KeyedTrace& trace,

@@ -1,8 +1,17 @@
-// The library facade: one entry point that normalizes input, dispatches
-// to the right decision procedure for the requested k, and (for
-// multi-register traces) exploits locality -- k-atomicity is a local
-// property (Section II-B of the paper), so a trace is k-atomic iff its
+// The verification facade: normalizes input, dispatches to the right
+// decision procedure for the requested k, and (for multi-register
+// traces) exploits locality -- k-atomicity is a local property
+// (Section II-B of the paper), so a trace is k-atomic iff its
 // projection onto each register is.
+//
+// The free functions over KeyedTrace below are the library's LEGACY
+// surface: they predate kav::Engine (core/engine.h, included via
+// kav.h), which consolidates the three parallel front doors --
+// verify_keyed_trace x2, monitor_trace -- into one session object with
+// one shared thread pool, pluggable TraceSources, a unified Report,
+// and run control. They are kept so every existing caller compiles;
+// the parallel and monitor ones are thin wrappers over a temporary
+// Engine. Migration table: docs/API.md.
 //
 // Paper-section map and guarantees for every procedure: docs/ALGORITHMS.md.
 #ifndef KAV_CORE_VERIFY_H
@@ -58,18 +67,23 @@ Verdict verify_k_atomicity(const History& history,
                            const VerifyOptions& options = {});
 
 // Multi-register verification: splits by key and verifies each
-// projection independently.
+// projection independently. Legacy result shape; kav::Engine returns
+// the unified Report (core/report.h) instead, and both render their
+// summaries through the same format_key_counts() formatter.
 struct KeyedReport {
   std::map<std::string, Verdict> per_key;
 
   bool all_yes() const;
   std::size_t count(Outcome outcome) const;
-  std::string summary() const;  // e.g. "7/8 keys 2-atomic, 1 NO"
+  std::string summary() const;  // shared formatter, core/report.h
   // Work counters summed over all keys -- the aggregate effort of the
   // whole trace, comparable between serial and sharded runs.
   VerifyStats total_stats() const;
 };
 
+// Serial reference implementation -- the semantics every parallel and
+// streaming path is differentially fuzzed against. Legacy: new code
+// uses kav::Engine::verify.
 KeyedReport verify_keyed_trace(const KeyedTrace& trace,
                                const VerifyOptions& options = {});
 
@@ -77,8 +91,10 @@ KeyedReport verify_keyed_trace(const KeyedTrace& trace,
 // work-stealing thread pool. With fail_fast off and no shard_op_budget
 // the report is bit-identical to the serial overload above for any
 // thread count; those two options trade detail for speed (skipped
-// shards answer UNDECIDED). Defined in pipeline/sharded_verifier.cpp;
-// include pipeline/sharded_verifier.h for PipelineOptions.
+// shards answer UNDECIDED). Legacy wrapper over a temporary
+// kav::Engine (defined in core/engine.cpp; include
+// pipeline/sharded_verifier.h for PipelineOptions) -- a reused Engine
+// amortizes the per-call pool spin-up this pays.
 KeyedReport verify_keyed_trace(const KeyedTrace& trace,
                                const VerifyOptions& options,
                                const PipelineOptions& pipeline_options);
@@ -88,8 +104,9 @@ KeyedReport verify_keyed_trace(const KeyedTrace& trace,
 // shards behind reorder buffers on the thread pool), returning per-key
 // streaming verdicts and aggregate throughput/window statistics
 // instead of batch verdicts. Memory stays O(slack + horizon) per key
-// rather than O(trace). Defined in ingest/keyed_monitor.cpp; include
-// ingest/keyed_monitor.h for the option and report types.
+// rather than O(trace). Legacy wrapper over a temporary kav::Engine
+// (defined in core/engine.cpp; include ingest/keyed_monitor.h for the
+// option and report types).
 MonitorReport monitor_trace(const KeyedTrace& trace,
                             const MonitorOptions& options);
 

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "history/serialization.h"
+#include "ingest/trace_source.h"
 
 namespace kav {
 
@@ -305,8 +306,9 @@ bool is_binary_trace_file(const std::string& path) {
 }
 
 KeyedTrace read_any_trace_file(const std::string& path) {
-  return is_binary_trace_file(path) ? read_binary_trace_file(path)
-                                    : read_trace_file(path);
+  // Legacy spelling of the TraceSource abstraction (ingest/trace_source.h):
+  // one polymorphic input behind the same magic sniff.
+  return drain(*open_trace_source(path));
 }
 
 // --- Converters ------------------------------------------------------------

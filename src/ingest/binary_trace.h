@@ -128,6 +128,8 @@ KeyedTrace read_binary_trace_file(const std::string& path);
 // Format sniffing: true iff the file starts with the .kavb magic.
 bool is_binary_trace_file(const std::string& path);
 // Reads either format, deciding by magic (not by file extension).
+// Legacy wrapper: equals drain(*open_trace_source(path)) over the
+// polymorphic TraceSource abstraction in ingest/trace_source.h.
 KeyedTrace read_any_trace_file(const std::string& path);
 
 // Lossless format converters. text -> binary loads the trace (the text

@@ -10,11 +10,13 @@
 namespace kav {
 
 struct KeyedStreamingMonitor::KeyState {
-  explicit KeyState(const MonitorOptions& options)
-      : queue(options.queue_capacity),
+  KeyState(std::string key_name, const MonitorOptions& options)
+      : key(std::move(key_name)),
+        queue(options.queue_capacity),
         reorder(options.reorder_slack),
         checker(options.streaming) {}
 
+  const std::string key;
   pipeline::BoundedQueue<Operation> queue;
   // True while a drain task is scheduled or running; together with
   // process_mutex this guarantees at most one drainer per key, so the
@@ -32,6 +34,10 @@ struct KeyedStreamingMonitor::KeyState {
   // findings -- a swallowed exception would wedge the key forever).
   std::vector<StreamingViolation> extra_violations;
   std::size_t peak_window = 0;
+  // High-water marks of violations already handed to the live
+  // on_violation sink, so each finding is emitted exactly once.
+  std::size_t reported_checker = 0;
+  std::size_t reported_extra = 0;
 };
 
 // --- MonitorReport ---------------------------------------------------------
@@ -44,29 +50,48 @@ bool MonitorReport::all_clean() const {
 }
 
 std::string MonitorReport::summary() const {
-  std::size_t dirty = 0;
+  std::size_t yes = 0, no = 0, undecided = 0, invalid = 0;
   for (const auto& [key, result] : per_key) {
-    if (!result.violations.empty()) ++dirty;
+    switch (result.verdict.outcome) {
+      case Outcome::yes:
+        ++yes;
+        break;
+      case Outcome::no:
+        ++no;
+        break;
+      case Outcome::undecided:
+        ++undecided;
+        break;
+      case Outcome::precondition_failed:
+        ++invalid;
+        break;
+    }
   }
-  std::string text = std::to_string(per_key.size() - dirty) + "/" +
-                     std::to_string(per_key.size()) + " keys clean";
-  if (dirty > 0) {
-    text += ", " + std::to_string(dirty) + " with violations (" +
-            std::to_string(totals.violations) + " total)";
-  }
-  return text;
+  return format_key_counts(per_key.size(), yes, no, undecided, invalid);
 }
 
 // --- KeyedStreamingMonitor -------------------------------------------------
 
 KeyedStreamingMonitor::KeyedStreamingMonitor(const MonitorOptions& options)
     : options_(options),
-      pool_(std::make_unique<pipeline::ThreadPool>(options.threads)) {}
+      owned_pool_(std::make_unique<pipeline::ThreadPool>(options.threads)),
+      pool_(owned_pool_.get()) {}
+
+KeyedStreamingMonitor::KeyedStreamingMonitor(pipeline::ThreadPool& pool,
+                                             const MonitorOptions& options)
+    : options_(options), pool_(&pool) {}
 
 KeyedStreamingMonitor::~KeyedStreamingMonitor() {
-  // Drains any still-queued drain tasks before the key states they
-  // reference are destroyed.
-  pool_->shutdown();
+  // Every queued or running drain task holds a pointer into keys_; wait
+  // for them all before the key states are destroyed. A borrowed pool
+  // is never shut down here -- it belongs to the caller (typically a
+  // kav::Engine outliving many monitors).
+  quiesce();
+}
+
+void KeyedStreamingMonitor::quiesce() {
+  std::unique_lock<std::mutex> lock(drains_mutex_);
+  drains_cv_.wait(lock, [this] { return active_drains_ == 0; });
 }
 
 KeyedStreamingMonitor::KeyState& KeyedStreamingMonitor::state_for(
@@ -83,7 +108,7 @@ KeyedStreamingMonitor::KeyState& KeyedStreamingMonitor::state_for(
   }
   auto it = keys_.find(key);  // re-check: another producer may have won
   if (it == keys_.end()) {
-    it = keys_.emplace(key, std::make_unique<KeyState>(options_)).first;
+    it = keys_.emplace(key, std::make_unique<KeyState>(key, options_)).first;
   }
   return *it->second;
 }
@@ -110,7 +135,25 @@ void KeyedStreamingMonitor::ingest(const std::string& key,
   // task re-checks the queue after releasing the role, so an arrival
   // that lands between its last pop and the release is never stranded.
   if (!state.scheduled.exchange(true, std::memory_order_acq_rel)) {
-    pool_->submit([this, &state] { drain(state); });
+    {
+      std::lock_guard<std::mutex> lock(drains_mutex_);
+      ++active_drains_;
+    }
+    try {
+      pool_->submit([this, &state] { drain(state); });
+    } catch (...) {
+      // submit() can throw (e.g. a borrowed pool already shut down by
+      // its owner). Undo the claim: no drain task will ever run to
+      // decrement the counter or release the drainer role, and the
+      // destructor's quiesce() must not wait forever on it.
+      {
+        std::lock_guard<std::mutex> lock(drains_mutex_);
+        --active_drains_;
+        drains_cv_.notify_all();
+      }
+      state.scheduled.store(false, std::memory_order_release);
+      throw;
+    }
   }
 }
 
@@ -126,44 +169,101 @@ void KeyedStreamingMonitor::process_one(KeyState& state, const Operation& op) {
              " behind watermark " + std::to_string(state.reorder.watermark()) +
              " (reorder slack " + std::to_string(options_.reorder_slack) +
              " exceeded)"});
+  } else {
+    Operation released;
+    while (state.reorder.pop(released)) state.checker.add(released);
+  }
+  // Emitting here, per operation, keeps the live sink's per-key order
+  // equal to detection order: a single op adds either a late_arrival or
+  // checker violations, never both.
+  emit_new_violations(state);
+}
+
+void KeyedStreamingMonitor::emit_new_violations(KeyState& state) {
+  if (!options_.on_violation ||
+      sink_failed_.load(std::memory_order_acquire)) {
     return;
   }
-  Operation released;
-  while (state.reorder.pop(released)) state.checker.add(released);
+  // A throwing sink must never take the run down with it: finish()
+  // could otherwise lose the whole report (finished_ is already set, so
+  // a retry throws). One failure records a finding and permanently
+  // disables live emission for this monitor; the report itself is
+  // unaffected.
+  try {
+    const std::vector<StreamingViolation>& found = state.checker.violations();
+    while (state.reported_checker < found.size()) {
+      options_.on_violation(state.key, found[state.reported_checker]);
+      ++state.reported_checker;
+    }
+    while (state.reported_extra < state.extra_violations.size()) {
+      options_.on_violation(state.key,
+                            state.extra_violations[state.reported_extra]);
+      ++state.reported_extra;
+    }
+  } catch (...) {
+    sink_failed_.store(true, std::memory_order_release);
+    state.extra_violations.push_back(
+        {StreamingViolation::Kind::hard_anomaly, state.reorder.watermark(),
+         "on_violation sink threw; live emission disabled for this monitor"});
+  }
 }
 
 void KeyedStreamingMonitor::drain(KeyState& state) {
-  for (;;) {
-    // Nothing may escape this task: its future is discarded, and an
-    // unwound drain would leave `scheduled` stuck true -- no later
-    // ingest would ever schedule another drainer, wedging the key and
-    // deadlocking producers on its full queue. Failures become
-    // hard_anomaly findings instead.
-    try {
-      std::lock_guard<std::mutex> lock(state.process_mutex);
-      Operation op;
-      bool any = false;
-      while (state.queue.try_pop(op)) {
-        process_one(state, op);
-        any = true;
-      }
-      if (any) {
-        state.checker.advance_watermark(state.reorder.watermark());
-      }
-      state.peak_window =
-          std::max(state.peak_window,
-                   state.checker.window_size() + state.reorder.pending());
-    } catch (const std::exception& e) {
-      std::lock_guard<std::mutex> lock(state.process_mutex);
-      state.extra_violations.push_back(
-          {StreamingViolation::Kind::hard_anomaly, state.reorder.watermark(),
-           std::string("monitor drain failed: ") + e.what()});
+  // The in-flight count must drop on EVERY exit path, exceptional ones
+  // included -- a leaked increment would hang the destructor's
+  // quiesce() forever. Notify while still holding the mutex: quiesce()
+  // may observe active_drains_ == 0 and start destroying this monitor
+  // the moment the mutex is released, so the condition variable must
+  // not be touched after that point.
+  struct DrainGuard {
+    KeyedStreamingMonitor* self;
+    ~DrainGuard() {
+      std::lock_guard<std::mutex> lock(self->drains_mutex_);
+      --self->active_drains_;
+      self->drains_cv_.notify_all();
     }
+  } guard{this};
+
+  try {
+    for (;;) {
+      // Nothing may escape this loop: the task's future is discarded,
+      // and an unwound drain would leave `scheduled` stuck true -- no
+      // later ingest would ever schedule another drainer, wedging the
+      // key and deadlocking producers on its full queue. Failures
+      // become hard_anomaly findings instead.
+      try {
+        std::lock_guard<std::mutex> lock(state.process_mutex);
+        Operation op;
+        bool any = false;
+        while (state.queue.try_pop(op)) {
+          process_one(state, op);
+          any = true;
+        }
+        if (any) {
+          state.checker.advance_watermark(state.reorder.watermark());
+          emit_new_violations(state);  // violations found while settling
+        }
+        state.peak_window =
+            std::max(state.peak_window,
+                     state.checker.window_size() + state.reorder.pending());
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(state.process_mutex);
+        state.extra_violations.push_back(
+            {StreamingViolation::Kind::hard_anomaly, state.reorder.watermark(),
+             std::string("monitor drain failed: ") + e.what()});
+      }
+      state.scheduled.store(false, std::memory_order_release);
+      if (state.queue.empty()) break;
+      // An arrival slipped in after the final pop; re-claim the drainer
+      // role unless its producer already scheduled a successor.
+      if (state.scheduled.exchange(true, std::memory_order_acq_rel)) break;
+    }
+  } catch (...) {
+    // Last resort: even the recorder threw (bad_alloc building the
+    // finding, or a non-std exception out of the user's on_violation
+    // sink). Nothing sane can be recorded; release the drainer role so
+    // a later ingest can reschedule instead of wedging the key.
     state.scheduled.store(false, std::memory_order_release);
-    if (state.queue.empty()) return;
-    // An arrival slipped in after the final pop; re-claim the drainer
-    // role unless its producer already scheduled a successor.
-    if (state.scheduled.exchange(true, std::memory_order_acq_rel)) return;
   }
 }
 
@@ -191,6 +291,7 @@ MonitorReport KeyedStreamingMonitor::finish() {
 
     KeyMonitorResult result;
     result.verdict = state->checker.finish();
+    emit_new_violations(*state);
     result.stats = state->checker.stats();
     result.violations = state->checker.violations();
     result.violations.insert(result.violations.end(),
@@ -268,13 +369,6 @@ MonitorStats KeyedStreamingMonitor::snapshot_totals() const {
 std::size_t KeyedStreamingMonitor::key_count() const {
   std::shared_lock<std::shared_mutex> lock(keys_mutex_);
   return keys_.size();
-}
-
-MonitorReport monitor_trace(const KeyedTrace& trace,
-                            const MonitorOptions& options) {
-  KeyedStreamingMonitor monitor(options);
-  for (const KeyedOperation& kop : trace.ops) monitor.ingest(kop);
-  return monitor.finish();
 }
 
 }  // namespace kav

@@ -5,10 +5,16 @@
 // turns bounded arrival disorder into the watermark promise the
 // checker needs, and a bounded per-key queue decouples producers from
 // checking while capping memory (backpressure: ingest() blocks when a
-// key's queue is full). Checking runs as tasks on the existing
-// work-stealing pipeline::ThreadPool -- at most one drain task per key
-// at a time, so per-key processing is serial (checkers are not
-// thread-safe) while distinct keys check in parallel.
+// key's queue is full). Checking runs as tasks on a work-stealing
+// pipeline::ThreadPool -- at most one drain task per key at a time, so
+// per-key processing is serial (checkers are not thread-safe) while
+// distinct keys check in parallel.
+//
+// The pool can be owned (legacy constructor) or borrowed (ThreadPool&
+// constructor): kav::Engine (core/engine.h, the library's front door)
+// runs batch verification and monitoring on ONE shared pool. A monitor
+// on a borrowed pool never shuts the pool down; its destructor only
+// waits for its own in-flight drain tasks to quiesce.
 //
 // Soundness inherits from the two layers (see docs/ALGORITHMS.md):
 // the reorder slack S gives each checker a valid watermark, and the
@@ -23,14 +29,18 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/report.h"
 #include "core/streaming.h"
 #include "history/keyed_trace.h"
 #include "ingest/reorder_buffer.h"
@@ -49,31 +59,23 @@ struct MonitorOptions {
   // violations, not crashes.
   TimePoint reorder_slack = 1'000;
   // Worker threads; 0 picks std::thread::hardware_concurrency().
+  // Ignored when the monitor borrows a caller-provided pool.
   std::size_t threads = 0;
   // Per-key queue capacity; a producer that outruns checking blocks
   // here (backpressure) instead of growing an unbounded backlog.
   std::size_t queue_capacity = 1'024;
+  // Optional live sink: invoked as violations are detected (drain time,
+  // not finish time), from pool workers, serialized per key and holding
+  // that key's processing lock -- keep it cheap and never call back
+  // into the monitor. Per-key order is detection order. A sink that
+  // throws disables live emission for the rest of the run (recorded as
+  // a hard_anomaly finding); the final report is never affected.
+  std::function<void(const std::string& key,
+                     const StreamingViolation& violation)>
+      on_violation;
 };
 
-// Aggregated snapshot across all keys; available mid-stream via
-// stats() and as MonitorReport::totals after finish().
-struct MonitorStats {
-  std::uint64_t operations_ingested = 0;  // ingest() calls accepted
-  std::uint64_t late_arrivals = 0;        // beyond the reorder slack
-  std::uint64_t violations = 0;           // all kinds, all keys
-  std::uint64_t chunks_verified = 0;
-  std::size_t keys = 0;
-  // Max over keys of (checker window + reorder pending): the memory
-  // high-water mark, bounded by O(slack + horizon) ops in flight.
-  std::size_t peak_window = 0;
-  // Max over keys of (newest start enqueued - checker watermark): how
-  // far verification trails ingest.
-  TimePoint max_watermark_lag = 0;
-  double elapsed_seconds = 0.0;  // since the first ingest()
-  double ops_per_second = 0.0;
-  // Keys with at least one violation and their counts.
-  std::map<std::string, std::uint64_t> violations_per_key;
-};
+// MonitorStats lives in core/report.h (the unified Report embeds it).
 
 struct KeyMonitorResult {
   Verdict verdict;  // YES iff the key's stream produced no violations
@@ -86,12 +88,19 @@ struct MonitorReport {
   MonitorStats totals;
 
   bool all_clean() const;
-  std::string summary() const;  // e.g. "7/8 keys clean, 1 with violations"
+  // Rendered by the shared format_key_counts() formatter (core/report.h)
+  // so monitor and batch tallies are grep-compatible.
+  std::string summary() const;
 };
 
 class KeyedStreamingMonitor {
  public:
+  // Owning: spawns a pool sized by options.threads.
   explicit KeyedStreamingMonitor(const MonitorOptions& options = {});
+  // Non-owning: checking tasks run on the caller's pool, which must
+  // outlive the monitor.
+  KeyedStreamingMonitor(pipeline::ThreadPool& pool,
+                        const MonitorOptions& options = {});
   ~KeyedStreamingMonitor();
 
   KeyedStreamingMonitor(const KeyedStreamingMonitor&) = delete;
@@ -121,10 +130,16 @@ class KeyedStreamingMonitor {
   // Feeds one arrival through the reorder buffer into the checker.
   // Caller holds state.process_mutex.
   void process_one(KeyState& state, const Operation& op);
+  // Reports not-yet-reported violations to options_.on_violation.
+  // Caller holds state.process_mutex.
+  void emit_new_violations(KeyState& state);
+  // Blocks until no drain task of this monitor is queued or running.
+  void quiesce();
   MonitorStats snapshot_totals() const;
 
   MonitorOptions options_;
-  std::unique_ptr<pipeline::ThreadPool> pool_;
+  std::unique_ptr<pipeline::ThreadPool> owned_pool_;
+  pipeline::ThreadPool* pool_;  // owned_pool_.get() or the borrowed pool
 
   // Guards keys_, started_, start_time_. Shared for the per-ingest
   // known-key lookup (the hot path stays contention-free across
@@ -134,10 +149,21 @@ class KeyedStreamingMonitor {
   std::chrono::steady_clock::time_point start_time_;
   bool started_ = false;
   std::atomic<bool> finished_{false};
+  // Set when the user's on_violation sink throws: live emission is
+  // disabled for the rest of the run (recorded as a hard_anomaly
+  // finding) rather than letting the exception destroy the report.
+  std::atomic<bool> sink_failed_{false};
+
+  // In-flight drain-task accounting, so a monitor on a borrowed pool
+  // can quiesce without shutting the shared pool down.
+  std::mutex drains_mutex_;
+  std::condition_variable drains_cv_;
+  std::size_t active_drains_ = 0;
 };
 
 // The facade overload declared in core/verify.h: replays a complete
 // trace (in its arrival order) through a KeyedStreamingMonitor.
+// Legacy wrapper -- new code should use kav::Engine::monitor.
 MonitorReport monitor_trace(const KeyedTrace& trace,
                             const MonitorOptions& options);
 

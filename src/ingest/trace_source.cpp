@@ -1,0 +1,136 @@
+#include "ingest/trace_source.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "history/serialization.h"
+
+namespace kav {
+
+// --- MemoryTraceSource -----------------------------------------------------
+
+bool MemoryTraceSource::next(KeyedOperation& out) {
+  if (pos_ >= trace_.ops.size()) return false;
+  out = trace_.ops[pos_++];
+  return true;
+}
+
+std::string MemoryTraceSource::describe() const {
+  return "memory(" + std::to_string(trace_.size()) + " ops)";
+}
+
+// --- TextFileTraceSource ---------------------------------------------------
+
+TextFileTraceSource::TextFileTraceSource(const std::string& path)
+    : path_(path), trace_(read_trace_file(path)) {}
+
+bool TextFileTraceSource::next(KeyedOperation& out) {
+  if (pos_ >= trace_.ops.size()) return false;
+  // Single-pass source: moving the key string out keeps the legacy
+  // read_any_trace_file (= drain over this source) a one-copy path.
+  out = std::move(trace_.ops[pos_++]);
+  return true;
+}
+
+std::string TextFileTraceSource::describe() const { return "text:" + path_; }
+
+// --- BinaryFileTraceSource -------------------------------------------------
+
+namespace {
+
+// Turns an unopenable path into a clear error before BinaryTraceReader
+// would report a confusing truncated-header one.
+const std::string& require_readable(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) throw std::runtime_error("cannot open trace file: " + path);
+  return path;
+}
+
+}  // namespace
+
+BinaryFileTraceSource::BinaryFileTraceSource(const std::string& path)
+    : path_(path),
+      in_(require_readable(path), std::ios::binary),
+      reader_(in_) {}
+
+bool BinaryFileTraceSource::next(KeyedOperation& out) {
+  return reader_.next(out);
+}
+
+std::string BinaryFileTraceSource::describe() const {
+  return "binary:" + path_;
+}
+
+// --- PushTraceSource -------------------------------------------------------
+
+void PushTraceSource::push(std::string key, Operation op) {
+  push(KeyedOperation{std::move(key), op});
+}
+
+void PushTraceSource::push(KeyedOperation kop) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_full_.wait(lock,
+                 [this] { return closed_ || items_.size() < capacity_; });
+  if (closed_) {
+    throw std::logic_error("PushTraceSource::push after close()");
+  }
+  items_.push_back(std::move(kop));
+  not_empty_.notify_one();
+}
+
+void PushTraceSource::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+bool PushTraceSource::next(KeyedOperation& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return false;  // closed and drained
+  out = std::move(items_.front());
+  items_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+TraceSource::Pull PushTraceSource::try_next_for(
+    KeyedOperation& out, std::chrono::milliseconds wait) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (!not_empty_.wait_for(lock, wait,
+                           [this] { return closed_ || !items_.empty(); })) {
+    return Pull::pending;
+  }
+  if (items_.empty()) return Pull::closed;  // closed and drained
+  out = std::move(items_.front());
+  items_.pop_front();
+  not_full_.notify_one();
+  return Pull::item;
+}
+
+std::string PushTraceSource::describe() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return "push(" + std::to_string(items_.size()) + " queued" +
+         (closed_ ? ", closed)" : ")");
+}
+
+// --- Factory + drain -------------------------------------------------------
+
+std::unique_ptr<TraceSource> open_trace_source(const std::string& path) {
+  if (is_binary_trace_file(path)) {
+    return std::make_unique<BinaryFileTraceSource>(path);
+  }
+  return std::make_unique<TextFileTraceSource>(path);
+}
+
+KeyedTrace drain(TraceSource& source) {
+  KeyedTrace trace;
+  KeyedOperation kop;
+  while (source.next(kop)) trace.ops.push_back(std::move(kop));
+  return trace;
+}
+
+}  // namespace kav

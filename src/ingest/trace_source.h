@@ -1,0 +1,158 @@
+// TraceSource: the one polymorphic input kav::Engine (core/engine.h)
+// verifies and monitors from. Every way a trace reaches the library --
+// an in-memory KeyedTrace, a text-format file, a binary .kavb file, or
+// a live producer pushing operations one at a time -- is the same
+// pull-based stream of KeyedOperations, so new backends (sockets, RPC
+// front-ends, replay logs) plug in by implementing two methods instead
+// of growing another facade overload.
+//
+// Sources are single-pass: next() walks the stream once. File sources
+// detect format by magic bytes (open_trace_source), never by file
+// extension; the legacy read_any_trace_file is drain() over this
+// abstraction. Memory cost: binary file sources and push sources are
+// truly streaming (O(chunk) / O(capacity)); text file sources load the
+// whole trace at construction, which is inherent to the line-oriented
+// text format.
+#ifndef KAV_INGEST_TRACE_SOURCE_H
+#define KAV_INGEST_TRACE_SOURCE_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "history/keyed_trace.h"
+#include "ingest/binary_trace.h"
+
+namespace kav {
+
+class TraceSource {
+ public:
+  // Result of a bounded pull (try_next_for): an operation was produced,
+  // nothing arrived within the wait (stream still open), or the stream
+  // ended.
+  enum class Pull : unsigned char { item, pending, closed };
+
+  virtual ~TraceSource() = default;
+
+  // Pulls the next operation; false at the end of the stream. May block
+  // (push sources block until an operation arrives or the producer
+  // closes). Throws std::runtime_error on malformed input.
+  virtual bool next(KeyedOperation& out) = 0;
+
+  // Bounded pull: like next(), but a source that might block
+  // indefinitely returns Pull::pending after ~`wait` instead, so a
+  // consumer can re-check a CancelToken or deadline between pulls
+  // (Engine::monitor does). The default forwards to next() -- correct
+  // for sources that never block longer than their input takes to
+  // read; blocking sources (PushTraceSource) override it.
+  virtual Pull try_next_for(KeyedOperation& out,
+                            std::chrono::milliseconds wait) {
+    (void)wait;
+    return next(out) ? Pull::item : Pull::closed;
+  }
+
+  // Human-readable origin for reports and error messages, e.g.
+  // "memory(120 ops)" or "binary:trace.kavb".
+  virtual std::string describe() const = 0;
+};
+
+// In-memory trace, replayed in insertion (arrival) order.
+class MemoryTraceSource final : public TraceSource {
+ public:
+  explicit MemoryTraceSource(KeyedTrace trace) : trace_(std::move(trace)) {}
+
+  bool next(KeyedOperation& out) override;
+  std::string describe() const override;
+
+  // Memory sources alone are re-runnable: rewind to replay the same
+  // trace through another Engine call.
+  void rewind() { pos_ = 0; }
+
+ private:
+  KeyedTrace trace_;
+  std::size_t pos_ = 0;
+};
+
+// Text-format file (history/serialization.h). The text reader is
+// whole-stream, so the trace is parsed eagerly at construction; throws
+// std::runtime_error with a line number on parse errors.
+class TextFileTraceSource final : public TraceSource {
+ public:
+  explicit TextFileTraceSource(const std::string& path);
+
+  bool next(KeyedOperation& out) override;
+  std::string describe() const override;
+
+ private:
+  std::string path_;
+  KeyedTrace trace_;
+  std::size_t pos_ = 0;
+};
+
+// Binary .kavb file (ingest/binary_trace.h): true streaming, one chunk
+// in memory at a time. Throws std::runtime_error with a byte offset on
+// malformed input.
+class BinaryFileTraceSource final : public TraceSource {
+ public:
+  explicit BinaryFileTraceSource(const std::string& path);
+
+  bool next(KeyedOperation& out) override;
+  std::string describe() const override;
+
+ private:
+  std::string path_;
+  std::ifstream in_;
+  BinaryTraceReader reader_;
+};
+
+// Incremental push source: producers push() completed operations from
+// any thread; the consumer side (Engine::monitor, typically on another
+// thread) pulls them via next(), which blocks until an operation is
+// available or the source is closed. push() blocks while the internal
+// queue is at capacity (backpressure) and throws std::logic_error
+// after close().
+class PushTraceSource final : public TraceSource {
+ public:
+  explicit PushTraceSource(std::size_t capacity = 1'024)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void push(std::string key, Operation op);
+  void push(KeyedOperation kop);
+  // Ends the stream: next() drains what is queued, then returns false.
+  // Idempotent.
+  void close();
+
+  bool next(KeyedOperation& out) override;
+  // Times out with Pull::pending instead of blocking forever, so a
+  // cancelled Engine::monitor over a push source that is never closed
+  // still returns.
+  Pull try_next_for(KeyedOperation& out,
+                    std::chrono::milliseconds wait) override;
+  std::string describe() const override;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<KeyedOperation> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+// Opens a trace file as a source, deciding text vs binary by magic
+// bytes (never by extension). Throws std::runtime_error when the file
+// cannot be opened or its header is malformed.
+std::unique_ptr<TraceSource> open_trace_source(const std::string& path);
+
+// Pulls a source dry into a KeyedTrace. read_any_trace_file
+// (ingest/binary_trace.h) is exactly drain(*open_trace_source(path)).
+KeyedTrace drain(TraceSource& source);
+
+}  // namespace kav
+
+#endif  // KAV_INGEST_TRACE_SOURCE_H

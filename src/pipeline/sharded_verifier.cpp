@@ -1,7 +1,9 @@
 #include "pipeline/sharded_verifier.h"
 
 #include <atomic>
+#include <chrono>
 #include <future>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -12,7 +14,16 @@ ShardedVerifier::ShardedVerifier(VerifyOptions verify_options,
                                  PipelineOptions pipeline_options)
     : verify_options_(verify_options),
       pipeline_options_(pipeline_options),
-      pool_(std::make_unique<pipeline::ThreadPool>(pipeline_options.threads)) {}
+      owned_pool_(
+          std::make_unique<pipeline::ThreadPool>(pipeline_options.threads)),
+      pool_(owned_pool_.get()) {}
+
+ShardedVerifier::ShardedVerifier(pipeline::ThreadPool& pool,
+                                 VerifyOptions verify_options,
+                                 PipelineOptions pipeline_options)
+    : verify_options_(verify_options),
+      pipeline_options_(pipeline_options),
+      pool_(&pool) {}
 
 KeyedReport ShardedVerifier::verify(const KeyedTrace& trace) {
   return verify(split_by_key(trace));
@@ -24,36 +35,81 @@ KeyedReport ShardedVerifier::verify(const KeyedHistories& shards) {
 
 KeyedReport ShardedVerifier::verify(const KeyedHistories& shards,
                                     const VerifyOptions& verify_options) {
-  // One cancellation flag per call: fail-fast on one trace must not
-  // poison a later verify() on the same (reused) pool.
-  auto cancelled = std::make_shared<std::atomic<bool>>(false);
+  return verify(shards, verify_options, RunControl{});
+}
+
+KeyedReport ShardedVerifier::verify(const KeyedHistories& shards,
+                                    const VerifyOptions& verify_options,
+                                    const RunControl& run) {
+  // One fail-fast flag per call: a NO on one trace must not poison a
+  // later verify() on the same (reused) pool. Caller cancellation is
+  // the token inside `run` -- also per call, by construction.
+  auto failed = std::make_shared<std::atomic<bool>>(false);
+  // Serializes the optional live per-key callback across workers.
+  auto sink_mutex = std::make_shared<std::mutex>();
   const bool fail_fast = pipeline_options_.fail_fast;
   const std::size_t budget = pipeline_options_.shard_op_budget;
   const VerifyOptions options = verify_options;
 
+  // Captured by pointer, not copied per shard: every exit path of this
+  // function (normal merge AND the submit-failure catch below) waits
+  // for all submitted futures first, so `run` strictly outlives every
+  // task that dereferences it.
+  const RunControl* run_ptr = &run;
+
   std::vector<std::future<Verdict>> futures;
   futures.reserve(shards.per_key.size());
-  for (const auto& [key, history] : shards.per_key) {
-    const History* shard = &history;
-    futures.push_back(pool_->submit([shard, options, budget, fail_fast,
-                                     cancelled]() -> Verdict {
-      if (budget > 0 && shard->size() > budget) {
-        return Verdict::make_undecided(
-            "shard exceeds per-shard op budget (" +
-            std::to_string(shard->size()) + " ops > " +
-            std::to_string(budget) + ")");
-      }
-      if (fail_fast && cancelled->load(std::memory_order_acquire)) {
-        return Verdict::make_undecided(
-            "skipped: fail-fast cancellation after another shard answered "
-            "NO");
-      }
-      Verdict verdict = verify_k_atomicity(*shard, options);
-      if (fail_fast && verdict.no()) {
-        cancelled->store(true, std::memory_order_release);
-      }
-      return verdict;
-    }));
+  try {
+    for (const auto& [key, history] : shards.per_key) {
+      const History* shard = &history;
+      const std::string* shard_key = &key;
+      futures.push_back(pool_->submit([shard, shard_key, options, budget,
+                                       fail_fast, failed, sink_mutex,
+                                       run_ptr]() -> Verdict {
+        const Verdict verdict = [&]() -> Verdict {
+          if (budget > 0 && shard->size() > budget) {
+            return Verdict::make_undecided(
+                "shard exceeds per-shard op budget (" +
+                std::to_string(shard->size()) + " ops > " +
+                std::to_string(budget) + ")");
+          }
+          // Skip checks in precedence order: the caller's intent
+          // (cancel, then deadline) outranks the internal fail-fast
+          // flag, so a cancelled run reports "cancelled" even if a NO
+          // also landed.
+          if (run_ptr->cancel.cancelled()) {
+            return Verdict::make_undecided(kSkipCancelledReason);
+          }
+          if (run_ptr->deadline.has_value() &&
+              std::chrono::steady_clock::now() >= *run_ptr->deadline) {
+            return Verdict::make_undecided(kSkipDeadlineReason);
+          }
+          if (fail_fast && failed->load(std::memory_order_acquire)) {
+            return Verdict::make_undecided(kSkipFailFastReason);
+          }
+          return verify_k_atomicity(*shard, options);
+        }();
+        if (fail_fast && verdict.no()) {
+          failed->store(true, std::memory_order_release);
+        }
+        // Every shard's verdict reaches the sink, skipped shards
+        // (budget, cancel, deadline, fail-fast) included: a progress
+        // consumer counting callbacks sees exactly one per key.
+        if (run_ptr->on_key) {
+          std::lock_guard<std::mutex> lock(*sink_mutex);
+          run_ptr->on_key(*shard_key, verdict);
+        }
+        return verdict;
+      }));
+    }
+  } catch (...) {
+    // submit() can throw mid-fan-out (e.g. a borrowed pool shut down by
+    // its owner). Already-queued tasks hold pointers into `shards` and
+    // WILL still run (shutdown drains, it does not abort), so they must
+    // finish before this exception may unwind past the caller's
+    // arguments.
+    for (const auto& future : futures) future.wait();
+    throw;
   }
 
   // Wait for every shard before any get() can rethrow: queued tasks
@@ -71,13 +127,6 @@ KeyedReport ShardedVerifier::verify(const KeyedHistories& shards,
     report.per_key.emplace(key, futures[i++].get());
   }
   return report;
-}
-
-KeyedReport verify_keyed_trace(const KeyedTrace& trace,
-                               const VerifyOptions& options,
-                               const PipelineOptions& pipeline_options) {
-  ShardedVerifier verifier(options, pipeline_options);
-  return verifier.verify(trace);
 }
 
 }  // namespace kav

@@ -5,19 +5,28 @@
 // key, dispatches each per-key History to a work-stealing ThreadPool,
 // and merges the per-key Verdicts back into a KeyedReport in key order.
 //
-// Determinism guarantee: with fail_fast off, every shard's verdict is a
-// pure function of (shard history, VerifyOptions, shard_op_budget) --
-// including the ZoneProfile-based LBT/FZF choice under
-// Algorithm::auto_select, which looks only at the shard -- and the
-// merge orders by key, so the returned KeyedReport never depends on
-// thread count or scheduling; with shard_op_budget also unset it is
-// bit-identical to the serial verify_keyed_trace() (checked by
-// tests/pipeline_fuzz_test.cpp).
+// The pool can be owned (legacy constructor: the verifier spawns one)
+// or borrowed (ThreadPool& constructor: kav::Engine wires batch and
+// monitor work onto ONE shared pool -- see core/engine.h, the library's
+// front door). In borrowed mode PipelineOptions::threads is ignored:
+// the pool's size wins.
 //
-// Fail-fast mode trades that for latency: once any shard answers NO,
-// shards that have not started yet return UNDECIDED instead of running.
-// At least one NO always survives into the report; *which* other shards
-// still get verdicts depends on scheduling.
+// Determinism guarantee: with fail_fast off and no RunControl trigger,
+// every shard's verdict is a pure function of (shard history,
+// VerifyOptions, shard_op_budget) -- including the ZoneProfile-based
+// LBT/FZF choice under Algorithm::auto_select, which looks only at the
+// shard -- and the merge orders by key, so the returned KeyedReport
+// never depends on thread count or scheduling; with shard_op_budget
+// also unset it is bit-identical to the serial verify_keyed_trace()
+// (checked by tests/pipeline_fuzz_test.cpp and tests/engine_fuzz_test.cpp).
+//
+// Early-stop modes trade that for latency, and all three report skipped
+// shards as UNDECIDED with the exact reasons in core/run_control.h:
+// fail_fast (once any shard answers NO, shards that have not started
+// are skipped; at least one NO always survives into the report),
+// RunControl::cancel (caller-initiated), and RunControl::deadline
+// (wall-clock). *Which* shards still get verdicts under any of them
+// depends on scheduling.
 //
 // Paper-section map and guarantees for every procedure: docs/ALGORITHMS.md.
 #ifndef KAV_PIPELINE_SHARDED_VERIFIER_H
@@ -26,6 +35,7 @@
 #include <cstddef>
 #include <memory>
 
+#include "core/run_control.h"
 #include "core/verify.h"
 #include "history/keyed_trace.h"
 #include "pipeline/thread_pool.h"
@@ -34,6 +44,7 @@ namespace kav {
 
 struct PipelineOptions {
   // Worker threads; 0 picks std::thread::hardware_concurrency().
+  // Ignored when the verifier borrows a caller-provided pool.
   std::size_t threads = 0;
   // Largest shard (per-key operation count) the pipeline will hand to a
   // decider; bigger shards answer UNDECIDED with a budget reason rather
@@ -48,31 +59,37 @@ struct PipelineOptions {
 
 class ShardedVerifier {
  public:
+  // Owning: spawns a pool sized by pipeline_options.threads. The pool
+  // is created once and reused across verify() calls, so a monitor can
+  // re-verify batches without respawning threads.
   explicit ShardedVerifier(VerifyOptions verify_options = {},
                            PipelineOptions pipeline_options = {});
+  // Non-owning: runs every shard on the caller's pool, which must
+  // outlive the verifier. This is how kav::Engine keeps a process doing
+  // batch + online work down to exactly one pool.
+  ShardedVerifier(pipeline::ThreadPool& pool, VerifyOptions verify_options = {},
+                  PipelineOptions pipeline_options = {});
 
-  // The pool is created once and reused across verify() calls, so a
-  // monitor can re-verify batches without respawning threads.
   KeyedReport verify(const KeyedTrace& trace);
   KeyedReport verify(const KeyedHistories& shards);
   // Same, overriding the constructor's VerifyOptions for this call --
   // e.g. auditing the same shards at several k on one pool.
   KeyedReport verify(const KeyedHistories& shards,
                      const VerifyOptions& options);
+  // Full form: per-call options plus run control (cancellation,
+  // deadline, live per-key callback). The default RunControl reproduces
+  // the overloads above bit for bit.
+  KeyedReport verify(const KeyedHistories& shards,
+                     const VerifyOptions& options, const RunControl& run);
 
   std::size_t thread_count() const { return pool_->thread_count(); }
 
  private:
   VerifyOptions verify_options_;
   PipelineOptions pipeline_options_;
-  std::unique_ptr<pipeline::ThreadPool> pool_;
+  std::unique_ptr<pipeline::ThreadPool> owned_pool_;
+  pipeline::ThreadPool* pool_;  // owned_pool_.get() or the borrowed pool
 };
-
-// The facade overload declared in core/verify.h; spins up a pipeline
-// for a single trace.
-KeyedReport verify_keyed_trace(const KeyedTrace& trace,
-                               const VerifyOptions& options,
-                               const PipelineOptions& pipeline_options);
 
 }  // namespace kav
 

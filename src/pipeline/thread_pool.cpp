@@ -1,11 +1,21 @@
 #include "pipeline/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 
 namespace kav::pipeline {
 
+namespace {
+std::atomic<std::uint64_t> g_pools_created{0};
+}  // namespace
+
+std::uint64_t ThreadPool::created_count() {
+  return g_pools_created.load(std::memory_order_relaxed);
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
+  g_pools_created.fetch_add(1, std::memory_order_relaxed);
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }

@@ -24,6 +24,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -46,6 +47,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t thread_count() const { return workers_.size(); }
+
+  // Process-wide count of pools ever constructed -- a test hook
+  // (tests/engine_test.cpp) asserting that one kav::Engine running
+  // batch and monitor work spawns exactly one pool.
+  static std::uint64_t created_count();
 
   // Schedules fn and returns a future for its result; an exception
   // thrown by fn surfaces from future.get(). Throws std::runtime_error

@@ -1,0 +1,182 @@
+// Seeded differential fuzzing of the kav::Engine session API against
+// the legacy facade: for random multi-key traces, Engine::verify must
+// be bit-identical (outcome, witness, reason, conflict, stats) to the
+// legacy serial verify_keyed_trace -- across 1/2/8 threads, every
+// Algorithm value (including k-mismatched precondition_failed combos),
+// and with the engines REUSED across trials, so cross-call
+// contamination on the shared pool would be caught too.
+//
+// The master seed comes from KAV_FUZZ_SEED when set and is printed on
+// every failure, so any finding reproduces with
+//   KAV_FUZZ_SEED=<seed> ./engine_fuzz_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gen/generators.h"
+#include "gen/mutators.h"
+#include "kav.h"
+#include "util/rng.h"
+
+namespace kav {
+namespace {
+
+constexpr std::uint64_t kDefaultSeed = 0x5eed2026ULL;
+
+std::uint64_t fuzz_seed() {
+  if (const char* env = std::getenv("KAV_FUZZ_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return kDefaultSeed;
+}
+
+// Small shards (<= ~16 ops) keep the exact-oracle configurations cheap
+// while still exercising every dispatch path.
+History random_shard(Rng& rng) {
+  const std::uint64_t kind = rng.bounded(3);
+  if (kind == 0) {
+    gen::KAtomicConfig config;
+    config.writes = 2 + static_cast<int>(rng.bounded(4));
+    config.k = 1 + static_cast<int>(rng.bounded(3));
+    return gen::generate_k_atomic(config, rng).history;
+  }
+  gen::RandomMixConfig config;
+  config.operations = 4 + static_cast<int>(rng.bounded(12));
+  config.write_fraction = 0.25 + 0.5 * rng.uniform_double();
+  config.staleness_decay = 0.3 + 0.5 * rng.uniform_double();
+  config.horizon = 400 + static_cast<TimePoint>(rng.bounded(2000));
+  History h = gen::generate_random_mix(config, rng);
+  if (kind == 2) {
+    if (auto mutated = gen::inject_staler_read(h, rng)) h = *mutated;
+    if (h.size() > 2 && rng.bernoulli(0.25)) {
+      // May orphan dictated reads: a hard anomaly both paths must
+      // report identically (precondition_failed).
+      h = gen::drop_operation(h, static_cast<OpId>(rng.bounded(h.size())));
+    }
+  }
+  return h;
+}
+
+KeyedTrace random_trace(Rng& rng) {
+  KeyedTrace trace;
+  const int keys = 1 + static_cast<int>(rng.bounded(6));
+  for (int k = 0; k < keys; ++k) {
+    const History shard = random_shard(rng);
+    const std::string key = "k" + std::to_string(k);
+    for (const Operation& op : shard.operations()) trace.add(key, op);
+  }
+  return trace;
+}
+
+void expect_bit_identical(const KeyedReport& serial, const Report& engine,
+                          const std::string& context) {
+  ASSERT_EQ(serial.per_key.size(), engine.per_key.size()) << context;
+  auto its = serial.per_key.begin();
+  auto ite = engine.per_key.begin();
+  for (; its != serial.per_key.end(); ++its, ++ite) {
+    SCOPED_TRACE(context + ", key " + its->first);
+    ASSERT_EQ(its->first, ite->first);
+    ASSERT_EQ(its->second.outcome, ite->second.verdict.outcome)
+        << "serial: " << its->second.reason
+        << "\nengine: " << ite->second.verdict.reason;
+    ASSERT_EQ(its->second.witness, ite->second.verdict.witness);
+    ASSERT_EQ(its->second.reason, ite->second.verdict.reason);
+    ASSERT_EQ(its->second.conflict, ite->second.verdict.conflict);
+    // Defaulted operator== covers every counter, present and future.
+    ASSERT_TRUE(its->second.stats == ite->second.verdict.stats);
+  }
+}
+
+TEST(EngineFuzz, VerifyBitIdenticalToLegacySerialForAllAlgorithms) {
+  const std::uint64_t seed = fuzz_seed();
+  Rng rng(seed);
+
+  // Every Algorithm value, each at its native k plus one mismatched k
+  // (the precondition_failed answers must match bit for bit too).
+  struct Config {
+    Algorithm algorithm;
+    int k;
+  };
+  const std::vector<Config> configs = {
+      {Algorithm::auto_select, 1}, {Algorithm::auto_select, 2},
+      {Algorithm::auto_select, 3}, {Algorithm::gk, 1},
+      {Algorithm::gk, 2},          {Algorithm::lbt, 2},
+      {Algorithm::lbt, 3},         {Algorithm::lbt_naive, 2},
+      {Algorithm::lbt_naive, 1},   {Algorithm::fzf, 2},
+      {Algorithm::fzf, 1},         {Algorithm::greedy, 2},
+      {Algorithm::greedy, 3},      {Algorithm::oracle, 2},
+      {Algorithm::oracle, 3},
+  };
+
+  // Engines are built once and reused across every trial and config:
+  // the differential property must survive pool reuse, and the verify
+  // options ride per call via RunOptions.
+  const std::vector<std::size_t> thread_counts = {1, 2, 8};
+  std::vector<std::unique_ptr<Engine>> engines;
+  for (std::size_t threads : thread_counts) {
+    EngineOptions options;
+    options.threads = threads;
+    engines.push_back(std::make_unique<Engine>(options));
+  }
+
+  constexpr int kTrials = 12;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const KeyedTrace trace = random_trace(rng);
+    for (const Config& config : configs) {
+      VerifyOptions options;
+      options.k = config.k;
+      options.algorithm = config.algorithm;
+      const KeyedReport serial = verify_keyed_trace(trace, options);
+      RunOptions run;
+      run.verify = options;
+      for (std::size_t i = 0; i < engines.size(); ++i) {
+        expect_bit_identical(
+            serial, engines[i]->verify(trace, run),
+            "reproduce with KAV_FUZZ_SEED=" + std::to_string(seed) +
+                " (trial " + std::to_string(trial) + ", algorithm " +
+                to_string(config.algorithm) + ", k " +
+                std::to_string(config.k) + ", threads " +
+                std::to_string(thread_counts[i]) + ")");
+      }
+    }
+  }
+}
+
+TEST(EngineFuzz, MonitorAgreesWithLegacyMonitorAcrossThreadCounts) {
+  Rng rng(fuzz_seed() ^ 0xe46eULL);
+  constexpr int kTrials = 8;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SCOPED_TRACE("reproduce with KAV_FUZZ_SEED=" + std::to_string(fuzz_seed()) +
+                 " (monitor trial " + std::to_string(trial) + ")");
+    const KeyedTrace trace = random_trace(rng);
+    MonitorOptions legacy_options;
+    legacy_options.threads = 1;
+    legacy_options.streaming.staleness_horizon = 1 << 22;
+    legacy_options.reorder_slack = 1 << 20;
+    const MonitorReport legacy = monitor_trace(trace, legacy_options);
+
+    for (std::size_t threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE("threads " + std::to_string(threads));
+      EngineOptions options;
+      options.threads = threads;
+      options.streaming = legacy_options.streaming;
+      options.reorder_slack = legacy_options.reorder_slack;
+      Engine engine(options);
+      const Report live = engine.monitor(trace);
+      ASSERT_EQ(live.per_key.size(), legacy.per_key.size());
+      for (const auto& [key, result] : legacy.per_key) {
+        SCOPED_TRACE("key " + key);
+        EXPECT_EQ(live.per_key.at(key).verdict.outcome,
+                  result.verdict.outcome);
+        EXPECT_EQ(live.per_key.at(key).findings.size(),
+                  result.violations.size());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kav

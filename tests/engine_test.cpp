@@ -1,0 +1,440 @@
+// Tests for the kav::Engine session API: options precedence (per-call
+// VerifyOptions overrides), pool sharing (one Engine running batch and
+// monitor work creates exactly one ThreadPool -- the created_count
+// hook), cancellation and deadline semantics, TraceSource equivalence
+// (memory == text file == binary file == push), the unified Report /
+// one-formatter summary contract, and the legacy facade wrappers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/generators.h"
+#include "kav.h"
+#include "util/rng.h"
+
+namespace kav {
+namespace {
+
+KeyedTrace multi_key_trace(int keys, int ops_per_key, std::uint64_t seed) {
+  Rng rng(seed);
+  KeyedTrace trace;
+  for (int k = 0; k < keys; ++k) {
+    gen::RandomMixConfig config;
+    config.operations = ops_per_key;
+    const History h = gen::generate_random_mix(config, rng);
+    const std::string key = "key" + std::to_string(k);
+    for (const Operation& op : h.operations()) trace.add(key, op);
+  }
+  return trace;
+}
+
+KeyedTrace one_bad_key_trace(int good_keys) {
+  KeyedTrace trace;
+  // Key "a" sorts first: forced separation 2 means minimal k = 3, so
+  // it answers NO at k = 2.
+  const History bad = gen::generate_forced_separation(2);
+  for (const Operation& op : bad.operations()) trace.add("a", op);
+  for (int i = 0; i < good_keys; ++i) {
+    const std::string key = "b" + std::to_string(i);
+    trace.add(key, make_write(0, 10, 1));
+    trace.add(key, make_read(12, 20, 1));
+  }
+  return trace;
+}
+
+void expect_verdicts_equal(const Verdict& a, const Verdict& b) {
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.witness, b.witness);
+  EXPECT_EQ(a.reason, b.reason);
+  EXPECT_EQ(a.conflict, b.conflict);
+  EXPECT_TRUE(a.stats == b.stats);
+}
+
+void expect_reports_equal(const Report& a, const Report& b) {
+  ASSERT_EQ(a.per_key.size(), b.per_key.size());
+  auto ita = a.per_key.begin();
+  auto itb = b.per_key.begin();
+  for (; ita != a.per_key.end(); ++ita, ++itb) {
+    SCOPED_TRACE("key " + ita->first);
+    ASSERT_EQ(ita->first, itb->first);
+    expect_verdicts_equal(ita->second.verdict, itb->second.verdict);
+  }
+}
+
+// --- Pool sharing ---------------------------------------------------------
+
+TEST(Engine, BatchAndMonitorShareExactlyOnePool) {
+  const KeyedTrace trace = multi_key_trace(4, 16, 7);
+  const std::uint64_t pools_before = pipeline::ThreadPool::created_count();
+  {
+    EngineOptions options;
+    options.threads = 2;
+    Engine engine(options);
+    engine.verify(trace);
+    engine.monitor(trace);
+    engine.verify(trace);
+    engine.monitor(trace);
+    EXPECT_EQ(engine.thread_count(), 2u);
+  }
+  EXPECT_EQ(pipeline::ThreadPool::created_count(), pools_before + 1);
+}
+
+TEST(Engine, LegacyWrappersSpawnAPoolPerCall) {
+  // The cost the session API removes: each legacy parallel/monitor
+  // facade call builds a temporary Engine with its own pool.
+  const KeyedTrace trace = multi_key_trace(2, 10, 9);
+  const std::uint64_t pools_before = pipeline::ThreadPool::created_count();
+  PipelineOptions pipeline;
+  pipeline.threads = 1;
+  verify_keyed_trace(trace, {}, pipeline);
+  verify_keyed_trace(trace, {}, pipeline);
+  EXPECT_EQ(pipeline::ThreadPool::created_count(), pools_before + 2);
+}
+
+TEST(Engine, PoolIsExposedForSideWork) {
+  Engine engine;
+  EXPECT_EQ(engine.pool().submit([] { return 41 + 1; }).get(), 42);
+}
+
+// --- Options precedence ---------------------------------------------------
+
+TEST(Engine, PerCallVerifyOptionsOverrideEngineOptions) {
+  // Staged history: 2-atomic but not atomic, so k decides the verdict.
+  KeyedTrace trace;
+  trace.add("r", make_write(0, 10, 1));
+  trace.add("r", make_write(20, 30, 2));
+  trace.add("r", make_read(40, 50, 1));
+  trace.add("r", make_read(60, 70, 2));
+
+  EngineOptions options;
+  options.verify.k = 1;  // constructor default: strict atomicity
+  Engine engine(options);
+
+  EXPECT_FALSE(engine.verify(trace).per_key.at("r").verdict.yes());
+
+  RunOptions run;
+  VerifyOptions verify;
+  verify.k = 2;
+  run.verify = verify;  // per-call override wins
+  EXPECT_TRUE(engine.verify(trace, run).per_key.at("r").verdict.yes());
+  // And the override is per call, not sticky.
+  EXPECT_FALSE(engine.verify(trace).per_key.at("r").verdict.yes());
+}
+
+TEST(Engine, FailFastFromEngineOptionsSkipsShards) {
+  EngineOptions options;
+  options.threads = 1;  // deterministic: key order == execution order
+  options.fail_fast = true;
+  Engine engine(options);
+  const Report report = engine.verify(one_bad_key_trace(4));
+  EXPECT_EQ(report.count(Outcome::no), 1u);
+  EXPECT_EQ(report.count(Outcome::undecided), 4u);
+  // Fail-fast skips are a latency feature, not a cancellation: the
+  // report is not marked cancelled.
+  EXPECT_FALSE(report.cancelled);
+}
+
+// --- Cancellation and deadlines -------------------------------------------
+
+TEST(Engine, PreCancelledTokenSkipsEveryShard) {
+  Engine engine;
+  RunOptions run;
+  run.cancel.cancel();
+  const Report report = engine.verify(multi_key_trace(3, 12, 21), run);
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_EQ(report.count(Outcome::undecided), 3u);
+  for (const auto& [key, result] : report.per_key) {
+    EXPECT_EQ(result.verdict.reason, kSkipCancelledReason) << key;
+  }
+  EXPECT_EQ(report.stop_reason, kSkipCancelledReason);
+  EXPECT_NE(report.summary().find("cancelled"), std::string::npos);
+}
+
+TEST(Engine, OnKeyCallbackCanCancelTheRun) {
+  EngineOptions options;
+  options.threads = 1;  // shards run in key order, one at a time
+  Engine engine(options);
+  RunOptions run;
+  std::atomic<int> decided{0};
+  std::atomic<int> skipped{0};
+  run.on_key = [&](const std::string&, const Verdict& verdict) {
+    if (verdict.reason == kSkipCancelledReason) {
+      skipped.fetch_add(1);
+      return;
+    }
+    decided.fetch_add(1);
+    run.cancel.cancel();  // copies share state: cancels the run
+  };
+  const Report report = engine.verify(multi_key_trace(5, 10, 33), run);
+  // The sink fires exactly once per key, skipped shards included.
+  EXPECT_EQ(decided.load(), 1);
+  EXPECT_EQ(skipped.load(), 4);
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_EQ(report.count(Outcome::undecided), 4u);
+}
+
+TEST(Engine, ExpiredDeadlineSkipsEveryShard) {
+  Engine engine;
+  RunOptions run;
+  run.deadline = std::chrono::steady_clock::now() -
+                 std::chrono::milliseconds(1);
+  const Report report = engine.verify(multi_key_trace(3, 12, 5), run);
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_EQ(report.count(Outcome::undecided), 3u);
+  for (const auto& [key, result] : report.per_key) {
+    EXPECT_EQ(result.verdict.reason, kSkipDeadlineReason) << key;
+  }
+}
+
+TEST(Engine, TimeoutAndDeadlineComposeEarlierWins) {
+  Engine engine;
+  RunOptions run;
+  // Generous timeout, already-expired deadline: the deadline must win.
+  run.timeout = std::chrono::minutes(10);
+  run.deadline = std::chrono::steady_clock::now() -
+                 std::chrono::milliseconds(1);
+  const Report report = engine.verify(multi_key_trace(2, 8, 11), run);
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_EQ(report.count(Outcome::undecided), 2u);
+}
+
+TEST(Engine, CancelledMonitorStillReportsThePrefixSoundly) {
+  Engine engine;
+  RunOptions run;
+  run.cancel.cancel();  // fires after the first ingested operation
+  const Report report = engine.monitor(multi_key_trace(2, 20, 17), run);
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_NE(report.stop_reason.find("cancelled"), std::string::npos);
+  // Exactly one operation was admitted before the token was observed.
+  EXPECT_EQ(report.monitor_totals.operations_ingested, 1u);
+}
+
+// --- TraceSource equivalence ----------------------------------------------
+
+class EngineSourceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace_ = multi_key_trace(5, 14, 77);
+    text_path_ = ::testing::TempDir() + "engine_source_test.txt";
+    binary_path_ = ::testing::TempDir() + "engine_source_test.kavb";
+    write_trace_file(text_path_, trace_);
+    write_binary_trace_file(binary_path_, trace_);
+  }
+
+  void TearDown() override {
+    std::remove(text_path_.c_str());
+    std::remove(binary_path_.c_str());
+  }
+
+  KeyedTrace trace_;
+  std::string text_path_;
+  std::string binary_path_;
+};
+
+TEST_F(EngineSourceTest, MemoryTextAndBinarySourcesVerifyIdentically) {
+  Engine engine;
+  const Report from_trace = engine.verify(trace_);
+
+  MemoryTraceSource memory(trace_);
+  auto text = open_trace_source(text_path_);
+  auto binary = open_trace_source(binary_path_);
+  EXPECT_NE(text->describe().find("text:"), std::string::npos);
+  EXPECT_NE(binary->describe().find("binary:"), std::string::npos);
+
+  expect_reports_equal(from_trace, engine.verify(memory));
+  expect_reports_equal(from_trace, engine.verify(*text));
+  expect_reports_equal(from_trace, engine.verify(*binary));
+}
+
+TEST_F(EngineSourceTest, MonitorAgreesAcrossFileFormats) {
+  Engine engine;
+  const Report from_trace = engine.monitor(trace_);
+  auto text = open_trace_source(text_path_);
+  auto binary = open_trace_source(binary_path_);
+  const Report from_text = engine.monitor(*text);
+  const Report from_binary = engine.monitor(*binary);
+  ASSERT_EQ(from_trace.per_key.size(), from_text.per_key.size());
+  ASSERT_EQ(from_trace.per_key.size(), from_binary.per_key.size());
+  for (const auto& [key, result] : from_trace.per_key) {
+    SCOPED_TRACE("key " + key);
+    EXPECT_EQ(result.verdict.outcome,
+              from_text.per_key.at(key).verdict.outcome);
+    EXPECT_EQ(result.verdict.outcome,
+              from_binary.per_key.at(key).verdict.outcome);
+    EXPECT_EQ(result.findings.size(),
+              from_text.per_key.at(key).findings.size());
+    EXPECT_EQ(result.findings.size(),
+              from_binary.per_key.at(key).findings.size());
+  }
+}
+
+TEST_F(EngineSourceTest, DrainEqualsLegacyReadAnyTraceFile) {
+  auto text = open_trace_source(text_path_);
+  const KeyedTrace drained = drain(*text);
+  const KeyedTrace legacy = read_any_trace_file(binary_path_);
+  ASSERT_EQ(drained.size(), trace_.size());
+  ASSERT_EQ(legacy.size(), trace_.size());
+  for (std::size_t i = 0; i < trace_.size(); ++i) {
+    EXPECT_EQ(drained.ops[i].key, trace_.ops[i].key);
+    EXPECT_EQ(legacy.ops[i].key, trace_.ops[i].key);
+    EXPECT_TRUE(drained.ops[i].op == trace_.ops[i].op);
+    EXPECT_TRUE(legacy.ops[i].op == trace_.ops[i].op);
+  }
+}
+
+TEST(EngineSource, PushSourceStreamsFromAProducerThread) {
+  const KeyedTrace trace = multi_key_trace(3, 12, 55);
+  Engine engine;
+  const Report batch = engine.monitor(trace);
+
+  PushTraceSource push(8);  // tiny capacity: exercises backpressure
+  std::thread producer([&] {
+    for (const KeyedOperation& kop : trace.ops) push.push(kop);
+    push.close();
+  });
+  const Report live = engine.monitor(push);
+  producer.join();
+
+  ASSERT_EQ(live.per_key.size(), batch.per_key.size());
+  for (const auto& [key, result] : batch.per_key) {
+    SCOPED_TRACE("key " + key);
+    EXPECT_EQ(live.per_key.at(key).verdict.outcome, result.verdict.outcome);
+  }
+  EXPECT_EQ(live.monitor_totals.operations_ingested, trace.size());
+}
+
+TEST(EngineSource, CancelUnblocksMonitorOnAnIdlePushSource) {
+  // The producer never calls close(): without bounded pulls
+  // (TraceSource::try_next_for) the monitor would block in next()
+  // forever and the CancelToken could never be honored.
+  Engine engine;
+  PushTraceSource push;
+  push.push("k", make_write(0, 5, 1));
+  RunOptions run;
+  CancelToken token = run.cancel;  // copies share the flag
+  std::thread canceller([token]() mutable {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    token.cancel();
+  });
+  const Report report = engine.monitor(push, run);
+  canceller.join();
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_NE(report.stop_reason.find("cancelled"), std::string::npos);
+  EXPECT_EQ(report.monitor_totals.operations_ingested, 1u);
+}
+
+TEST(EngineSource, PushSourceRejectsPushAfterClose) {
+  PushTraceSource push;
+  push.push("k", make_write(0, 5, 1));
+  push.close();
+  push.close();  // idempotent
+  EXPECT_THROW(push.push("k", make_write(6, 9, 1)), std::logic_error);
+  KeyedOperation kop;
+  EXPECT_TRUE(push.next(kop));  // the queued op drains...
+  EXPECT_EQ(kop.key, "k");
+  EXPECT_FALSE(push.next(kop));  // ...then the stream ends
+}
+
+// --- Unified Report -------------------------------------------------------
+
+TEST(EngineReport, OneFormatterAcrossBatchMonitorAndLegacy) {
+  const KeyedTrace trace = one_bad_key_trace(3);
+  Engine engine;
+  const std::string batch = engine.verify(trace).summary();
+  const std::string monitor = engine.monitor(trace).summary();
+  const std::string legacy_batch = verify_keyed_trace(trace).summary();
+  MonitorOptions monitor_options;
+  monitor_options.threads = 1;
+  const std::string legacy_monitor =
+      monitor_trace(trace, monitor_options).summary();
+
+  // Same grep-able shape everywhere; batch and legacy batch agree
+  // exactly, monitor paths agree exactly.
+  EXPECT_EQ(batch, legacy_batch);
+  EXPECT_EQ(monitor, legacy_monitor);
+  for (const std::string& line : {batch, monitor}) {
+    EXPECT_NE(line.find("/4 keys atomic within bound"), std::string::npos)
+        << line;
+    EXPECT_NE(line.find("1 NO"), std::string::npos) << line;
+  }
+}
+
+TEST(EngineReport, BatchFillsVerifyTotalsMonitorFillsMonitorTotals) {
+  const KeyedTrace trace = multi_key_trace(3, 16, 41);
+  Engine engine;
+  const Report batch = engine.verify(trace);
+  EXPECT_EQ(batch.mode, Report::Mode::batch);
+  EXPECT_TRUE(batch.verify_totals == verify_keyed_trace(trace).total_stats());
+  EXPECT_EQ(batch.monitor_totals.operations_ingested, 0u);
+
+  const Report live = engine.monitor(trace);
+  EXPECT_EQ(live.mode, Report::Mode::monitor);
+  EXPECT_EQ(live.monitor_totals.operations_ingested, trace.size());
+  EXPECT_EQ(live.monitor_totals.keys, 3u);
+}
+
+TEST(EngineReport, DescribeRendersEveryOutcome) {
+  EXPECT_EQ(describe(Verdict::make_yes({0, 1, 2})),
+            "YES (witness over 3 ops)");
+  EXPECT_EQ(describe(Verdict::make_no("because")), "NO: because");
+  EXPECT_EQ(describe(Verdict::make_undecided("later")), "UNDECIDED: later");
+  EXPECT_EQ(describe(Verdict::make_precondition_failed("bad input")),
+            "PRECONDITION-FAILED: bad input");
+}
+
+TEST(EngineReport, MonitorFindingsFlowThroughOnFinding) {
+  const KeyedTrace trace = one_bad_key_trace(2);
+  Engine engine;
+  RunOptions run;
+  std::vector<std::string> live_keys;
+  run.on_finding = [&](const std::string& key, const StreamingViolation&) {
+    live_keys.push_back(key);
+  };
+  const Report report = engine.monitor(trace, run);
+  std::size_t total_findings = 0;
+  for (const auto& [key, result] : report.per_key) {
+    total_findings += result.findings.size();
+  }
+  EXPECT_EQ(live_keys.size(), total_findings);
+  EXPECT_GE(total_findings, 1u);
+  for (const std::string& key : live_keys) EXPECT_EQ(key, "a");
+}
+
+// --- Borrowed pools (the satellite refactor, used directly) ---------------
+
+TEST(BorrowedPool, ShardedVerifierRunsOnACallerPool) {
+  const KeyedTrace trace = multi_key_trace(4, 12, 13);
+  pipeline::ThreadPool pool(2);
+  const std::uint64_t pools_before = pipeline::ThreadPool::created_count();
+  ShardedVerifier verifier(pool);
+  EXPECT_EQ(verifier.thread_count(), 2u);
+  const KeyedReport parallel = verifier.verify(trace);
+  EXPECT_EQ(pipeline::ThreadPool::created_count(), pools_before);
+  const KeyedReport serial = verify_keyed_trace(trace);
+  ASSERT_EQ(parallel.per_key.size(), serial.per_key.size());
+  for (const auto& [key, verdict] : serial.per_key) {
+    expect_verdicts_equal(parallel.per_key.at(key), verdict);
+  }
+}
+
+TEST(BorrowedPool, MonitorQuiescesWithoutShuttingTheSharedPoolDown) {
+  pipeline::ThreadPool pool(2);
+  MonitorOptions options;
+  {
+    KeyedStreamingMonitor monitor(pool, options);
+    for (int i = 0; i < 50; ++i) {
+      monitor.ingest("k", make_write(i * 10, i * 10 + 5, i));
+    }
+    const MonitorReport report = monitor.finish();
+    EXPECT_EQ(report.totals.operations_ingested, 50u);
+  }  // destructor quiesces in-flight drains, must NOT shut the pool down
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+}  // namespace
+}  // namespace kav

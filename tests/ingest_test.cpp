@@ -392,7 +392,10 @@ TEST(KeyedMonitor, FlagsExactlyTheViolatingKey) {
   EXPECT_TRUE(report.per_key.at("bad").verdict.no());
   ASSERT_EQ(report.totals.violations_per_key.size(), 1u);
   EXPECT_EQ(report.totals.violations_per_key.begin()->first, "bad");
-  EXPECT_EQ(report.summary(), "1/2 keys clean, 1 with violations (1 total)");
+  // The shared format_key_counts formatter (core/report.h): monitor
+  // summaries are grep-compatible with batch summaries.
+  EXPECT_EQ(report.summary(),
+            "1/2 keys atomic within bound, 1 NO, 0 undecided, 0 invalid");
 }
 
 TEST(KeyedMonitor, ReportsLateArrivalsAsViolations) {
