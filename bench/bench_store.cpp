@@ -1,0 +1,248 @@
+// Trace-store throughput: what the mmap-backed index buys over
+// decoding whole files. On a generated multi-key trace (default
+// 1,000,000 operations over 128 keys; KAV_BENCH_OPS overrides), the
+// same single-key extraction runs three ways -- through the v2 block
+// index (decode one key's blocks), by draining the v1 binary stream
+// (decode everything, keep one key), and by parsing the text format --
+// plus the end-to-end Engine::verify comparison (RunOptions::key_filter
+// over an indexed source vs the filtered-drain fallback), segment
+// write/compaction throughput, and the cost of opening a segment
+// (header + footer parse only; this is what makes "stat a 100-key
+// trace" free).
+//
+// Start or extend the trajectory file with
+//   ./bench_store --benchmark_out=BENCH_store.json
+//                 --benchmark_out_format=json
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "history/serialization.h"
+#include "ingest/binary_trace.h"
+#include "ingest/trace_source.h"
+#include "store/indexed_source.h"
+#include "store/mapped_segment.h"
+#include "store/trace_store.h"
+#include "util/rng.h"
+
+namespace kav {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::size_t bench_ops() {
+  if (const char* env = std::getenv("KAV_BENCH_OPS")) {
+    const long long parsed = std::atoll(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 1'000'000;
+}
+
+constexpr int kKeys = 128;
+const char* const kProbeKey = "key17";
+
+// Steady per-key write/read cadence (same shape as bench_ingest's
+// workload): every format carries identical content.
+KeyedTrace make_trace(std::size_t ops, int keys) {
+  Rng rng(2026);
+  KeyedTrace trace;
+  std::vector<TimePoint> clocks(static_cast<std::size_t>(keys), 0);
+  std::vector<Value> next_value(static_cast<std::size_t>(keys), 1);
+  int key = 0;
+  while (trace.size() < ops) {
+    const auto k = static_cast<std::size_t>(key);
+    const Value value = next_value[k]++;
+    TimePoint t = clocks[k];
+    const TimePoint len = 2 + static_cast<TimePoint>(rng.bounded(6));
+    trace.add("key" + std::to_string(key),
+              make_write(t, t + len, value, static_cast<ClientId>(k % 16)));
+    t += len + 1;
+    const std::size_t reads = rng.bounded(3);
+    for (std::size_t r = 0; r < reads && trace.size() < ops; ++r) {
+      const TimePoint rlen = 1 + static_cast<TimePoint>(rng.bounded(4));
+      trace.add("key" + std::to_string(key),
+                make_read(t, t + rlen, value, static_cast<ClientId>(r)));
+      t += rlen + 1;
+    }
+    clocks[k] = t;
+    key = (key + 1) % keys;
+  }
+  return trace;
+}
+
+// Scratch files are built once and shared by every benchmark.
+struct Fixture {
+  fs::path dir;
+  std::string text_path;
+  std::string v1_path;
+  std::string v2_path;
+  std::size_t ops = 0;
+  std::size_t probe_ops = 0;
+
+  Fixture() {
+    ops = bench_ops();
+    dir = fs::temp_directory_path() / "kav_bench_store";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const KeyedTrace trace = make_trace(ops, kKeys);
+    text_path = (dir / "trace.txt").string();
+    write_trace_file(text_path, trace);
+    v1_path = (dir / "trace_v1.kavb").string();
+    write_binary_trace_file(v1_path, trace);
+    v2_path = (dir / "trace_v2.kavb").string();
+    write_binary_trace_file(v2_path, trace, kBinaryTraceVersion2);
+    for (const KeyedOperation& kop : trace.ops) {
+      if (kop.key == kProbeKey) ++probe_ops;
+    }
+  }
+};
+
+const Fixture& fixture() {
+  static Fixture shared;
+  return shared;
+}
+
+// --- Single-key extraction: index vs full decode vs text -------------------
+
+void BM_ReadOneKey_Indexed(benchmark::State& state) {
+  const Fixture& f = fixture();
+  for (auto _ : state) {
+    MappedSegment segment(f.v2_path);
+    benchmark::DoNotOptimize(segment.read_key(kProbeKey));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(f.probe_ops) *
+                          state.iterations());
+  state.counters["trace_ops"] = static_cast<double>(f.ops);
+}
+BENCHMARK(BM_ReadOneKey_Indexed)->Unit(benchmark::kMillisecond);
+
+void BM_ReadOneKey_FullBinaryDecode(benchmark::State& state) {
+  const Fixture& f = fixture();
+  for (auto _ : state) {
+    std::ifstream in(f.v1_path, std::ios::binary);
+    BinaryTraceReader reader(in);
+    std::vector<Operation> ops;
+    std::string_view key;
+    Operation op;
+    while (reader.next(key, op)) {
+      if (key == kProbeKey) ops.push_back(op);
+    }
+    benchmark::DoNotOptimize(ops);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(f.ops) *
+                          state.iterations());
+}
+BENCHMARK(BM_ReadOneKey_FullBinaryDecode)->Unit(benchmark::kMillisecond);
+
+void BM_ReadOneKey_TextParse(benchmark::State& state) {
+  const Fixture& f = fixture();
+  for (auto _ : state) {
+    const KeyedTrace trace = read_trace_file(f.text_path);
+    std::vector<Operation> ops;
+    for (const KeyedOperation& kop : trace.ops) {
+      if (kop.key == kProbeKey) ops.push_back(kop.op);
+    }
+    benchmark::DoNotOptimize(ops);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(f.ops) *
+                          state.iterations());
+}
+BENCHMARK(BM_ReadOneKey_TextParse)->Unit(benchmark::kMillisecond);
+
+// --- End-to-end selective verification -------------------------------------
+
+void BM_VerifyOneKey_Indexed(benchmark::State& state) {
+  const Fixture& f = fixture();
+  Engine engine;
+  RunOptions run;
+  run.key_filter = {kProbeKey};
+  for (auto _ : state) {
+    auto source = open_trace_source(f.v2_path);
+    benchmark::DoNotOptimize(engine.verify(*source, run));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(f.probe_ops) *
+                          state.iterations());
+}
+BENCHMARK(BM_VerifyOneKey_Indexed)->Unit(benchmark::kMillisecond);
+
+void BM_VerifyOneKey_FullDecode(benchmark::State& state) {
+  const Fixture& f = fixture();
+  Engine engine;
+  RunOptions run;
+  run.key_filter = {kProbeKey};
+  for (auto _ : state) {
+    auto source = open_trace_source(f.v1_path);
+    benchmark::DoNotOptimize(engine.verify(*source, run));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(f.ops) *
+                          state.iterations());
+}
+BENCHMARK(BM_VerifyOneKey_FullDecode)->Unit(benchmark::kMillisecond);
+
+// --- Segment open cost (header + footer only) ------------------------------
+
+void BM_OpenAndStatSegment(benchmark::State& state) {
+  const Fixture& f = fixture();
+  for (auto _ : state) {
+    MappedSegment segment(f.v2_path);
+    benchmark::DoNotOptimize(segment.stat(kProbeKey));
+    benchmark::DoNotOptimize(segment.total_records());
+  }
+  state.counters["trace_ops"] = static_cast<double>(f.ops);
+}
+BENCHMARK(BM_OpenAndStatSegment)->Unit(benchmark::kMicrosecond);
+
+// --- Store write + compaction throughput -----------------------------------
+
+void BM_StoreAppend(benchmark::State& state) {
+  const Fixture& f = fixture();
+  // Appending re-reads the v2 segment sequentially: realistic record
+  // volume without regenerating the trace per iteration.
+  const KeyedTrace trace = read_any_trace_file(f.v2_path);
+  for (auto _ : state) {
+    const fs::path dir = f.dir / "append_bench";
+    fs::remove_all(dir);
+    TraceStore store(dir);
+    store.append(trace);
+    benchmark::DoNotOptimize(store.total_records());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(trace.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_StoreAppend)->Unit(benchmark::kMillisecond);
+
+void BM_StoreCompact4(benchmark::State& state) {
+  const Fixture& f = fixture();
+  const KeyedTrace trace = read_any_trace_file(f.v2_path);
+  const std::size_t quarter = trace.size() / 4;
+  for (auto _ : state) {
+    state.PauseTiming();
+    const fs::path dir = f.dir / "compact_bench";
+    fs::remove_all(dir);
+    TraceStore store(dir);
+    KeyedTrace part;
+    for (const KeyedOperation& kop : trace.ops) {
+      part.ops.push_back(kop);
+      if (part.size() >= quarter) {
+        store.append(part);
+        part = KeyedTrace{};
+      }
+    }
+    if (!part.empty()) store.append(part);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(store.compact());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(trace.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_StoreCompact4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kav
+
+BENCHMARK_MAIN();

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Perf trajectory data points: runs the ingest, pipeline, and engine
-# benchmarks and writes BENCH_ingest.json / BENCH_pipeline.json /
-# BENCH_engine.json (Google Benchmark JSON: ops/s, peak_window, keys/s
-# counters) at the repo root so successive PRs can compare numbers.
+# Perf trajectory data points: runs the ingest, pipeline, engine, and
+# store benchmarks and writes BENCH_ingest.json / BENCH_pipeline.json /
+# BENCH_engine.json / BENCH_store.json (Google Benchmark JSON: ops/s,
+# peak_window, keys/s counters) at the repo root so successive PRs can
+# compare numbers.
 #
 # Usage: bench/run_bench.sh [--smoke] [build-dir]   (default: build)
 #   --smoke: quick mode for CI -- a 200k-op workload and minimal
@@ -18,7 +19,7 @@ if [[ "${1:-}" == "--smoke" ]]; then
 fi
 BUILD_DIR="${1:-build}"
 
-for bench in bench_ingest bench_pipeline bench_engine; do
+for bench in bench_ingest bench_pipeline bench_engine bench_store; do
   if [[ ! -x "$BUILD_DIR/$bench" ]]; then
     echo "run_bench.sh: $BUILD_DIR/$bench not built" \
          "(Google Benchmark missing or KAV_BUILD_BENCH=OFF)" >&2
@@ -36,6 +37,7 @@ fi
 "$BUILD_DIR/bench_ingest"   "${ARGS[@]}" --benchmark_out=BENCH_ingest.json
 "$BUILD_DIR/bench_pipeline" "${ARGS[@]}" --benchmark_out=BENCH_pipeline.json
 "$BUILD_DIR/bench_engine"   "${ARGS[@]}" --benchmark_out=BENCH_engine.json
+"$BUILD_DIR/bench_store"    "${ARGS[@]}" --benchmark_out=BENCH_store.json
 
 echo
-echo "wrote BENCH_ingest.json, BENCH_pipeline.json, and BENCH_engine.json ($MODE mode)"
+echo "wrote BENCH_ingest.json, BENCH_pipeline.json, BENCH_engine.json, and BENCH_store.json ($MODE mode)"

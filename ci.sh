@@ -1,8 +1,28 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run every test suite.
-# Usage: ./ci.sh [build-dir]   (default: build)
+# Usage: ./ci.sh [--asan] [build-dir]   (default: build; build-asan with --asan)
+#   --asan: rebuild under Address + UndefinedBehavior sanitizers and run
+#           the deterministic `unit` ctest label -- the mmap-backed
+#           store and the zero-copy binary readers are exactly the code
+#           sanitizers exist for. Skips the fuzz/integration sweeps and
+#           the bench smoke (sanitized timings are meaningless).
 set -euo pipefail
 cd "$(dirname "$0")"
+
+ASAN=0
+if [[ "${1:-}" == "--asan" ]]; then
+  ASAN=1
+  shift
+fi
+
+if [[ "$ASAN" == 1 ]]; then
+  BUILD_DIR="${1:-build-asan}"
+  cmake -B "$BUILD_DIR" -S . -DKAV_WERROR=ON -DKAV_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD_DIR" -j "$(nproc)"
+  ctest --test-dir "$BUILD_DIR" -L unit --output-on-failure -j "$(nproc)"
+  exit 0
+fi
 
 BUILD_DIR="${1:-build}"
 

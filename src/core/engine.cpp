@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 
 #include "ingest/keyed_monitor.h"
@@ -10,6 +11,39 @@
 namespace kav {
 
 namespace {
+
+// Normalized RunOptions::key_filter: the requested keys, deduplicated
+// and ordered. Inactive (pass-everything) when the filter is empty.
+struct KeyFilter {
+  bool active = false;
+  std::set<std::string> wanted;
+
+  explicit KeyFilter(const RunOptions& run)
+      : active(!run.key_filter.empty()),
+        wanted(run.key_filter.begin(), run.key_filter.end()) {}
+
+  bool pass(const std::string& key) const {
+    return !active || wanted.count(key) > 0;
+  }
+};
+
+// Fills Report's selection accounting given which keys the input
+// actually offered. `requested` and `offered` are sorted sets, so
+// missing_keys comes out sorted.
+template <typename OfferedSet>
+void account_selection(Report& report, const KeyFilter& filter,
+                       const OfferedSet& offered) {
+  if (!filter.active) return;
+  report.selected = true;
+  report.keys_available = offered.size();
+  for (const std::string& key : filter.wanted) {
+    if (offered.count(key) > 0) {
+      ++report.keys_selected;
+    } else {
+      report.missing_keys.push_back(key);
+    }
+  }
+}
 
 // The earlier of the absolute deadline and the relative timeout,
 // anchored at call entry (RunOptions precedence rule 2).
@@ -98,16 +132,11 @@ Engine::~Engine() = default;
 
 std::size_t Engine::thread_count() const { return pool_->thread_count(); }
 
-Report Engine::run_batch(
-    const KeyedHistories& shards, const RunOptions& run,
-    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
-  RunControl control;
-  control.cancel = run.cancel;
-  control.deadline = deadline;
-  control.on_key = run.on_key;
-  KeyedReport keyed = verifier_->verify(
-      shards, run.verify ? *run.verify : options_.verify, control);
+namespace {
 
+// Merges the pipeline's KeyedReport into the unified batch Report,
+// promoting skip reasons into cancellation state.
+Report batch_report_from(KeyedReport&& keyed) {
   Report report;
   report.mode = Report::Mode::batch;
   report.verify_totals = keyed.total_stats();
@@ -120,18 +149,120 @@ Report Engine::run_batch(
   return report;
 }
 
+RunControl run_control_for(
+    const RunOptions& run,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  RunControl control;
+  control.cancel = run.cancel;
+  control.deadline = deadline;
+  control.on_key = run.on_key;
+  return control;
+}
+
+}  // namespace
+
+Report Engine::run_batch(
+    const KeyedHistories& shards, const RunOptions& run,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  return batch_report_from(
+      verifier_->verify(shards, run.verify ? *run.verify : options_.verify,
+                        run_control_for(run, deadline)));
+}
+
+Report Engine::run_specs(
+    const std::vector<ShardSpec>& specs, const RunOptions& run,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  return batch_report_from(verifier_->verify_shards(
+      specs, run.verify ? *run.verify : options_.verify,
+      run_control_for(run, deadline)));
+}
+
+Report Engine::verify_filtered(
+    const KeyedHistories& shards, const RunOptions& run,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  const KeyFilter filter(run);
+  std::vector<ShardSpec> specs;
+  std::set<std::string> offered;
+  for (const auto& [key, history] : shards.per_key) {
+    offered.insert(key);
+    if (!filter.pass(key)) continue;
+    ShardSpec spec;
+    spec.key = key;
+    spec.op_count = history.size();
+    spec.pinned = &history;
+    specs.push_back(std::move(spec));
+  }
+  Report report = run_specs(specs, run, deadline);
+  account_selection(report, filter, offered);
+  return report;
+}
+
+Report Engine::verify_selective(
+    SelectiveTraceSource& source, const RunOptions& run,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  const KeyFilter filter(run);
+  const std::vector<std::string> available = source.selectable_keys();
+  const std::set<std::string> offered(available.begin(), available.end());
+  std::vector<ShardSpec> specs;
+  specs.reserve(filter.wanted.size());
+  for (const std::string& key : filter.wanted) {
+    if (offered.count(key) == 0) continue;
+    ShardSpec spec;
+    spec.key = key;
+    // Op count from index statistics: the budget check and any
+    // scheduling decision happen before a single record is decoded.
+    spec.op_count = source.key_op_count(key);
+    spec.load = [&source, key]() { return source.load_key(key); };
+    specs.push_back(std::move(spec));
+  }
+  Report report = run_specs(specs, run, deadline);
+  account_selection(report, filter, offered);
+  return report;
+}
+
 Report Engine::verify(const KeyedTrace& trace, const RunOptions& run) {
-  return run_batch(split_by_key(trace), run, effective_deadline(run));
+  const auto deadline = effective_deadline(run);
+  const KeyedHistories shards = split_by_key(trace);
+  if (!run.key_filter.empty()) return verify_filtered(shards, run, deadline);
+  return run_batch(shards, run, deadline);
 }
 
 Report Engine::verify(const KeyedHistories& shards, const RunOptions& run) {
-  return run_batch(shards, run, effective_deadline(run));
+  const auto deadline = effective_deadline(run);
+  if (!run.key_filter.empty()) return verify_filtered(shards, run, deadline);
+  return run_batch(shards, run, deadline);
 }
 
 Report Engine::verify(TraceSource& source, const RunOptions& run) {
   // Anchored once at entry: the same cutoff governs reading the source
   // AND the shard phase, so a slow source cannot re-arm the timeout.
   const auto deadline = effective_deadline(run);
+  if (!run.key_filter.empty()) {
+    // The selective fast path: an index-backed source hands out per-key
+    // op counts and lazy loaders, so only the requested keys' blocks
+    // are ever decoded -- no full-file materialization.
+    if (auto* selective = dynamic_cast<SelectiveTraceSource*>(&source)) {
+      return verify_selective(*selective, run, deadline);
+    }
+    // Any other source: filter while draining. Still one pass and no
+    // stored non-matching operations, but every record is decoded.
+    const KeyFilter filter(run);
+    KeyedTrace trace;
+    std::set<std::string> offered;
+    const std::string stop = drive_source(
+        source, run, deadline, "reading " + source.describe(),
+        [&trace, &offered, &filter](KeyedOperation kop) {
+          offered.insert(kop.key);
+          if (filter.pass(kop.key)) trace.ops.push_back(std::move(kop));
+        });
+    Report report = run_batch(split_by_key(trace), run, deadline);
+    account_selection(report, filter, offered);
+    if (!stop.empty()) {
+      report.cancelled = true;
+      report.stop_reason = stop;
+    }
+    return report;
+  }
   KeyedTrace trace;
   const std::string stop =
       drive_source(source, run, deadline, "reading " + source.describe(),
@@ -177,14 +308,20 @@ Report Engine::monitor(const KeyedTrace& trace, const RunOptions& run) {
   // already in memory, so every operation is ingested by reference --
   // no O(trace) copy on this (and the legacy monitor_trace) path.
   const auto deadline = effective_deadline(run);
+  const KeyFilter filter(run);
   const std::string activity =
       "monitoring memory(" + std::to_string(trace.size()) + " ops)";
   Report report;
   report.mode = Report::Mode::monitor;
+  std::set<std::string> offered;
   {
     KeyedStreamingMonitor monitor(*pool_, monitor_options_for(options_, run));
     std::uint64_t pulled = 0;
     for (const KeyedOperation& kop : trace.ops) {
+      if (filter.active) {
+        offered.insert(kop.key);
+        if (!filter.pass(kop.key)) continue;
+      }
       monitor.ingest(kop);
       ++pulled;
       std::string stop = check_stop(run, deadline, false, pulled, activity);
@@ -196,24 +333,34 @@ Report Engine::monitor(const KeyedTrace& trace, const RunOptions& run) {
     }
     finish_monitor_into(monitor, report);
   }
+  account_selection(report, filter, offered);
   return report;
 }
 
 Report Engine::monitor(TraceSource& source, const RunOptions& run) {
   const auto deadline = effective_deadline(run);
+  const KeyFilter filter(run);
   Report report;
   report.mode = Report::Mode::monitor;
+  std::set<std::string> offered;
   {
     KeyedStreamingMonitor monitor(*pool_, monitor_options_for(options_, run));
     const std::string stop = drive_source(
         source, run, deadline, "monitoring " + source.describe(),
-        [&monitor](KeyedOperation kop) { monitor.ingest(kop); });
+        [&monitor, &filter, &offered](KeyedOperation kop) {
+          if (filter.active) {
+            offered.insert(kop.key);
+            if (!filter.pass(kop.key)) return;
+          }
+          monitor.ingest(kop);
+        });
     if (!stop.empty()) {
       report.cancelled = true;
       report.stop_reason = stop;
     }
     finish_monitor_into(monitor, report);
   }
+  account_selection(report, filter, offered);
   return report;
 }
 

@@ -8,7 +8,9 @@
 // polymorphic TraceSource abstraction (ingest/trace_source.h). Both
 // entry points return the unified Report (core/report.h) and accept
 // per-call RunOptions: a VerifyOptions override, a CancelToken, a
-// wall-clock deadline, and live per-key / per-violation callbacks.
+// wall-clock deadline, live per-key / per-violation callbacks, and a
+// key_filter for selective runs (index-backed sources decode only the
+// requested keys' blocks; see src/store/).
 //
 // Option precedence, from strongest to weakest:
 //   1. RunOptions::verify (per call) overrides EngineOptions::verify.
@@ -37,6 +39,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/report.h"
 #include "core/run_control.h"
@@ -51,7 +54,9 @@ class ThreadPool;
 
 namespace kav {
 
+class SelectiveTraceSource;
 class ShardedVerifier;
+struct ShardSpec;
 
 // Everything the three legacy options structs said, minus their
 // duplicated thread counts. Field-by-field origin: VerifyOptions
@@ -82,6 +87,17 @@ struct RunOptions {
   // Overrides EngineOptions::verify for this call, e.g. auditing the
   // same shards at several k on one pool.
   std::optional<VerifyOptions> verify;
+  // Selective run: verify (or monitor) only these keys. Over a source
+  // backed by a per-key index (an indexed .kavb v2 segment or a
+  // TraceStore -- see src/store/), each requested key's shard is
+  // materialized lazily inside a pool worker straight from its index
+  // blocks and the rest of the input is NEVER decoded; over any other
+  // input the stream is filtered while read. Either way the verdicts
+  // are bit-identical to filtering the full report of an unfiltered
+  // run (differentially fuzzed by tests/store_fuzz_test.cpp), and
+  // Report::keys_selected / keys_available / missing_keys account for
+  // what the filter hit. Empty = verify everything.
+  std::vector<std::string> key_filter;
   // Cooperative cancellation: keep a copy, call cancel() from any
   // thread. Shards that have not started answer UNDECIDED
   // (kSkipCancelledReason); a monitor run stops ingesting. Checked at
@@ -114,7 +130,10 @@ class Engine {
   // pool, merge in key order. Report::mode == batch.
   Report verify(const KeyedTrace& trace, const RunOptions& run = {});
   Report verify(const KeyedHistories& shards, const RunOptions& run = {});
-  // Pulls the source dry first (cancellable), then verifies.
+  // Pulls the source dry first (cancellable), then verifies -- unless
+  // RunOptions::key_filter is set and the source is index-backed
+  // (SelectiveTraceSource), in which case only the requested keys'
+  // blocks are ever decoded, each inside a pool worker.
   Report verify(TraceSource& source, const RunOptions& run = {});
 
   // Online monitoring: stream the source through a per-key
@@ -137,6 +156,21 @@ class Engine {
   // phase cannot re-arm a relative timeout for the shard phase.
   Report run_batch(
       const KeyedHistories& shards, const RunOptions& run,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline);
+  // Shard-spec form of run_batch (the key_filter paths): pinned specs
+  // for filtered in-memory shards, lazy specs for index-backed loads.
+  Report run_specs(
+      const std::vector<ShardSpec>& specs, const RunOptions& run,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline);
+  // key_filter over pre-split shards: verifies only the requested
+  // shards (pinned, no copies) and fills the selection accounting.
+  Report verify_filtered(
+      const KeyedHistories& shards, const RunOptions& run,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline);
+  // key_filter over an index-backed source: one lazy spec per
+  // requested key, decoded on the pool straight from the index.
+  Report verify_selective(
+      SelectiveTraceSource& source, const RunOptions& run,
       const std::optional<std::chrono::steady_clock::time_point>& deadline);
 
   EngineOptions options_;

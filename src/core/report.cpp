@@ -43,6 +43,14 @@ std::string Report::summary() const {
   std::string text = format_key_counts(
       per_key.size(), count(Outcome::yes), count(Outcome::no),
       count(Outcome::undecided), count(Outcome::precondition_failed));
+  if (selected) {
+    text += " (selected " + std::to_string(keys_selected) + "/" +
+            std::to_string(keys_available) + " keys";
+    if (!missing_keys.empty()) {
+      text += ", " + std::to_string(missing_keys.size()) + " requested missing";
+    }
+    text += ")";
+  }
   if (cancelled) text += " [cancelled: " + stop_reason + "]";
   return text;
 }

@@ -85,6 +85,15 @@ struct Report {
   // UNDECIDED with the exact reasons in core/run_control.h.
   bool cancelled = false;
   std::string stop_reason;  // why, when cancelled
+  // Selective-run accounting (RunOptions::key_filter): how many of the
+  // requested keys the input actually held, how many distinct keys the
+  // input offered in total, and the requested keys it did not contain
+  // (sorted; such keys have no per_key entry). All zero/empty when no
+  // filter was set -- selected == false then.
+  bool selected = false;
+  std::size_t keys_selected = 0;
+  std::size_t keys_available = 0;
+  std::vector<std::string> missing_keys;
 
   bool all_yes() const;
   std::size_t count(Outcome outcome) const;

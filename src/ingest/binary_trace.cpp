@@ -9,56 +9,16 @@
 
 #include "history/serialization.h"
 #include "ingest/trace_source.h"
+#include "store/segment_writer.h"
 
 namespace kav {
 
 namespace {
 
-// Encoding helpers append little-endian bytes to a string buffer; the
-// byte-composition idiom compiles to single moves on LE hardware.
-void append_u16(std::string& buffer, std::uint16_t v) {
-  buffer.push_back(static_cast<char>(v & 0xff));
-  buffer.push_back(static_cast<char>((v >> 8) & 0xff));
-}
-
-void append_u32(std::string& buffer, std::uint32_t v) {
-  for (int shift = 0; shift < 32; shift += 8) {
-    buffer.push_back(static_cast<char>((v >> shift) & 0xff));
-  }
-}
-
-void append_u64(std::string& buffer, std::uint64_t v) {
-  for (int shift = 0; shift < 64; shift += 8) {
-    buffer.push_back(static_cast<char>((v >> shift) & 0xff));
-  }
-}
-
-void append_i64(std::string& buffer, std::int64_t v) {
-  append_u64(buffer, static_cast<std::uint64_t>(v));
-}
-
-std::uint16_t load_u16(const unsigned char* p) {
-  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
-}
-
-std::uint32_t load_u32(const unsigned char* p) {
-  return static_cast<std::uint32_t>(p[0]) |
-         (static_cast<std::uint32_t>(p[1]) << 8) |
-         (static_cast<std::uint32_t>(p[2]) << 16) |
-         (static_cast<std::uint32_t>(p[3]) << 24);
-}
-
-std::uint64_t load_u64(const unsigned char* p) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-  }
-  return v;
-}
-
-std::int64_t load_i64(const unsigned char* p) {
-  return static_cast<std::int64_t>(load_u64(p));
-}
+using wire::append_u16;
+using wire::append_u32;
+using wire::load_u16;
+using wire::load_u32;
 
 [[noreturn]] void fail_at(std::uint64_t offset, const std::string& message) {
   throw std::runtime_error("binary trace error at byte " +
@@ -77,6 +37,19 @@ void read_exact(std::istream& in, unsigned char* dst, std::size_t n,
 }
 
 }  // namespace
+
+void validate_record(const char* who, std::string_view key,
+                     const Operation& op) {
+  if (op.start >= op.finish) {
+    throw std::invalid_argument(
+        std::string(who) + ": start must be < finish (got [" +
+        std::to_string(op.start) + ", " + std::to_string(op.finish) + "))");
+  }
+  if (key.size() > std::numeric_limits<std::uint16_t>::max()) {
+    throw std::invalid_argument(std::string(who) +
+                                ": key longer than 65535 bytes");
+  }
+}
 
 // --- Writer ----------------------------------------------------------------
 
@@ -105,15 +78,7 @@ BinaryTraceWriter::~BinaryTraceWriter() {
 }
 
 void BinaryTraceWriter::add(std::string_view key, const Operation& op) {
-  if (op.start >= op.finish) {
-    throw std::invalid_argument(
-        "binary trace writer: start must be < finish (got [" +
-        std::to_string(op.start) + ", " + std::to_string(op.finish) + "))");
-  }
-  if (key.size() > std::numeric_limits<std::uint16_t>::max()) {
-    throw std::invalid_argument("binary trace writer: key longer than 65535 "
-                                "bytes");
-  }
+  validate_record("binary trace writer", key, op);
   auto [it, inserted] = key_ids_.try_emplace(
       std::string(key), static_cast<std::uint32_t>(key_ids_.size()));
   if (inserted) {
@@ -121,12 +86,7 @@ void BinaryTraceWriter::add(std::string_view key, const Operation& op) {
     pending_keys_.append(key);
     ++pending_key_count_;
   }
-  append_u32(pending_records_, it->second);
-  append_i64(pending_records_, op.start);
-  append_i64(pending_records_, op.finish);
-  append_i64(pending_records_, op.value);
-  append_u32(pending_records_, static_cast<std::uint32_t>(op.client));
-  pending_records_.push_back(op.is_write() ? '\x01' : '\x00');
+  append_record(pending_records_, it->second, op);
   ++pending_record_count_;
   // The key-cap guard matters only for pathological all-new-key
   // streams; each record introduces at most one key.
@@ -167,23 +127,36 @@ BinaryTraceReader::BinaryTraceReader(std::istream& in) : in_(&in) {
   if (magic != kBinaryTraceMagic) {
     fail_at(0, "bad magic (not a .kavb trace)");
   }
-  const std::uint16_t version = load_u16(header + 4);
-  if (version != kBinaryTraceVersion) {
-    fail_at(4, "unsupported format version " + std::to_string(version));
+  version_ = load_u16(header + 4);
+  if (version_ != kBinaryTraceVersion && version_ != kBinaryTraceVersion2) {
+    fail_at(4, "unsupported format version " + std::to_string(version_));
   }
   offset_ += sizeof header;
 }
 
 bool BinaryTraceReader::load_chunk() {
-  unsigned char chunk_header[8];
-  in_->read(reinterpret_cast<char*>(chunk_header), sizeof chunk_header);
+  // The chunk header is read in two halves: for v2 the first u32 may be
+  // the footer sentinel, which ends the record stream without the 4
+  // bytes that a real chunk header would still owe.
+  unsigned char first[4];
+  in_->read(reinterpret_cast<char*>(first), sizeof first);
   if (in_->gcount() == 0) return false;  // clean EOF at a chunk boundary
-  if (static_cast<std::size_t>(in_->gcount()) != sizeof chunk_header) {
+  if (static_cast<std::size_t>(in_->gcount()) != sizeof first) {
     fail_at(offset_ + static_cast<std::uint64_t>(in_->gcount()),
             "truncated chunk header");
   }
-  const std::uint32_t new_keys = load_u32(chunk_header);
-  const std::uint32_t records = load_u32(chunk_header + 4);
+  const std::uint32_t new_keys = load_u32(first);
+  if (version_ >= kBinaryTraceVersion2 &&
+      new_keys == kBinaryTraceFooterSentinel) {
+    // Footer reached: the record stream is complete. The footer payload
+    // is only meaningful to seeking readers (store/mapped_segment.h);
+    // a forward-only stream has no use for it.
+    return false;
+  }
+  unsigned char second[4];
+  read_exact(*in_, second, sizeof second, offset_ + sizeof first,
+             "chunk header");
+  const std::uint32_t records = load_u32(second);
   if (new_keys > kBinaryTraceMaxChunkKeys) {
     fail_at(offset_, "implausible chunk key count " + std::to_string(new_keys));
   }
@@ -194,7 +167,7 @@ bool BinaryTraceReader::load_chunk() {
   if (new_keys == 0 && records == 0) {
     fail_at(offset_, "empty chunk");
   }
-  offset_ += sizeof chunk_header;
+  offset_ += sizeof first + sizeof second;
 
   for (std::uint32_t i = 0; i < new_keys; ++i) {
     unsigned char len_bytes[2];
@@ -231,9 +204,9 @@ bool BinaryTraceReader::next(std::string_view& key, Operation& op) {
             "key id " + std::to_string(key_id) + " out of range (table has " +
                 std::to_string(keys_.size()) + " entries)");
   }
-  op.start = load_i64(p + 4);
-  op.finish = load_i64(p + 12);
-  op.value = load_i64(p + 20);
+  op.start = wire::load_i64(p + 4);
+  op.finish = wire::load_i64(p + 12);
+  op.value = wire::load_i64(p + 20);
   op.client = static_cast<ClientId>(load_u32(p + 28));
   const unsigned char type = p[32];
   if (type > 1) {
@@ -267,17 +240,29 @@ bool BinaryTraceReader::next(KeyedOperation& out) {
 // --- Whole-trace wrappers --------------------------------------------------
 
 void write_binary_trace(std::ostream& out, const KeyedTrace& trace,
-                        std::size_t records_per_chunk) {
+                        std::size_t records_per_chunk, std::uint16_t version) {
+  if (version == kBinaryTraceVersion2) {
+    SegmentWriterOptions options;
+    options.records_per_block = records_per_chunk;
+    SegmentWriter writer(out, options);
+    writer.add(trace);
+    writer.finish();
+    return;
+  }
+  if (version != kBinaryTraceVersion) {
+    throw std::invalid_argument("write_binary_trace: unsupported version " +
+                                std::to_string(version));
+  }
   BinaryTraceWriter writer(out, records_per_chunk);
   writer.add(trace);
   writer.flush();
 }
 
-void write_binary_trace_file(const std::string& path,
-                             const KeyedTrace& trace) {
+void write_binary_trace_file(const std::string& path, const KeyedTrace& trace,
+                             std::uint16_t version) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot open trace file: " + path);
-  write_binary_trace(out, trace);
+  write_binary_trace(out, trace, 4096, version);
   if (!out) throw std::runtime_error("error writing trace file: " + path);
 }
 
@@ -313,8 +298,9 @@ KeyedTrace read_any_trace_file(const std::string& path) {
 
 // --- Converters ------------------------------------------------------------
 
-void convert_text_to_binary(std::istream& text_in, std::ostream& binary_out) {
-  write_binary_trace(binary_out, read_trace(text_in));
+void convert_text_to_binary(std::istream& text_in, std::ostream& binary_out,
+                            std::uint16_t version) {
+  write_binary_trace(binary_out, read_trace(text_in), 4096, version);
 }
 
 void convert_binary_to_text(std::istream& binary_in, std::ostream& text_out) {

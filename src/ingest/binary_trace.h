@@ -9,7 +9,7 @@
 // Byte-for-byte layout (all integers little-endian): docs/FORMATS.md.
 // In short:
 //
-//   file   := header chunk*
+//   file   := header chunk* [footer]                   -- footer: v2 only
 //   header := magic 'KAVB' (u32) | version (u16) | reserved (u16)
 //   chunk  := new_keys (u32) | records (u32)
 //             new_keys * { length (u16) | bytes }      -- key table delta
@@ -21,6 +21,18 @@
 // chunks never rewrites earlier bytes. A reader detects truncation,
 // bad magic/version, out-of-range key ids, bad type bytes, and
 // non-increasing intervals, and reports the absolute byte offset.
+//
+// Format v2 (the trace-store segment format, src/store/) keeps the
+// header and chunk encoding bit-for-bit and appends a footer: a
+// sentinel u32 = 0xFFFFFFFF where the next chunk's new_keys would be
+// (no legal chunk can declare that many keys, so a sequential reader
+// stops cleanly), the full key table, a per-key block index (one entry
+// per single-key chunk: absolute offset, record count, time bounds),
+// and a fixed 12-byte trailer { payload_bytes u64 | magic 'KAVI' u32 }
+// so an indexed reader (store/mapped_segment.h) can seek from the end
+// and decode only the blocks of requested keys. BinaryTraceReader
+// streams both versions; v2 files with a damaged or missing footer
+// remain sequentially readable.
 //
 // Both formats are lossless for any trace the text format accepts
 // (property-tested by tests/ingest_fuzz_test.cpp); the binary format
@@ -38,17 +50,54 @@
 #include <vector>
 
 #include "history/keyed_trace.h"
+#include "ingest/wire.h"
 
 namespace kav {
 
 inline constexpr std::uint32_t kBinaryTraceMagic = 0x4256414Bu;  // "KAVB"
 inline constexpr std::uint16_t kBinaryTraceVersion = 1;
+// Format v2 = v1 chunk stream + key-table/block-index footer; written
+// by store/segment_writer.h, random-accessed by store/mapped_segment.h.
+inline constexpr std::uint16_t kBinaryTraceVersion2 = 2;
 inline constexpr std::size_t kBinaryTraceHeaderBytes = 8;
 inline constexpr std::size_t kBinaryTraceRecordBytes = 33;
 // Reader sanity caps: a corrupt chunk header cannot make the reader
 // allocate unbounded memory.
 inline constexpr std::uint32_t kBinaryTraceMaxChunkRecords = 1u << 24;
 inline constexpr std::uint32_t kBinaryTraceMaxChunkKeys = 1u << 20;
+
+// v2 footer framing. The sentinel occupies the new_keys position of a
+// would-be next chunk and exceeds kBinaryTraceMaxChunkKeys, so v1-style
+// sequential decoding of the record stream terminates exactly where the
+// footer begins. The trailer is the fixed last 12 bytes of the file:
+// payload_bytes (u64, counting key table + index, i.e. everything
+// between sentinel and trailer) then the footer magic.
+inline constexpr std::uint32_t kBinaryTraceFooterSentinel = 0xFFFFFFFFu;
+inline constexpr std::uint32_t kBinaryTraceFooterMagic = 0x4956414Bu;  // "KAVI"
+inline constexpr std::size_t kBinaryTraceTrailerBytes = 12;
+// One index entry: key_id u32 | offset u64 | records u32 | min_start
+// i64 | max_finish i64.
+inline constexpr std::size_t kBinaryTraceBlockEntryBytes = 32;
+
+// Record codec shared by the chunked stream writer below and the
+// store's SegmentWriter / MappedSegment. Encoding validation
+// (start < finish, key length) is validate_record(); decoding leaves
+// key-id range and interval checks to the caller, whose error messages
+// carry reader-specific byte offsets.
+inline void append_record(std::string& buffer, std::uint32_t key_id,
+                          const Operation& op) {
+  wire::append_u32(buffer, key_id);
+  wire::append_i64(buffer, op.start);
+  wire::append_i64(buffer, op.finish);
+  wire::append_i64(buffer, op.value);
+  wire::append_u32(buffer, static_cast<std::uint32_t>(op.client));
+  buffer.push_back(op.is_write() ? '\x01' : '\x00');
+}
+
+// Throws std::invalid_argument on start >= finish or a key longer than
+// 65535 bytes (the u16 length field); `who` names the writer.
+void validate_record(const char* who, std::string_view key,
+                     const Operation& op);
 
 // Streaming writer: add() operations in any key order; records are
 // buffered and emitted as one chunk every `records_per_chunk` adds (or
@@ -88,8 +137,10 @@ class BinaryTraceWriter {
 };
 
 // Streaming reader: pull one record at a time; memory stays O(chunk +
-// key table). Throws std::runtime_error with the absolute byte offset
-// on any malformed input.
+// key table). Reads format v1 and v2 (for v2 the record stream ends at
+// the footer sentinel; the footer itself is never materialized -- use
+// MappedSegment for indexed access). Throws std::runtime_error with
+// the absolute byte offset on any malformed input.
 class BinaryTraceReader {
  public:
   // Reads and validates the header immediately.
@@ -104,11 +155,13 @@ class BinaryTraceReader {
   std::size_t key_count() const { return keys_.size(); }
   const std::string& key(std::uint32_t id) const { return keys_[id]; }
   std::uint64_t records_read() const { return records_read_; }
+  std::uint16_t version() const { return version_; }
 
  private:
-  bool load_chunk();  // false at clean EOF
+  bool load_chunk();  // false at clean EOF (v2: at the footer sentinel)
 
   std::istream* in_;
+  std::uint16_t version_ = kBinaryTraceVersion;
   // deque: growth never moves existing strings, so string_views handed
   // to the caller stay valid across chunk loads.
   std::deque<std::string> keys_;
@@ -119,9 +172,16 @@ class BinaryTraceReader {
 };
 
 // Whole-trace convenience wrappers, mirroring history/serialization.h.
+// `version` selects the on-disk format: kBinaryTraceVersion (chunked
+// stream, records_per_chunk-sized chunks in arrival order) or
+// kBinaryTraceVersion2 (indexed segment via store/segment_writer.h;
+// records grouped into per-key blocks of at most records_per_chunk,
+// key-table + index footer appended). Readers accept both.
 void write_binary_trace(std::ostream& out, const KeyedTrace& trace,
-                        std::size_t records_per_chunk = 4096);
-void write_binary_trace_file(const std::string& path, const KeyedTrace& trace);
+                        std::size_t records_per_chunk = 4096,
+                        std::uint16_t version = kBinaryTraceVersion);
+void write_binary_trace_file(const std::string& path, const KeyedTrace& trace,
+                             std::uint16_t version = kBinaryTraceVersion);
 KeyedTrace read_binary_trace(std::istream& in);
 KeyedTrace read_binary_trace_file(const std::string& path);
 
@@ -133,8 +193,10 @@ bool is_binary_trace_file(const std::string& path);
 KeyedTrace read_any_trace_file(const std::string& path);
 
 // Lossless format converters. text -> binary loads the trace (the text
-// reader is whole-stream); binary -> text streams record by record.
-void convert_text_to_binary(std::istream& text_in, std::ostream& binary_out);
+// reader is whole-stream) and can emit either version; binary -> text
+// streams record by record and reads either version.
+void convert_text_to_binary(std::istream& text_in, std::ostream& binary_out,
+                            std::uint16_t version = kBinaryTraceVersion);
 void convert_binary_to_text(std::istream& binary_in, std::ostream& text_out);
 
 }  // namespace kav

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "history/serialization.h"
+#include "store/indexed_source.h"
 
 namespace kav {
 
@@ -121,6 +122,11 @@ std::string PushTraceSource::describe() const {
 
 std::unique_ptr<TraceSource> open_trace_source(const std::string& path) {
   if (is_binary_trace_file(path)) {
+    // Indexed v2 segments open mmap-backed with the selective
+    // interface; v1 (and unsealed v2) files stream chunk by chunk.
+    // A file claiming an index it cannot back up (corrupt footer)
+    // throws here rather than silently degrading.
+    if (auto indexed = IndexedTraceSource::try_open(path)) return indexed;
     return std::make_unique<BinaryFileTraceSource>(path);
   }
   return std::make_unique<TextFileTraceSource>(path);

@@ -24,7 +24,9 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
+#include "history/history.h"
 #include "history/keyed_trace.h"
 #include "ingest/binary_trace.h"
 
@@ -59,6 +61,28 @@ class TraceSource {
   // Human-readable origin for reports and error messages, e.g.
   // "memory(120 ops)" or "binary:trace.kavb".
   virtual std::string describe() const = 0;
+};
+
+// Capability interface for sources backed by a per-key index (the
+// trace store's mmap-backed IndexedTraceSource, store/indexed_source.h,
+// is the one implementation). Streaming via next() still yields the
+// full record stream in arrival order, so such a source behaves like
+// any other; the extra methods let kav::Engine serve a selective run
+// (RunOptions::key_filter) by materializing ONLY the requested keys'
+// histories -- each one loaded inside a pool worker, straight from the
+// index, with the rest of the input never decoded.
+class SelectiveTraceSource : public TraceSource {
+ public:
+  // Every key the source can serve selectively (unspecified order).
+  virtual std::vector<std::string> selectable_keys() const = 0;
+  // Operations stored for `key`; 0 when absent. Available without
+  // decoding records -- this is what index-driven shard budgeting and
+  // scheduling read.
+  virtual std::size_t key_op_count(const std::string& key) const = 0;
+  // Decodes `key`'s operations (in arrival order) into a History.
+  // Must be thread-safe and independent of the next() cursor: Engine
+  // calls it concurrently from pool workers.
+  virtual History load_key(const std::string& key) const = 0;
 };
 
 // In-memory trace, replayed in insertion (arrival) order.

@@ -1,0 +1,61 @@
+// Little-endian wire helpers shared by every .kavb encoder and decoder
+// (ingest/binary_trace.cpp writes and reads streams; the store layer's
+// SegmentWriter and MappedSegment encode the same records and the v2
+// footer). All integers on disk are little-endian; signed fields are
+// two's complement. The byte-composition idiom compiles to single
+// moves on LE hardware and stays correct on BE.
+#ifndef KAV_INGEST_WIRE_H
+#define KAV_INGEST_WIRE_H
+
+#include <cstdint>
+#include <string>
+
+namespace kav::wire {
+
+inline void append_u16(std::string& buffer, std::uint16_t v) {
+  buffer.push_back(static_cast<char>(v & 0xff));
+  buffer.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+inline void append_u32(std::string& buffer, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    buffer.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+inline void append_u64(std::string& buffer, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    buffer.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+inline void append_i64(std::string& buffer, std::int64_t v) {
+  append_u64(buffer, static_cast<std::uint64_t>(v));
+}
+
+inline std::uint16_t load_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+inline std::uint32_t load_u32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline std::uint64_t load_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+inline std::int64_t load_i64(const unsigned char* p) {
+  return static_cast<std::int64_t>(load_u64(p));
+}
+
+}  // namespace kav::wire
+
+#endif  // KAV_INGEST_WIRE_H

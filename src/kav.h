@@ -48,6 +48,12 @@
 #include "ingest/reorder_buffer.h"
 #include "ingest/trace_source.h"
 
+// Trace store: persistent indexed segments, mmap-backed selective reads.
+#include "store/indexed_source.h"
+#include "store/mapped_segment.h"
+#include "store/segment_writer.h"
+#include "store/trace_store.h"
+
 // Parallel verification pipeline.
 #include "pipeline/sharded_verifier.h"
 #include "pipeline/thread_pool.h"

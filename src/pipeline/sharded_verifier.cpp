@@ -41,6 +41,24 @@ KeyedReport ShardedVerifier::verify(const KeyedHistories& shards,
 KeyedReport ShardedVerifier::verify(const KeyedHistories& shards,
                                     const VerifyOptions& verify_options,
                                     const RunControl& run) {
+  // The map path pins each shard's History by pointer -- no copies;
+  // verify_shards waits for every task before returning, so the
+  // pointers never dangle.
+  std::vector<ShardSpec> specs;
+  specs.reserve(shards.per_key.size());
+  for (const auto& [key, history] : shards.per_key) {
+    ShardSpec spec;
+    spec.key = key;
+    spec.op_count = history.size();
+    spec.pinned = &history;
+    specs.push_back(std::move(spec));
+  }
+  return verify_shards(specs, verify_options, run);
+}
+
+KeyedReport ShardedVerifier::verify_shards(const std::vector<ShardSpec>& shards,
+                                           const VerifyOptions& options,
+                                           const RunControl& run) {
   // One fail-fast flag per call: a NO on one trace must not poison a
   // later verify() on the same (reused) pool. Caller cancellation is
   // the token inside `run` -- also per call, by construction.
@@ -49,34 +67,34 @@ KeyedReport ShardedVerifier::verify(const KeyedHistories& shards,
   auto sink_mutex = std::make_shared<std::mutex>();
   const bool fail_fast = pipeline_options_.fail_fast;
   const std::size_t budget = pipeline_options_.shard_op_budget;
-  const VerifyOptions options = verify_options;
+  const VerifyOptions verify_options = options;
 
   // Captured by pointer, not copied per shard: every exit path of this
   // function (normal merge AND the submit-failure catch below) waits
-  // for all submitted futures first, so `run` strictly outlives every
-  // task that dereferences it.
+  // for all submitted futures first, so `run` and the specs strictly
+  // outlive every task that dereferences them.
   const RunControl* run_ptr = &run;
 
   std::vector<std::future<Verdict>> futures;
-  futures.reserve(shards.per_key.size());
+  futures.reserve(shards.size());
   try {
-    for (const auto& [key, history] : shards.per_key) {
-      const History* shard = &history;
-      const std::string* shard_key = &key;
-      futures.push_back(pool_->submit([shard, shard_key, options, budget,
-                                       fail_fast, failed, sink_mutex,
+    for (const ShardSpec& shard : shards) {
+      const ShardSpec* spec = &shard;
+      futures.push_back(pool_->submit([spec, verify_options, budget, fail_fast,
+                                       failed, sink_mutex,
                                        run_ptr]() -> Verdict {
         const Verdict verdict = [&]() -> Verdict {
-          if (budget > 0 && shard->size() > budget) {
+          if (budget > 0 && spec->op_count > budget) {
             return Verdict::make_undecided(
                 "shard exceeds per-shard op budget (" +
-                std::to_string(shard->size()) + " ops > " +
+                std::to_string(spec->op_count) + " ops > " +
                 std::to_string(budget) + ")");
           }
           // Skip checks in precedence order: the caller's intent
           // (cancel, then deadline) outranks the internal fail-fast
           // flag, so a cancelled run reports "cancelled" even if a NO
-          // also landed.
+          // also landed. All three fire BEFORE a lazy shard decodes
+          // anything -- skipping costs no I/O.
           if (run_ptr->cancel.cancelled()) {
             return Verdict::make_undecided(kSkipCancelledReason);
           }
@@ -87,7 +105,12 @@ KeyedReport ShardedVerifier::verify(const KeyedHistories& shards,
           if (fail_fast && failed->load(std::memory_order_acquire)) {
             return Verdict::make_undecided(kSkipFailFastReason);
           }
-          return verify_k_atomicity(*shard, options);
+          if (spec->pinned != nullptr) {
+            return verify_k_atomicity(*spec->pinned, verify_options);
+          }
+          // Lazy shard: materialize on this worker, decide, discard.
+          const History loaded = spec->load();
+          return verify_k_atomicity(loaded, verify_options);
         }();
         if (fail_fast && verdict.no()) {
           failed->store(true, std::memory_order_release);
@@ -97,7 +120,7 @@ KeyedReport ShardedVerifier::verify(const KeyedHistories& shards,
         // consumer counting callbacks sees exactly one per key.
         if (run_ptr->on_key) {
           std::lock_guard<std::mutex> lock(*sink_mutex);
-          run_ptr->on_key(*shard_key, verdict);
+          run_ptr->on_key(spec->key, verdict);
         }
         return verdict;
       }));
@@ -118,13 +141,13 @@ KeyedReport ShardedVerifier::verify(const KeyedHistories& shards,
   // this function.
   for (const auto& future : futures) future.wait();
 
-  // Merge in key order (shards.per_key is a sorted map and futures were
-  // submitted in that order), so the report layout never depends on
-  // which worker finished first.
+  // Merge in spec order (the map overload builds specs in sorted-key
+  // order), so the report layout never depends on which worker
+  // finished first.
   KeyedReport report;
   std::size_t i = 0;
-  for (const auto& [key, history] : shards.per_key) {
-    report.per_key.emplace(key, futures[i++].get());
+  for (const ShardSpec& shard : shards) {
+    report.per_key.emplace(shard.key, futures[i++].get());
   }
   return report;
 }

@@ -33,7 +33,10 @@
 #define KAV_PIPELINE_SHARDED_VERIFIER_H
 
 #include <cstddef>
+#include <functional>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/run_control.h"
 #include "core/verify.h"
@@ -41,6 +44,23 @@
 #include "pipeline/thread_pool.h"
 
 namespace kav {
+
+// One unit of parallel work for verify_shards: a key plus EITHER a
+// pre-materialized history (`pinned`, the classic KeyedHistories path)
+// OR a loader the worker invokes to materialize it lazily (`load`, the
+// trace store's index-driven path: op_count comes from index
+// statistics, and the shard's operations are decoded from their mmap
+// blocks inside the pool worker -- the full trace is never
+// materialized anywhere). op_count is what shard_op_budget is checked
+// against, so over-budget lazy shards are skipped without decoding a
+// single record.
+struct ShardSpec {
+  std::string key;
+  std::size_t op_count = 0;
+  const History* pinned = nullptr;   // used when non-null
+  std::function<History()> load;     // else called on the worker;
+                                     // must be thread-safe
+};
 
 struct PipelineOptions {
   // Worker threads; 0 picks std::thread::hardware_concurrency().
@@ -81,6 +101,20 @@ class ShardedVerifier {
   // the overloads above bit for bit.
   KeyedReport verify(const KeyedHistories& shards,
                      const VerifyOptions& options, const RunControl& run);
+
+  // The general core every overload above funnels into: one task per
+  // ShardSpec on the pool, merged into a KeyedReport in spec order
+  // (keys must be unique). Lazy specs let a caller hand the pipeline
+  // shard *descriptions* (key + op count from an index) instead of
+  // materialized histories; each worker materializes, decides, and
+  // discards its own shard, so peak memory is O(threads * max shard)
+  // rather than O(trace). A lazy loader that throws (e.g. corrupt
+  // bytes under an mmap) propagates out of this call after every other
+  // shard has been waited for. Determinism: verdicts are a pure
+  // function of each spec's history + options, exactly as for verify().
+  KeyedReport verify_shards(const std::vector<ShardSpec>& shards,
+                            const VerifyOptions& options,
+                            const RunControl& run);
 
   std::size_t thread_count() const { return pool_->thread_count(); }
 

@@ -1,0 +1,140 @@
+#include "store/indexed_source.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "ingest/binary_trace.h"
+
+namespace kav {
+
+namespace {
+
+std::shared_ptr<const MappedSegment> open_indexed(const std::string& path) {
+  auto segment = std::make_shared<const MappedSegment>(path);
+  if (!segment->indexed()) {
+    throw std::invalid_argument("not an indexed (v2) trace: " + path);
+  }
+  return segment;
+}
+
+}  // namespace
+
+IndexedTraceSource::IndexedTraceSource(const std::string& path)
+    : segments_{open_indexed(path)}, label_("indexed:" + path) {}
+
+IndexedTraceSource::IndexedTraceSource(
+    std::vector<std::shared_ptr<const MappedSegment>> segments,
+    std::string label)
+    : segments_(std::move(segments)), label_(std::move(label)) {
+  for (const auto& segment : segments_) {
+    if (!segment->indexed()) {
+      throw std::invalid_argument("not an indexed (v2) trace: " +
+                                  segment->path());
+    }
+  }
+}
+
+std::unique_ptr<IndexedTraceSource> IndexedTraceSource::try_open(
+    const std::string& path) {
+  // Cheap 8-byte probe before mapping anything: only version-2 files
+  // can carry an index, and on a platform without mmap constructing a
+  // MappedSegment would read the whole file into memory just to
+  // discover a v1 stream and throw it away. Short or non-v2 files are
+  // the sequential reader's to handle (including its error messages).
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("cannot open trace file: " + path);
+    unsigned char header[kBinaryTraceHeaderBytes];
+    in.read(reinterpret_cast<char*>(header), sizeof header);
+    if (static_cast<std::size_t>(in.gcount()) != sizeof header) return nullptr;
+    if (wire::load_u32(header) != kBinaryTraceMagic) return nullptr;
+    if (wire::load_u16(header + 4) != kBinaryTraceVersion2) return nullptr;
+  }
+  auto segment = std::make_shared<const MappedSegment>(path);
+  if (!segment->indexed()) return nullptr;
+  return std::make_unique<IndexedTraceSource>(
+      std::vector<std::shared_ptr<const MappedSegment>>{std::move(segment)},
+      "indexed:" + path);
+}
+
+bool IndexedTraceSource::next(KeyedOperation& out) {
+  std::string_view key;
+  for (;;) {
+    if (!cursor_.has_value()) {
+      if (segment_index_ >= segments_.size()) return false;
+      cursor_.emplace(segments_[segment_index_]->cursor());
+    }
+    if (cursor_->next(key, out.op)) {
+      out.key.assign(key);
+      return true;
+    }
+    cursor_.reset();
+    ++segment_index_;
+  }
+}
+
+std::string IndexedTraceSource::describe() const {
+  std::uint64_t records = 0;
+  std::set<std::string_view> keys;
+  for (const auto& segment : segments_) {
+    records += segment->total_records();
+    keys.insert(segment->keys().begin(), segment->keys().end());
+  }
+  return label_ + "(" + std::to_string(keys.size()) + " keys, " +
+         std::to_string(records) + " records)";
+}
+
+std::vector<std::string> IndexedTraceSource::selectable_keys() const {
+  std::set<std::string_view> merged;
+  for (const auto& segment : segments_) {
+    merged.insert(segment->keys().begin(), segment->keys().end());
+  }
+  return {merged.begin(), merged.end()};
+}
+
+std::size_t IndexedTraceSource::key_op_count(const std::string& key) const {
+  std::uint64_t records = 0;
+  for (const auto& segment : segments_) {
+    if (const KeyStat* s = segment->stat(key)) records += s->records;
+  }
+  return static_cast<std::size_t>(records);
+}
+
+KeyStat IndexedTraceSource::stat(const std::string& key) const {
+  KeyStat merged;
+  for (const auto& segment : segments_) {
+    const KeyStat* s = segment->stat(key);
+    if (s == nullptr) continue;
+    if (merged.records == 0) {
+      merged.min_start = s->min_start;
+      merged.max_finish = s->max_finish;
+    } else {
+      merged.min_start = std::min(merged.min_start, s->min_start);
+      merged.max_finish = std::max(merged.max_finish, s->max_finish);
+    }
+    merged.records += s->records;
+    merged.blocks += s->blocks;
+  }
+  return merged;
+}
+
+std::uint64_t IndexedTraceSource::total_records() const {
+  std::uint64_t records = 0;
+  for (const auto& segment : segments_) records += segment->total_records();
+  return records;
+}
+
+History IndexedTraceSource::load_key(const std::string& key) const {
+  std::vector<Operation> ops;
+  ops.reserve(key_op_count(key));
+  for (const auto& segment : segments_) {
+    std::vector<Operation> part = segment->read_key(key);
+    ops.insert(ops.end(), part.begin(), part.end());
+  }
+  return History(std::move(ops));
+}
+
+}  // namespace kav

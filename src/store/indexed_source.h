@@ -1,0 +1,78 @@
+// IndexedTraceSource: the TraceSource the trace store serves. Wraps
+// one or more MappedSegments (one for a single indexed .kavb file
+// opened via open_trace_source; several for a whole TraceStore) behind
+// both faces of the source abstraction:
+//
+//   - as a plain TraceSource, next() streams every record of every
+//     segment in order (segment order; within a segment the v2 stream
+//     order, i.e. block order: key-grouped, each key's own sequence in
+//     add() order), zero-copy from the mappings -- full-trace
+//     Engine::verify is unaffected (verdicts depend only on per-key
+//     order), and Engine::monitor sees each key's stream in order,
+//     just not the original cross-key interleaving;
+//   - as a SelectiveTraceSource, selectable_keys / key_op_count /
+//     load_key answer from the segments' indexes without decoding
+//     records, and load_key materializes one key's History straight
+//     from its blocks -- Engine::verify with RunOptions::key_filter
+//     runs these concurrently on pool workers.
+//
+// A key living in several segments is reassembled in segment order;
+// within each segment, block order is add() order, so the concatenation
+// equals the key's subsequence of the full arrival-order stream.
+#ifndef KAV_STORE_INDEXED_SOURCE_H
+#define KAV_STORE_INDEXED_SOURCE_H
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ingest/trace_source.h"
+#include "store/mapped_segment.h"
+
+namespace kav {
+
+class IndexedTraceSource final : public SelectiveTraceSource {
+ public:
+  // Opens one segment file; throws std::runtime_error when the file
+  // cannot be opened, is not a .kavb trace, or carries a corrupt
+  // index, and std::invalid_argument when it is merely unindexed (v1
+  // or unsealed v2) -- callers wanting a graceful fallback use
+  // try_open.
+  explicit IndexedTraceSource(const std::string& path);
+  // Wraps already-open segments (the TraceStore path). Every segment
+  // must be indexed. `label` is used by describe().
+  IndexedTraceSource(std::vector<std::shared_ptr<const MappedSegment>> segments,
+                     std::string label);
+
+  // nullptr when `path` is readable .kavb but has no index (v1 or
+  // unsealed v2) -- the caller should fall back to sequential access.
+  // Throws like the constructor on unreadable files or corrupt indexes.
+  static std::unique_ptr<IndexedTraceSource> try_open(const std::string& path);
+
+  bool next(KeyedOperation& out) override;
+  std::string describe() const override;
+
+  std::vector<std::string> selectable_keys() const override;
+  std::size_t key_op_count(const std::string& key) const override;
+  History load_key(const std::string& key) const override;
+
+  // Aggregate stat across segments; records == 0 when the key is
+  // absent everywhere.
+  KeyStat stat(const std::string& key) const;
+  std::uint64_t total_records() const;
+  const std::vector<std::shared_ptr<const MappedSegment>>& segments() const {
+    return segments_;
+  }
+
+ private:
+  std::vector<std::shared_ptr<const MappedSegment>> segments_;
+  std::string label_;
+  // next() state: current segment and its cursor.
+  std::size_t segment_index_ = 0;
+  std::optional<MappedSegment::Cursor> cursor_;
+};
+
+}  // namespace kav
+
+#endif  // KAV_STORE_INDEXED_SOURCE_H

@@ -1,0 +1,133 @@
+// MappedSegment: a zero-copy, memory-mapped reader of one .kavb file.
+// The whole file is mapped read-only (falling back to a heap buffer on
+// platforms or filesystems where mmap fails); the v2 key-table/index
+// footer is parsed into string_views and block extents pointing
+// straight into the mapping, so opening a multi-gigabyte segment costs
+// O(keys + blocks), not O(records), and extracting one key decodes
+// only that key's blocks -- the paper's audit-one-register workload
+// without decoding the other million.
+//
+// Reads are const and touch only immutable mapping state, so many pool
+// workers can decode different keys of one MappedSegment concurrently
+// (the Engine's index-driven sharding does exactly that).
+//
+// v1 files (and v2 files whose footer is absent, e.g. a writer died
+// mid-seal) open with indexed() == false: sequential access via
+// Cursor/read_all still works, selective access does not.
+#ifndef KAV_STORE_MAPPED_SEGMENT_H
+#define KAV_STORE_MAPPED_SEGMENT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "history/keyed_trace.h"
+#include "util/time_types.h"
+
+namespace kav {
+
+// Aggregate per-key statistics from the index -- available without
+// decoding a single record, which is what lets the verification
+// pipeline budget and shard work before reading anything.
+struct KeyStat {
+  std::uint64_t records = 0;
+  std::uint32_t blocks = 0;
+  TimePoint min_start = 0;
+  TimePoint max_finish = 0;
+};
+
+class MappedSegment {
+ public:
+  // Maps the file and parses header + footer. Throws std::runtime_error
+  // on open failure, bad magic/version, or a corrupt index (trailer
+  // magic present but sentinel/sizes/offsets inconsistent -- including
+  // any block offset or extent pointing past the record region).
+  explicit MappedSegment(const std::string& path);
+  ~MappedSegment();
+
+  MappedSegment(const MappedSegment&) = delete;
+  MappedSegment& operator=(const MappedSegment&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::size_t size_bytes() const { return size_; }
+  std::uint16_t version() const { return version_; }
+  bool indexed() const { return indexed_; }
+
+  // Index accessors; all require indexed() (they return empty/null/0
+  // otherwise, they do not throw).
+  std::size_t key_count() const { return key_names_.size(); }
+  // Keys in table (id) order -- the order of first flush to disk.
+  const std::vector<std::string_view>& keys() const { return key_names_; }
+  bool contains(std::string_view key) const;
+  const KeyStat* stat(std::string_view key) const;  // nullptr when absent
+  std::uint64_t total_records() const { return total_records_; }
+  std::uint64_t block_count() const { return blocks_.size(); }
+
+  // Decodes only `key`'s blocks, in add() order. Returns an empty
+  // vector for an absent key. Throws std::logic_error when
+  // !indexed(), std::runtime_error on corrupt block bytes.
+  std::vector<Operation> read_key(std::string_view key) const;
+
+  // Sequential zero-copy walk over the whole record stream (works for
+  // v1 and unindexed files too). The string_view points into the
+  // mapping and stays valid for the segment's lifetime.
+  class Cursor {
+   public:
+    bool next(std::string_view& key, Operation& op);
+
+   private:
+    friend class MappedSegment;
+    explicit Cursor(const MappedSegment* segment);
+    const MappedSegment* segment_;
+    std::uint64_t offset_;               // next unread byte
+    std::vector<std::string_view> keys_; // table as introduced so far
+    std::uint32_t chunk_records_ = 0;    // records left in current chunk
+  };
+  Cursor cursor() const { return Cursor(this); }
+
+  KeyedTrace read_all() const;  // drain a cursor
+
+ private:
+  struct BlockEntry {
+    std::uint32_t key_id = 0;
+    std::uint64_t offset = 0;
+    std::uint32_t records = 0;
+    TimePoint min_start = 0;
+    TimePoint max_finish = 0;
+  };
+  struct KeyEntry {
+    KeyStat stat;
+    // Range into blocks_ (sorted by key id, offsets ascending within).
+    std::uint32_t first_block = 0;
+    std::uint32_t block_count = 0;
+  };
+
+  const unsigned char* at(std::uint64_t offset) const { return data_ + offset; }
+  [[noreturn]] void fail(std::uint64_t offset, const std::string& what) const;
+  void parse_footer();
+  // Decodes the 33-byte record at `offset` (caller bounds-checks),
+  // validating type byte and interval; returns the record's key id.
+  std::uint32_t decode_record(std::uint64_t offset, Operation& op) const;
+  void unmap() noexcept;
+
+  std::string path_;
+  const unsigned char* data_ = nullptr;
+  std::size_t size_ = 0;
+  void* map_base_ = nullptr;                 // non-null iff mmap succeeded
+  std::vector<unsigned char> heap_fallback_; // used when mmap unavailable
+  std::uint16_t version_ = 0;
+  bool indexed_ = false;
+  std::uint64_t records_end_ = 0;  // first byte past the last chunk
+  std::uint64_t total_records_ = 0;
+  std::vector<std::string_view> key_names_;  // id order, views into mapping
+  std::unordered_map<std::string_view, std::uint32_t> key_ids_;
+  std::vector<KeyEntry> key_entries_;        // parallel to key_names_
+  std::vector<BlockEntry> blocks_;
+};
+
+}  // namespace kav
+
+#endif  // KAV_STORE_MAPPED_SEGMENT_H

@@ -1,0 +1,187 @@
+#include "store/segment_writer.h"
+
+#include <algorithm>
+#include <ostream>
+#include <stdexcept>
+
+#include "ingest/binary_trace.h"
+
+namespace kav {
+
+namespace {
+
+using wire::append_u16;
+using wire::append_u32;
+using wire::append_u64;
+using wire::append_i64;
+
+}  // namespace
+
+SegmentWriter::SegmentWriter(std::ostream& out, SegmentWriterOptions options)
+    : out_(&out), options_(options) {
+  options_.records_per_block = std::clamp<std::size_t>(
+      options_.records_per_block, 1, kBinaryTraceMaxChunkRecords);
+  // The upper clamp keeps flush_block's prefix introduction legal:
+  // every not-yet-introduced key holds at least one buffered record,
+  // so capping buffered records at the reader's per-chunk key cap
+  // guarantees no chunk ever introduces more keys than readers accept.
+  options_.max_buffered_records = std::clamp<std::size_t>(
+      options_.max_buffered_records, 1, kBinaryTraceMaxChunkKeys);
+  std::string header;
+  append_u32(header, kBinaryTraceMagic);
+  append_u16(header, kBinaryTraceVersion2);
+  append_u16(header, 0);  // reserved
+  write_raw(header);
+}
+
+SegmentWriter::~SegmentWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; call finish() explicitly to observe
+    // stream errors.
+  }
+}
+
+void SegmentWriter::write_raw(const std::string& bytes) {
+  out_->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  offset_ += bytes.size();
+}
+
+void SegmentWriter::add(std::string_view key, const Operation& op) {
+  if (finished_) {
+    throw std::logic_error("segment writer: add() after finish()");
+  }
+  validate_record("segment writer", key, op);
+  auto [it, inserted] = key_ids_.try_emplace(
+      std::string(key), static_cast<std::uint32_t>(keys_.size()));
+  const std::uint32_t id = it->second;
+  if (inserted) {
+    KeyState state;
+    state.name = it->first;
+    keys_.push_back(std::move(state));
+  }
+  KeyState& state = keys_[id];
+  if (state.pending_records == 0) {
+    state.pending_min_start = op.start;
+    state.pending_max_finish = op.finish;
+  } else {
+    state.pending_min_start = std::min(state.pending_min_start, op.start);
+    state.pending_max_finish = std::max(state.pending_max_finish, op.finish);
+  }
+  append_record(state.pending, id, op);
+  ++state.pending_records;
+  ++state.records;
+  ++records_added_;
+  ++buffered_records_;
+  if (state.pending_records >= options_.records_per_block) {
+    flush_block(id);
+  } else if (buffered_records_ >= options_.max_buffered_records) {
+    // Memory pressure across a wide key space: flush every pending
+    // buffer (memtable style), in id order. Evicting only the fattest
+    // buffer would go quadratic when keys outnumber the cap (each
+    // eviction frees ~1 record, so every add() rescans); one full
+    // flush costs O(keys) but buys max_buffered_records further
+    // add()s, so the amortized cost per record stays O(1).
+    for (std::uint32_t k = 0; k < keys_.size(); ++k) flush_block(k);
+  }
+}
+
+void SegmentWriter::add(const KeyedTrace& trace) {
+  for (const KeyedOperation& kop : trace.ops) add(kop.key, kop.op);
+}
+
+void SegmentWriter::flush_block(std::uint32_t key_id) {
+  KeyState& state = keys_[key_id];
+  if (state.pending_records == 0) return;
+
+  // Introduce every id up to and including this one that is not yet on
+  // disk (see the header comment on flush_block for why the introduced
+  // set must stay a prefix of the id space).
+  std::string key_entries;
+  std::uint32_t new_keys = 0;
+  while (introduced_keys_ <= key_id) {
+    const std::string& name = keys_[introduced_keys_].name;
+    append_u16(key_entries, static_cast<std::uint16_t>(name.size()));
+    key_entries.append(name);
+    ++introduced_keys_;
+    ++new_keys;
+  }
+
+  std::string chunk_header;
+  append_u32(chunk_header, new_keys);
+  append_u32(chunk_header, state.pending_records);
+
+  BlockEntry entry;
+  entry.key_id = key_id;
+  entry.offset = offset_;
+  entry.records = state.pending_records;
+  entry.min_start = state.pending_min_start;
+  entry.max_finish = state.pending_max_finish;
+
+  write_raw(chunk_header);
+  write_raw(key_entries);
+  write_raw(state.pending);
+  blocks_.push_back(entry);
+
+  buffered_records_ -= state.pending_records;
+  state.pending.clear();
+  state.pending.shrink_to_fit();
+  state.pending_records = 0;
+}
+
+SegmentStats SegmentWriter::finish() {
+  if (finished_) return stats_;
+
+  // Drain remaining buffers in id order (deterministic output for a
+  // given add() sequence, regardless of earlier eviction choices).
+  for (std::uint32_t id = 0; id < keys_.size(); ++id) flush_block(id);
+  // Keys that were added but never flushed cannot exist (flush_block
+  // drains all); keys introduced but with zero records cannot exist
+  // either (introduction happens only inside some block's chunk).
+
+  std::string footer;
+  append_u32(footer, kBinaryTraceFooterSentinel);
+
+  std::string payload;
+  append_u32(payload, static_cast<std::uint32_t>(keys_.size()));
+  for (const KeyState& state : keys_) {
+    append_u16(payload, static_cast<std::uint16_t>(state.name.size()));
+    payload.append(state.name);
+  }
+  // Index entries sorted by (key_id, offset): all of one key's blocks
+  // are adjacent, and within a key offsets ascend = add() order, so a
+  // reader reassembles the per-key history by walking a contiguous
+  // range. blocks_ is in flush order; stable_sort by key id preserves
+  // the per-key offset order without comparing offsets.
+  std::stable_sort(blocks_.begin(), blocks_.end(),
+                   [](const BlockEntry& a, const BlockEntry& b) {
+                     return a.key_id < b.key_id;
+                   });
+  append_u32(payload, static_cast<std::uint32_t>(blocks_.size()));
+  for (const BlockEntry& block : blocks_) {
+    append_u32(payload, block.key_id);
+    append_u64(payload, block.offset);
+    append_u32(payload, block.records);
+    append_i64(payload, block.min_start);
+    append_i64(payload, block.max_finish);
+  }
+
+  std::string trailer;
+  append_u64(trailer, static_cast<std::uint64_t>(payload.size()));
+  append_u32(trailer, kBinaryTraceFooterMagic);
+
+  write_raw(footer);
+  write_raw(payload);
+  write_raw(trailer);
+  out_->flush();
+
+  finished_ = true;
+  stats_.records = records_added_;
+  stats_.blocks = blocks_.size();
+  stats_.keys = keys_.size();
+  stats_.bytes = offset_;
+  return stats_;
+}
+
+}  // namespace kav

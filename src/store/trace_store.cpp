@@ -1,0 +1,326 @@
+#include "store/trace_store.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define KAV_STORE_HAVE_FSYNC 1
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "ingest/trace_source.h"
+
+namespace kav {
+
+namespace {
+
+// Best-effort durability (POSIX only; a no-op elsewhere): flush the
+// written segment's pages, and after a rename flush the directory so
+// the new name itself survives a crash. "Best effort" because a
+// failing fsync on a freshly written, successfully closed file has no
+// useful recovery here beyond reporting nothing.
+void sync_path(const std::filesystem::path& path) {
+#if KAV_STORE_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+constexpr const char* kSegmentPrefix = "seg-";
+constexpr const char* kSegmentSuffix = ".kavb";
+
+// seg-000001.kavb -> 1; nullopt for anything else (including .tmp
+// leftovers, which the store ignores rather than trips over).
+std::optional<std::uint64_t> parse_segment_number(const std::string& name) {
+  const std::string prefix = kSegmentPrefix;
+  const std::string suffix = kSegmentSuffix;
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  const std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return std::nullopt;
+  std::uint64_t number = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    number = number * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return number;
+}
+
+}  // namespace
+
+std::filesystem::path TraceStore::segment_path(std::uint64_t number) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%s%06llu%s", kSegmentPrefix,
+                static_cast<unsigned long long>(number), kSegmentSuffix);
+  return directory_ / name;
+}
+
+TraceStore::TraceStore(std::filesystem::path directory)
+    : directory_(std::move(directory)) {
+  std::error_code ec;
+  std::filesystem::create_directories(directory_, ec);
+  if (ec || !std::filesystem::is_directory(directory_)) {
+    throw std::runtime_error("trace store: cannot create directory " +
+                             directory_.string());
+  }
+  std::map<std::uint64_t, std::filesystem::path> found;
+  for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
+    if (!entry.is_regular_file()) continue;
+    const auto number = parse_segment_number(entry.path().filename().string());
+    if (!number.has_value()) continue;
+    found.emplace(*number, entry.path());
+  }
+  for (const auto& [number, path] : found) {
+    auto segment = std::make_shared<const MappedSegment>(path.string());
+    if (!segment->indexed()) {
+      throw std::runtime_error("trace store: segment is not indexed (v2): " +
+                               path.string());
+    }
+    segments_.push_back(std::move(segment));
+    numbers_.push_back(number);
+    next_number_ = std::max(next_number_, number + 1);
+  }
+}
+
+std::vector<SegmentInfo> TraceStore::segments() const {
+  std::vector<SegmentInfo> out;
+  out.reserve(segments_.size());
+  for (const auto& segment : segments_) {
+    SegmentInfo info;
+    info.path = segment->path();
+    info.records = segment->total_records();
+    info.keys = segment->key_count();
+    info.blocks = segment->block_count();
+    info.bytes = segment->size_bytes();
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::uint64_t TraceStore::total_records() const {
+  std::uint64_t records = 0;
+  for (const auto& segment : segments_) records += segment->total_records();
+  return records;
+}
+
+template <typename Feed>
+std::shared_ptr<const MappedSegment> TraceStore::write_segment(
+    std::uint64_t number, std::size_t records_per_block, Feed&& feed) {
+  const std::filesystem::path final_path = segment_path(number);
+  const std::filesystem::path tmp_path =
+      final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("trace store: cannot create " +
+                               tmp_path.string());
+    }
+    SegmentWriterOptions options;
+    options.records_per_block = records_per_block;
+    SegmentWriter writer(out, options);
+    feed(writer);
+    writer.finish();
+    if (!out) {
+      throw std::runtime_error("trace store: error writing " +
+                               tmp_path.string());
+    }
+  }
+  sync_path(tmp_path);
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    throw std::runtime_error("trace store: cannot rename " +
+                             tmp_path.string() + " to " + final_path.string());
+  }
+  sync_path(directory_);
+  auto segment = std::make_shared<const MappedSegment>(final_path.string());
+  if (!segment->indexed()) {
+    throw std::runtime_error("trace store: freshly written segment has no "
+                             "index: " +
+                             final_path.string());
+  }
+  return segment;
+}
+
+std::filesystem::path TraceStore::append(const KeyedTrace& trace,
+                                         std::size_t records_per_block) {
+  const std::uint64_t number = next_number_++;
+  auto segment = write_segment(number, records_per_block,
+                               [&](SegmentWriter& writer) {
+                                 writer.add(trace);
+                               });
+  const std::filesystem::path path(segment->path());
+  segments_.push_back(std::move(segment));
+  numbers_.push_back(number);
+  return path;
+}
+
+std::filesystem::path TraceStore::import_file(const std::string& path,
+                                              std::size_t records_per_block) {
+  const std::uint64_t number = next_number_++;
+  auto segment = write_segment(
+      number, records_per_block, [&](SegmentWriter& writer) {
+        const std::unique_ptr<TraceSource> source = open_trace_source(path);
+        KeyedOperation kop;
+        while (source->next(kop)) writer.add(kop.key, kop.op);
+      });
+  const std::filesystem::path segment_file(segment->path());
+  segments_.push_back(std::move(segment));
+  numbers_.push_back(number);
+  return segment_file;
+}
+
+std::vector<std::string> TraceStore::keys() const {
+  std::set<std::string_view> merged;
+  for (const auto& segment : segments_) {
+    merged.insert(segment->keys().begin(), segment->keys().end());
+  }
+  return {merged.begin(), merged.end()};
+}
+
+std::map<std::string, KeyStat> TraceStore::key_stats() const {
+  std::map<std::string, KeyStat> merged;
+  for (const auto& segment : segments_) {
+    for (const std::string_view key : segment->keys()) {
+      const KeyStat* s = segment->stat(key);
+      auto [it, inserted] = merged.try_emplace(std::string(key), *s);
+      if (inserted) continue;
+      KeyStat& stat = it->second;
+      stat.min_start = std::min(stat.min_start, s->min_start);
+      stat.max_finish = std::max(stat.max_finish, s->max_finish);
+      stat.records += s->records;
+      stat.blocks += s->blocks;
+    }
+  }
+  return merged;
+}
+
+KeyStat TraceStore::stat(const std::string& key) const {
+  KeyStat merged;
+  for (const auto& segment : segments_) {
+    const KeyStat* s = segment->stat(key);
+    if (s == nullptr) continue;
+    if (merged.records == 0) {
+      merged.min_start = s->min_start;
+      merged.max_finish = s->max_finish;
+    } else {
+      merged.min_start = std::min(merged.min_start, s->min_start);
+      merged.max_finish = std::max(merged.max_finish, s->max_finish);
+    }
+    merged.records += s->records;
+    merged.blocks += s->blocks;
+  }
+  return merged;
+}
+
+bool TraceStore::contains(const std::string& key) const {
+  for (const auto& segment : segments_) {
+    if (segment->contains(key)) return true;
+  }
+  return false;
+}
+
+History TraceStore::read_key(const std::string& key) const {
+  std::vector<Operation> ops;
+  ops.reserve(static_cast<std::size_t>(stat(key).records));
+  for (const auto& segment : segments_) {
+    if (!segment->contains(key)) continue;
+    std::vector<Operation> part = segment->read_key(key);
+    ops.insert(ops.end(), part.begin(), part.end());
+  }
+  return History(std::move(ops));
+}
+
+std::unique_ptr<IndexedTraceSource> TraceStore::open_source() const {
+  return std::make_unique<IndexedTraceSource>(
+      segments_, "store:" + directory_.string());
+}
+
+std::size_t TraceStore::compact(std::size_t first_n,
+                                std::size_t records_per_block) {
+  if (first_n == 0 || first_n > segments_.size()) first_n = segments_.size();
+  if (first_n < 2) return segments_.size();
+
+  // The folded segment takes the first victim's number so replay order
+  // (segment-number order) is unchanged for the segments that remain.
+  const std::uint64_t number = numbers_.front();
+  std::vector<std::shared_ptr<const MappedSegment>> victims(
+      segments_.begin(),
+      segments_.begin() + static_cast<std::ptrdiff_t>(first_n));
+
+  const std::filesystem::path final_path = segment_path(number);
+  const std::filesystem::path tmp_path = final_path.string() + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("trace store: cannot create " +
+                               tmp_path.string());
+    }
+    SegmentWriterOptions options;
+    options.records_per_block = records_per_block;
+    SegmentWriter writer(out, options);
+    // Stream segment by segment in replay order; O(block) memory.
+    for (const auto& victim : victims) {
+      MappedSegment::Cursor cursor = victim->cursor();
+      std::string_view key;
+      Operation op;
+      while (cursor.next(key, op)) writer.add(key, op);
+    }
+    writer.finish();
+    if (!out) {
+      throw std::runtime_error("trace store: error writing " +
+                               tmp_path.string());
+    }
+  }
+
+  // Commit order matters for failure containment: rename FIRST
+  // (atomically replacing the first victim's file -- its mapping stays
+  // valid, mappings outlive unlink/replace on POSIX), and only then
+  // remove the other victims. A failed rename therefore throws with
+  // every original segment still on disk and still served; only the
+  // crash window between the rename and the last remove can leave
+  // stale (never wrong) extra segments behind.
+  sync_path(tmp_path);
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  if (ec) {
+    throw std::runtime_error("trace store: cannot rename " +
+                             tmp_path.string() + " to " + final_path.string());
+  }
+  sync_path(directory_);
+  auto folded = std::make_shared<const MappedSegment>(final_path.string());
+
+  segments_.erase(segments_.begin(),
+                  segments_.begin() + static_cast<std::ptrdiff_t>(first_n));
+  numbers_.erase(numbers_.begin(),
+                 numbers_.begin() + static_cast<std::ptrdiff_t>(first_n));
+  std::vector<std::filesystem::path> victim_paths;
+  victim_paths.reserve(victims.size());
+  for (const auto& victim : victims) victim_paths.emplace_back(victim->path());
+  victims.clear();  // drop mappings before deleting the files
+  for (const auto& path : victim_paths) {
+    if (path == final_path) continue;  // already replaced by the rename
+    std::error_code remove_ec;
+    std::filesystem::remove(path, remove_ec);  // best effort
+  }
+  segments_.insert(segments_.begin(), std::move(folded));
+  numbers_.insert(numbers_.begin(), number);
+  return segments_.size();
+}
+
+}  // namespace kav

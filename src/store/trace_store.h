@@ -1,0 +1,124 @@
+// TraceStore: a persistent repository of trace segments -- the
+// out-of-core answer to "audit a multi-gigabyte trace without loading
+// it". A store is a directory of numbered, indexed .kavb v2 segment
+// files (seg-000001.kavb, seg-000002.kavb, ...); every batch of
+// operations appended becomes one immutable segment written via
+// SegmentWriter, and every read goes through mmap-backed
+// MappedSegments, so the store's memory footprint is O(keys + blocks)
+// regardless of how many operations are on disk.
+//
+// Replay order is segment-number order; within a segment the stream
+// order is block order (key-grouped), with every key's own operation
+// sequence preserved exactly -- so PER-KEY replay equals append order
+// end to end (the only order verification depends on; see
+// docs/FORMATS.md on v2 stream order), while cross-key interleaving
+// is not reproduced. compact() folds the N oldest segments into one
+// (re-blocked, freshly indexed) segment that takes the first folded
+// segment's number, so that ordering contract is preserved and
+// per-key reads touch fewer, larger blocks afterwards.
+//
+// open_source() serves the whole store as one IndexedTraceSource:
+// sequential streaming for monitors, per-key selective loads for
+// kav::Engine's RunOptions::key_filter.
+//
+// Concurrency: const methods are safe to call concurrently (they read
+// immutable mappings); append/import/compact are not -- one writer at
+// a time, external to this class. Compaction survives ordinary
+// failures (a failed write or rename throws with every original
+// segment intact and still served) but is not crash-atomic: the
+// folded segment is renamed over the first victim before the other
+// victims are removed, so a crash inside that window leaves
+// already-folded data also present under its original seg-*.kavb
+// names -- recover by deleting those stale files (the folded segment
+// supersedes them) before reopening the store.
+#ifndef KAV_STORE_TRACE_STORE_H
+#define KAV_STORE_TRACE_STORE_H
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "history/history.h"
+#include "history/keyed_trace.h"
+#include "store/indexed_source.h"
+#include "store/mapped_segment.h"
+#include "store/segment_writer.h"
+
+namespace kav {
+
+struct SegmentInfo {
+  std::filesystem::path path;
+  std::uint64_t records = 0;
+  std::size_t keys = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t bytes = 0;
+};
+
+class TraceStore {
+ public:
+  // Opens (creating the directory if needed) and maps every
+  // seg-*.kavb segment. Throws std::runtime_error when the directory
+  // cannot be created or a segment is corrupt or unindexed.
+  explicit TraceStore(std::filesystem::path directory);
+
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  const std::filesystem::path& directory() const { return directory_; }
+  std::size_t segment_count() const { return segments_.size(); }
+  std::vector<SegmentInfo> segments() const;
+  std::uint64_t total_records() const;
+
+  // Writes `trace` as a new indexed segment; returns its path.
+  std::filesystem::path append(const KeyedTrace& trace,
+                               std::size_t records_per_block = 4096);
+  // Streams a trace file in any readable format (text, .kavb v1 or
+  // v2) into a new indexed segment -- O(chunk) memory for binary
+  // inputs. Returns the new segment's path.
+  std::filesystem::path import_file(const std::string& path,
+                                    std::size_t records_per_block = 4096);
+
+  // Key listing/statting across all segments, straight from the
+  // indexes (no record decoding). keys() is sorted.
+  std::vector<std::string> keys() const;
+  std::map<std::string, KeyStat> key_stats() const;
+  // Aggregate stat; records == 0 when the key is absent.
+  KeyStat stat(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  // One key's operations across all segments, in replay order.
+  History read_key(const std::string& key) const;
+
+  // The whole store as one source (sequential + selective). The source
+  // holds shared mappings, so it stays valid across later append()s
+  // (it serves the segments that existed when it was opened).
+  std::unique_ptr<IndexedTraceSource> open_source() const;
+
+  // Folds the `first_n` oldest segments (0 = all) into one indexed
+  // segment, re-blocked at records_per_block. No-op when fewer than
+  // two segments would fold. Returns the segment count afterwards.
+  std::size_t compact(std::size_t first_n = 0,
+                      std::size_t records_per_block = 4096);
+
+ private:
+  std::filesystem::path segment_path(std::uint64_t number) const;
+  // Writes a segment file at `number` from `feed(writer)`, maps it,
+  // and returns the mapping. The file is written under a .tmp name,
+  // fsynced (POSIX; best effort), renamed into place, and the
+  // directory is fsynced so the name survives a crash.
+  template <typename Feed>
+  std::shared_ptr<const MappedSegment> write_segment(
+      std::uint64_t number, std::size_t records_per_block, Feed&& feed);
+
+  std::filesystem::path directory_;
+  std::vector<std::shared_ptr<const MappedSegment>> segments_;  // number order
+  std::vector<std::uint64_t> numbers_;  // parallel to segments_
+  std::uint64_t next_number_ = 1;
+};
+
+}  // namespace kav
+
+#endif  // KAV_STORE_TRACE_STORE_H

@@ -1,0 +1,357 @@
+// Seeded property fuzzing of the trace store:
+//
+//   1. format differential -- for randomized multi-key traces, the v2
+//      segment format (any block size), the v1 stream, the text
+//      format, a multi-segment TraceStore, and that store after
+//      compaction all decode to the same per-key content, and
+//      kav::Engine returns bit-identical verdicts over every one of
+//      them, both full-trace and selectively (RunOptions::key_filter
+//      per key and over random subsets, on the index-backed fast path
+//      AND the filtered-drain fallback);
+//
+//   2. the out-of-core acceptance bound -- on a 1M-operation,
+//      128-key v2 trace, extracting + verifying ONE key through the
+//      index must beat full-file decode + verify of the same key by
+//      >= 10x (it is typically far more), with identical verdicts.
+//
+// The master seed comes from KAV_FUZZ_SEED when set and is printed on
+// every failure; KAV_FUZZ_OPS scales the speedup workload.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/verify.h"
+#include "history/serialization.h"
+#include "ingest/binary_trace.h"
+#include "ingest/trace_source.h"
+#include "store/indexed_source.h"
+#include "store/segment_writer.h"
+#include "store/trace_store.h"
+#include "util/rng.h"
+
+namespace kav {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kDefaultSeed = 0x57025ULL;
+
+std::uint64_t fuzz_seed() {
+  if (const char* env = std::getenv("KAV_FUZZ_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return kDefaultSeed;
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag)
+      : path_(fs::path(::testing::TempDir()) /
+              ("kav_store_fuzz_" + tag + "_" + std::to_string(::getpid()))) {
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const fs::path& path() const { return path_; }
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  fs::path path_;
+};
+
+// Multi-key trace with enough read/write structure that verdicts are a
+// mix of YES / NO / PRECONDITION-FAILED across trials: per key, writes
+// of fresh values interleaved with reads of recent values, timestamps
+// drawn with bounded overlap, plus occasional pure-noise reads.
+KeyedTrace random_trace(Rng& rng) {
+  const std::size_t key_count = 1 + rng.bounded(6);
+  std::vector<std::string> keys;
+  for (std::size_t k = 0; k < key_count; ++k) {
+    keys.push_back("key" + std::to_string(k));
+  }
+  std::vector<TimePoint> clock(key_count, 0);
+  std::vector<Value> last(key_count, 0);
+  std::vector<Value> next_value(key_count, 1);
+  KeyedTrace trace;
+  const std::size_t ops = 20 + rng.bounded(120);
+  for (std::size_t i = 0; i < ops; ++i) {
+    const std::size_t k = rng.bounded(key_count);
+    TimePoint& t = clock[k];
+    const TimePoint start =
+        t + static_cast<TimePoint>(rng.bounded(6)) -
+        static_cast<TimePoint>(rng.bounded(3));
+    const TimePoint finish = start + 1 + static_cast<TimePoint>(rng.bounded(8));
+    t = std::max<TimePoint>(t + 1, finish - static_cast<TimePoint>(
+                                                rng.bounded(4)));
+    if (rng.bernoulli(0.45)) {
+      const Value value = next_value[k]++;
+      trace.add(keys[k], make_write(start, finish, value,
+                                    static_cast<ClientId>(rng.bounded(8))));
+      last[k] = value;
+    } else {
+      // Mostly reads of a recent value; sometimes stale or unwritten.
+      Value value = last[k];
+      if (rng.bernoulli(0.25) && value > 1) {
+        value -= static_cast<Value>(1 + rng.bounded(2));
+      }
+      trace.add(keys[k], make_read(start, finish, value,
+                                   static_cast<ClientId>(rng.bounded(8))));
+    }
+  }
+  return trace;
+}
+
+void expect_verdict_equal(const Verdict& got, const Verdict& want,
+                          const std::string& context) {
+  ASSERT_EQ(got.outcome, want.outcome) << context;
+  ASSERT_EQ(got.witness, want.witness) << context;
+  ASSERT_EQ(got.reason, want.reason) << context;
+  ASSERT_EQ(got.conflict, want.conflict) << context;
+  ASSERT_TRUE(got.stats == want.stats) << context;
+}
+
+void expect_reports_equal(const Report& got, const Report& want,
+                          const std::string& context) {
+  ASSERT_EQ(got.per_key.size(), want.per_key.size()) << context;
+  auto itg = got.per_key.begin();
+  auto itw = want.per_key.begin();
+  for (; itg != got.per_key.end(); ++itg, ++itw) {
+    ASSERT_EQ(itg->first, itw->first) << context;
+    expect_verdict_equal(itg->second.verdict, itw->second.verdict,
+                         context + " key " + itg->first);
+  }
+}
+
+TEST(StoreFuzz, AllFormatsAndSelectiveRunsAgree) {
+  const std::uint64_t seed = fuzz_seed();
+  Rng rng(seed);
+  Engine engine;
+  TempDir dir("differential");
+  constexpr int kTrials = 30;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SCOPED_TRACE("reproduce with KAV_FUZZ_SEED=" + std::to_string(seed) +
+                 " (trial " + std::to_string(trial) + ")");
+    const KeyedTrace trace = random_trace(rng);
+    const std::string tag = std::to_string(trial);
+
+    // The reference: the serial legacy facade over the in-memory trace.
+    const KeyedReport reference = verify_keyed_trace(trace);
+    const Report full_memory = engine.verify(trace);
+    ASSERT_EQ(full_memory.per_key.size(), reference.per_key.size());
+    for (const auto& [key, verdict] : reference.per_key) {
+      expect_verdict_equal(full_memory.per_key.at(key).verdict, verdict,
+                           "memory key " + key);
+    }
+
+    // Write every on-disk shape.
+    const std::string text_path = dir.file("t" + tag + ".txt");
+    write_trace_file(text_path, trace);
+    const std::string v1_path = dir.file("t" + tag + "_v1.kavb");
+    write_binary_trace_file(v1_path, trace);
+    const std::size_t block = 1 + rng.bounded(9);
+    const std::string v2_path = dir.file("t" + tag + "_v2.kavb");
+    {
+      std::ofstream out(v2_path, std::ios::binary);
+      SegmentWriterOptions options;
+      options.records_per_block = block;
+      options.max_buffered_records = 1 + rng.bounded(64);
+      SegmentWriter writer(out, options);
+      writer.add(trace);
+      writer.finish();
+    }
+    // A store with the trace split across 1-3 segments.
+    const fs::path store_dir = dir.path() / ("store" + tag);
+    fs::remove_all(store_dir);
+    TraceStore store(store_dir);
+    {
+      const std::size_t cuts = 1 + rng.bounded(3);
+      const std::size_t per = trace.size() / cuts + 1;
+      KeyedTrace part;
+      for (const KeyedOperation& kop : trace.ops) {
+        part.ops.push_back(kop);
+        if (part.size() >= per) {
+          store.append(part, 1 + rng.bounded(9));
+          part = KeyedTrace{};
+        }
+      }
+      if (!part.empty()) store.append(part, 1 + rng.bounded(9));
+    }
+
+    // Full runs over every source agree with memory.
+    for (const std::string& path : {text_path, v1_path, v2_path}) {
+      auto source = open_trace_source(path);
+      expect_reports_equal(engine.verify(*source), full_memory,
+                           "full " + path);
+    }
+    expect_reports_equal(engine.verify(*store.open_source()), full_memory,
+                         "full store");
+
+    // Selective runs: per key and a random subset (plus a key that
+    // does not exist), over the indexed fast path (v2, store) and the
+    // filtered-drain fallback (v1, text).
+    const KeyedHistories shards = split_by_key(trace);
+    std::vector<std::vector<std::string>> filters;
+    for (const auto& [key, history] : shards.per_key) filters.push_back({key});
+    std::vector<std::string> subset;
+    for (const auto& [key, history] : shards.per_key) {
+      if (rng.bernoulli(0.5)) subset.push_back(key);
+    }
+    subset.push_back("no-such-key");
+    filters.push_back(subset);
+
+    for (const std::vector<std::string>& filter : filters) {
+      RunOptions run;
+      run.key_filter = filter;
+      const Report want = [&] {
+        Report expected;
+        for (const std::string& key : filter) {
+          const auto it = full_memory.per_key.find(key);
+          if (it != full_memory.per_key.end()) {
+            expected.per_key.emplace(key, it->second);
+          }
+        }
+        return expected;
+      }();
+      for (const std::string& path : {v1_path, v2_path, text_path}) {
+        auto source = open_trace_source(path);
+        const Report got = engine.verify(*source, run);
+        expect_reports_equal(got, want, "selective " + path);
+        ASSERT_TRUE(got.selected);
+        ASSERT_EQ(got.keys_available, shards.per_key.size());
+      }
+      const Report from_store = engine.verify(*store.open_source(), run);
+      expect_reports_equal(from_store, want, "selective store");
+      const Report from_memory = engine.verify(trace, run);
+      expect_reports_equal(from_memory, want, "selective memory");
+    }
+
+    // Compaction changes the file layout, never the verdicts.
+    store.compact(0, 1 + rng.bounded(9));
+    expect_reports_equal(engine.verify(*store.open_source()), full_memory,
+                         "full compacted store");
+    if (!shards.per_key.empty()) {
+      RunOptions run;
+      run.key_filter = {shards.per_key.begin()->first};
+      Report want;
+      want.per_key.emplace(
+          shards.per_key.begin()->first,
+          full_memory.per_key.at(shards.per_key.begin()->first));
+      expect_reports_equal(engine.verify(*store.open_source(), run), want,
+                           "selective compacted store");
+    }
+  }
+}
+
+// --- The out-of-core speedup bound ----------------------------------------
+
+std::size_t speedup_ops() {
+  if (const char* env = std::getenv("KAV_FUZZ_OPS")) {
+    const long long parsed = std::atoll(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 1'000'000;
+}
+
+// Steady per-key write/read cadence over many keys: cheap to verify
+// per key (the trace is atomic by construction), so the measured gap
+// is dominated by decode volume -- exactly what the index removes.
+KeyedTrace speedup_trace(std::size_t ops, int keys) {
+  Rng rng(2026);
+  KeyedTrace trace;
+  std::vector<TimePoint> clocks(static_cast<std::size_t>(keys), 0);
+  std::vector<Value> next_value(static_cast<std::size_t>(keys), 1);
+  int key = 0;
+  while (trace.size() < ops) {
+    const auto k = static_cast<std::size_t>(key);
+    const Value value = next_value[k]++;
+    TimePoint t = clocks[k];
+    const TimePoint len = 2 + static_cast<TimePoint>(rng.bounded(6));
+    trace.add("key" + std::to_string(key),
+              make_write(t, t + len, value, static_cast<ClientId>(k % 16)));
+    t += len + 1;
+    const std::size_t reads = rng.bounded(3);
+    for (std::size_t r = 0; r < reads && trace.size() < ops; ++r) {
+      const TimePoint rlen = 1 + static_cast<TimePoint>(rng.bounded(4));
+      trace.add("key" + std::to_string(key),
+                make_read(t, t + rlen, value, static_cast<ClientId>(r)));
+      t += rlen + 1;
+    }
+    clocks[k] = t;
+    key = (key + 1) % keys;
+  }
+  return trace;
+}
+
+TEST(StoreFuzz, IndexedSingleKeyBeatsFullDecodeTenfold) {
+  using clock = std::chrono::steady_clock;
+  const std::size_t ops = speedup_ops();
+  constexpr int kKeys = 128;
+  TempDir dir("speedup");
+  const KeyedTrace trace = speedup_trace(ops, kKeys);
+  ASSERT_GE(trace.size(), ops);
+
+  const std::string v1_path = dir.file("flat.kavb");
+  write_binary_trace_file(v1_path, trace);
+  const std::string v2_path = dir.file("indexed.kavb");
+  write_binary_trace_file(v2_path, trace, kBinaryTraceVersion2);
+
+  Engine engine;
+  RunOptions run;
+  run.key_filter = {"key17"};
+
+  // Full-file decode + verify of the same key: the v1 file offers no
+  // index, so Engine decodes every record and filters while draining.
+  const auto full_begin = clock::now();
+  auto flat = open_trace_source(v1_path);
+  ASSERT_EQ(dynamic_cast<SelectiveTraceSource*>(flat.get()), nullptr);
+  const Report full = engine.verify(*flat, run);
+  const double full_seconds =
+      std::chrono::duration<double>(clock::now() - full_begin).count();
+
+  // Index-backed: open the segment, decode ONLY key17's blocks,
+  // verify. Best of three, since the bound is about work, not one
+  // scheduler hiccup.
+  double indexed_seconds = 1e100;
+  Report selective;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto begin = clock::now();
+    auto indexed = open_trace_source(v2_path);
+    ASSERT_NE(dynamic_cast<SelectiveTraceSource*>(indexed.get()), nullptr);
+    selective = engine.verify(*indexed, run);
+    indexed_seconds = std::min(
+        indexed_seconds,
+        std::chrono::duration<double>(clock::now() - begin).count());
+  }
+
+  ASSERT_EQ(selective.per_key.size(), 1u);
+  expect_verdict_equal(selective.per_key.at("key17").verdict,
+                       full.per_key.at("key17").verdict, "key17");
+  EXPECT_TRUE(selective.per_key.at("key17").verdict.yes());
+
+  const double speedup = full_seconds / indexed_seconds;
+  RecordProperty("full_seconds", std::to_string(full_seconds));
+  RecordProperty("indexed_seconds", std::to_string(indexed_seconds));
+  RecordProperty("speedup", std::to_string(speedup));
+  std::printf("single-key via index: %.4fs vs full decode %.4fs -> %.1fx\n",
+              indexed_seconds, full_seconds, speedup);
+  EXPECT_GE(speedup, 10.0)
+      << "indexed single-key verification should beat full decode by >= 10x "
+         "(full "
+      << full_seconds << "s, indexed " << indexed_seconds << "s)";
+}
+
+}  // namespace
+}  // namespace kav
