@@ -21,7 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "core/analysis.h"
 #include "core/engine.h"
+#include "core/verify.h"
 #include "history/serialization.h"
 #include "ingest/binary_trace.h"
 #include "ingest/trace_source.h"
@@ -153,6 +155,75 @@ void BM_ReadOneKey_TextParse(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_ReadOneKey_TextParse)->Unit(benchmark::kMillisecond);
+
+// --- Zero-copy vs materializing decode+verify ------------------------------
+//
+// The differential pair behind the hot-path claim: load_key (the
+// BlockCursor/SIMD column decode, no intermediate Operation vector)
+// against load_key_materializing (the read_key reference). The fuzz
+// suite proves them bit-identical; this pair records what the
+// zero-copy path buys, and run_bench.sh --smoke asserts it never
+// regresses below the materializing path.
+
+void BM_LoadOneKey_ZeroCopy(benchmark::State& state) {
+  const Fixture& f = fixture();
+  const IndexedTraceSource source(f.v2_path);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(source.load_key(kProbeKey));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(f.probe_ops) *
+                          state.iterations());
+}
+BENCHMARK(BM_LoadOneKey_ZeroCopy)->Unit(benchmark::kMillisecond);
+
+void BM_LoadOneKey_Materializing(benchmark::State& state) {
+  const Fixture& f = fixture();
+  const IndexedTraceSource source(f.v2_path);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(source.load_key_materializing(kProbeKey));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(f.probe_ops) *
+                          state.iterations());
+}
+BENCHMARK(BM_LoadOneKey_Materializing)->Unit(benchmark::kMillisecond);
+
+void BM_VerifyOneKey_ZeroCopy(benchmark::State& state) {
+  const Fixture& f = fixture();
+  const IndexedTraceSource source(f.v2_path);
+  for (auto _ : state) {
+    const History h = source.load_key(kProbeKey);
+    benchmark::DoNotOptimize(verify_k_atomicity(h, VerifyOptions{}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(f.probe_ops) *
+                          state.iterations());
+}
+BENCHMARK(BM_VerifyOneKey_ZeroCopy)->Unit(benchmark::kMillisecond);
+
+void BM_VerifyOneKey_Materializing(benchmark::State& state) {
+  const Fixture& f = fixture();
+  const IndexedTraceSource source(f.v2_path);
+  for (auto _ : state) {
+    const History h = source.load_key_materializing(kProbeKey);
+    benchmark::DoNotOptimize(verify_k_atomicity(h, VerifyOptions{}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(f.probe_ops) *
+                          state.iterations());
+}
+BENCHMARK(BM_VerifyOneKey_Materializing)->Unit(benchmark::kMillisecond);
+
+// The structural-profile scan that drives 2-AV algorithm selection:
+// zones + SIMD forward/backward census + counter-only chunk stats.
+void BM_ZoneProfileScan(benchmark::State& state) {
+  const Fixture& f = fixture();
+  const IndexedTraceSource source(f.v2_path);
+  const History h = source.load_key(kProbeKey);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zone_profile(h));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(h.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_ZoneProfileScan)->Unit(benchmark::kMillisecond);
 
 // --- End-to-end selective verification -------------------------------------
 

@@ -37,7 +37,48 @@ fi
 "$BUILD_DIR/bench_ingest"   "${ARGS[@]}" --benchmark_out=BENCH_ingest.json
 "$BUILD_DIR/bench_pipeline" "${ARGS[@]}" --benchmark_out=BENCH_pipeline.json
 "$BUILD_DIR/bench_engine"   "${ARGS[@]}" --benchmark_out=BENCH_engine.json
-"$BUILD_DIR/bench_store"    "${ARGS[@]}" --benchmark_out=BENCH_store.json
+STORE_ARGS=("${ARGS[@]}")
+if [[ "$MODE" == smoke ]]; then
+  # The guardrail below compares sub-0.1ms benchmarks; one 10ms sample
+  # window on a busy 1-vCPU CI box is too noisy, so take the median of
+  # several repetitions.
+  STORE_ARGS+=(--benchmark_repetitions=5)
+fi
+"$BUILD_DIR/bench_store"    "${STORE_ARGS[@]}" --benchmark_out=BENCH_store.json
+
+# Guardrail (smoke mode): the zero-copy decode+verify path must not be
+# slower than the materializing reference it replaced. The median of
+# the repetitions plus a 25% tolerance absorbs scheduler noise on
+# small smoke workloads; an actual regression (the zero-copy path
+# re-growing an Operation vector, a kernel falling off its vector
+# path) shows up far above that.
+if [[ "$MODE" == smoke ]]; then
+  python3 - <<'EOF'
+import json, sys
+
+with open("BENCH_store.json") as f:
+    entries = json.load(f)["benchmarks"]
+results = {}
+for b in entries:
+    # Prefer the _median aggregate over raw repetition samples.
+    if b.get("aggregate_name", "median") == "median":
+        results[b["name"].removesuffix("_median")] = b["real_time"]
+
+pairs = [
+    ("BM_LoadOneKey_ZeroCopy", "BM_LoadOneKey_Materializing"),
+    ("BM_VerifyOneKey_ZeroCopy", "BM_VerifyOneKey_Materializing"),
+]
+tolerance = 1.25
+failed = False
+for zero_copy, materializing in pairs:
+    zc, mat = results[zero_copy], results[materializing]
+    verdict = "ok" if zc <= mat * tolerance else "REGRESSION"
+    print(f"{zero_copy}: {zc:.3f} vs {materializing}: {mat:.3f} -> {verdict}")
+    failed |= verdict != "ok"
+if failed:
+    sys.exit("zero-copy path slower than materializing reference")
+EOF
+fi
 
 echo
 echo "wrote BENCH_ingest.json, BENCH_pipeline.json, BENCH_engine.json, and BENCH_store.json ($MODE mode)"

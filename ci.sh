@@ -2,10 +2,16 @@
 # Tier-1 verification: configure, build, run every test suite.
 # Usage: ./ci.sh [--asan] [build-dir]   (default: build; build-asan with --asan)
 #   --asan: rebuild under Address + UndefinedBehavior sanitizers and run
-#           the deterministic `unit` ctest label -- the mmap-backed
-#           store and the zero-copy binary readers are exactly the code
-#           sanitizers exist for. Skips the fuzz/integration sweeps and
-#           the bench smoke (sanitized timings are meaningless).
+#           the deterministic `unit` ctest label plus the `fuzz` label
+#           at reduced trial counts (KAV_FUZZ_TRIALS / KAV_FUZZ_OPS) --
+#           the mmap-backed store, the zero-copy BlockCursor/SIMD
+#           decode, and the binary readers are exactly the code
+#           sanitizers exist for, and the differential fuzzers are what
+#           drive them through their adversarial paths. Both labels run
+#           twice: with hardware SIMD dispatch and with
+#           KAV_FORCE_SCALAR=1, so every tier is sanitized. Skips the
+#           integration sweeps and the bench smoke (sanitized timings
+#           are meaningless).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -20,7 +26,14 @@ if [[ "$ASAN" == 1 ]]; then
   cmake -B "$BUILD_DIR" -S . -DKAV_WERROR=ON -DKAV_SANITIZE=ON \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$BUILD_DIR" -j "$(nproc)"
-  ctest --test-dir "$BUILD_DIR" -L unit --output-on-failure -j "$(nproc)"
+  # Sanitized runs are ~10x slower: shrink the randomized sweeps to a
+  # handful of trials and a small out-of-core workload. Coverage (which
+  # code paths run) is what matters under sanitizers, not trial volume.
+  export KAV_FUZZ_TRIALS="${KAV_FUZZ_TRIALS:-5}"
+  export KAV_FUZZ_OPS="${KAV_FUZZ_OPS:-50000}"
+  ctest --test-dir "$BUILD_DIR" -L 'unit|fuzz' --output-on-failure -j "$(nproc)"
+  KAV_FORCE_SCALAR=1 \
+    ctest --test-dir "$BUILD_DIR" -L 'unit|fuzz' --output-on-failure -j "$(nproc)"
   exit 0
 fi
 

@@ -6,6 +6,7 @@
 
 #include "core/fzf.h"
 #include "core/witness.h"
+#include "util/simd.h"
 
 namespace kav {
 
@@ -83,20 +84,27 @@ ZoneProfile zone_profile(const History& history) {
         static_cast<double>(history.read_count()) /
         static_cast<double>(history.write_count());
   }
-  for (const Zone& zone : compute_zones(history)) {
-    ++(zone.forward ? profile.forward_zones : profile.backward_zones);
+  // One zone pass feeds both the forward/backward census and the chunk
+  // set (compute_chunk_set used to recompute the zones internally).
+  // The census runs as a SIMD pairwise scan over the zone endpoint
+  // columns: forward <=> min finish < max start, by definition.
+  const std::vector<Zone> zones = compute_zones(history);
+  std::vector<TimePoint> min_finishes;
+  std::vector<TimePoint> max_starts;
+  min_finishes.reserve(zones.size());
+  max_starts.reserve(zones.size());
+  for (const Zone& zone : zones) {
+    min_finishes.push_back(zone.min_finish);
+    max_starts.push_back(zone.max_start);
   }
-  const ChunkSet chunk_set = compute_chunk_set(history);
-  profile.chunks = chunk_set.chunks.size();
-  profile.dangling = chunk_set.dangling_writes.size();
-  for (const Chunk& chunk : chunk_set.chunks) {
-    profile.largest_chunk_clusters =
-        std::max(profile.largest_chunk_clusters,
-                 chunk.forward_writes.size() + chunk.backward_writes.size());
-    profile.max_backward_per_chunk =
-        std::max(profile.max_backward_per_chunk,
-                 chunk.backward_writes.size());
-  }
+  profile.forward_zones = simd::count_less_i64(
+      min_finishes.data(), max_starts.data(), zones.size());
+  profile.backward_zones = zones.size() - profile.forward_zones;
+  const ChunkStats chunk_stats = compute_chunk_stats(zones);
+  profile.chunks = chunk_stats.chunks;
+  profile.dangling = chunk_stats.dangling;
+  profile.largest_chunk_clusters = chunk_stats.largest_chunk_clusters;
+  profile.max_backward_per_chunk = chunk_stats.max_backward_per_chunk;
   return profile;
 }
 

@@ -1,0 +1,79 @@
+// Internal: a fixed-capacity bump arena for the deciders' per-shard
+// working state. LinkedHistory used to make eight separate vector
+// allocations per shard; with thousands of single-key shards flowing
+// through the pool (Engine's index-driven selective path), allocator
+// round-trips and page-faulting eight scattered blocks were measurable.
+// One arena block sized up front turns that into a single allocation
+// with all arrays contiguous -- better locality for the dancing-links
+// walks, and trivially freed as one unit when the shard's verdict is
+// out.
+//
+// This is a *bump* arena: allocation moves a cursor, nothing is freed
+// individually, and capacity is fixed at construction -- callers size
+// it exactly (LinkedHistory knows its total up front). Exceeding the
+// capacity throws std::bad_alloc rather than silently growing, so a
+// mis-sized caller fails loudly in tests instead of quietly losing the
+// single-allocation property.
+#ifndef KAV_CORE_DETAIL_ARENA_H
+#define KAV_CORE_DETAIL_ARENA_H
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <span>
+#include <type_traits>
+
+namespace kav::detail {
+
+class Arena {
+ public:
+  Arena() = default;
+  explicit Arena(std::size_t capacity_bytes)
+      : block_(capacity_bytes > 0 ? std::make_unique<std::byte[]>(
+                                        capacity_bytes)
+                                  : nullptr),
+        capacity_(capacity_bytes) {}
+
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+
+  // Bump-allocates a span of `count` trivially-destructible Ts, each
+  // copy-initialized to `fill`. Throws std::bad_alloc when the
+  // remaining capacity cannot hold it (after alignment padding).
+  template <typename T>
+  std::span<T> make_array(std::size_t count, const T& fill) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "bump arena never runs destructors");
+    const std::size_t aligned = align_up(used_, alignof(T));
+    if (aligned > capacity_ || count > (capacity_ - aligned) / sizeof(T)) {
+      throw std::bad_alloc();
+    }
+    T* data = reinterpret_cast<T*>(block_.get() + aligned);
+    used_ = aligned + count * sizeof(T);
+    for (std::size_t i = 0; i < count; ++i) new (data + i) T(fill);
+    return {data, count};
+  }
+
+  // Capacity needed to hold `count` Ts when requested in sequence
+  // starting from an empty arena (helper for exact sizing).
+  template <typename T>
+  static constexpr std::size_t bytes_for(std::size_t count) {
+    return count * sizeof(T);
+  }
+
+ private:
+  static std::size_t align_up(std::size_t n, std::size_t alignment) {
+    return (n + alignment - 1) & ~(alignment - 1);
+  }
+
+  std::unique_ptr<std::byte[]> block_;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace kav::detail
+
+#endif  // KAV_CORE_DETAIL_ARENA_H

@@ -17,6 +17,7 @@
 #include <span>
 #include <vector>
 
+#include "core/detail/arena.h"
 #include "history/history.h"
 
 namespace kav::detail {
@@ -25,16 +26,19 @@ class LinkedHistory {
  public:
   enum class ListId : unsigned char { h, w, r };
 
-  explicit LinkedHistory(const History& history) : history_(history) {
+  // All eight per-op id arrays live in one bump-arena block (a single
+  // allocation per shard instead of eight), sized exactly here.
+  explicit LinkedHistory(const History& history)
+      : history_(history), arena_(Arena::bytes_for<OpId>(8 * history.size())) {
     const std::size_t n = history.size();
-    h_prev_.assign(n, kInvalidOp);
-    h_next_.assign(n, kInvalidOp);
-    w_prev_.assign(n, kInvalidOp);
-    w_next_.assign(n, kInvalidOp);
-    r_prev_.assign(n, kInvalidOp);
-    r_next_.assign(n, kInvalidOp);
-    r_head_.assign(n, kInvalidOp);
-    r_tail_.assign(n, kInvalidOp);
+    h_prev_ = arena_.make_array<OpId>(n, kInvalidOp);
+    h_next_ = arena_.make_array<OpId>(n, kInvalidOp);
+    w_prev_ = arena_.make_array<OpId>(n, kInvalidOp);
+    w_next_ = arena_.make_array<OpId>(n, kInvalidOp);
+    r_prev_ = arena_.make_array<OpId>(n, kInvalidOp);
+    r_next_ = arena_.make_array<OpId>(n, kInvalidOp);
+    r_head_ = arena_.make_array<OpId>(n, kInvalidOp);
+    r_tail_ = arena_.make_array<OpId>(n, kInvalidOp);
 
     link_chain(history.by_start(), h_prev_, h_next_, h_head_, h_tail_);
     link_chain(history.writes_by_finish(), w_prev_, w_next_, w_head_, w_tail_);
@@ -104,8 +108,8 @@ class LinkedHistory {
     OpId id;
   };
 
-  static void link_chain(std::span<const OpId> order, std::vector<OpId>& prev,
-                         std::vector<OpId>& next, OpId& head, OpId& tail) {
+  static void link_chain(std::span<const OpId> order, std::span<OpId> prev,
+                         std::span<OpId> next, OpId& head, OpId& tail) {
     OpId last = kInvalidOp;
     for (OpId id : order) {
       prev[id] = last;
@@ -119,7 +123,7 @@ class LinkedHistory {
     tail = last;
   }
 
-  static void unlink(OpId id, std::vector<OpId>& prev, std::vector<OpId>& next,
+  static void unlink(OpId id, std::span<OpId> prev, std::span<OpId> next,
                      OpId& head, OpId& tail) {
     if (prev[id] == kInvalidOp) {
       head = next[id];
@@ -134,7 +138,7 @@ class LinkedHistory {
   }
 
   // Valid only when performed in exact reverse removal order.
-  static void relink(OpId id, std::vector<OpId>& prev, std::vector<OpId>& next,
+  static void relink(OpId id, std::span<OpId> prev, std::span<OpId> next,
                      OpId& head, OpId& tail) {
     if (prev[id] == kInvalidOp) {
       head = id;
@@ -149,8 +153,9 @@ class LinkedHistory {
   }
 
   const History& history_;
-  std::vector<OpId> h_prev_, h_next_, w_prev_, w_next_, r_prev_, r_next_;
-  std::vector<OpId> r_head_, r_tail_;
+  Arena arena_;
+  std::span<OpId> h_prev_, h_next_, w_prev_, w_next_, r_prev_, r_next_;
+  std::span<OpId> r_head_, r_tail_;
   OpId h_head_ = kInvalidOp, h_tail_ = kInvalidOp;
   OpId w_head_ = kInvalidOp, w_tail_ = kInvalidOp;
   std::vector<UndoEntry> undo_;
@@ -163,15 +168,24 @@ class LinkedHistory {
 // condition for later ones, so only the running maximum over the
 // scanned suffix matters and the scan stops at the first
 // non-candidate. O(c), and the candidates are pairwise concurrent.
-inline std::vector<OpId> collect_epoch_candidates(const History& history,
-                                                  const LinkedHistory& state) {
-  std::vector<OpId> candidates;
+// The caller owns `candidates` so epoch loops reuse one buffer instead
+// of allocating per epoch (LBT runs one collection per epoch).
+inline void collect_epoch_candidates(const History& history,
+                                     const LinkedHistory& state,
+                                     std::vector<OpId>& candidates) {
+  candidates.clear();
   TimePoint max_start_after = kTimeMin;
   for (OpId w = state.w_tail(); w != kInvalidOp; w = state.w_prev(w)) {
     if (history.op(w).finish < max_start_after) break;
     candidates.push_back(w);
     max_start_after = std::max(max_start_after, history.op(w).start);
   }
+}
+
+inline std::vector<OpId> collect_epoch_candidates(const History& history,
+                                                  const LinkedHistory& state) {
+  std::vector<OpId> candidates;
+  collect_epoch_candidates(history, state, candidates);
   return candidates;
 }
 

@@ -147,8 +147,12 @@ class ViabilityCheck {
 }  // namespace
 
 ChunkSet compute_chunk_set(const History& history) {
+  return compute_chunk_set(history, compute_zones(history));
+}
+
+ChunkSet compute_chunk_set(const History&,
+                           const std::vector<Zone>& zones) {  // sorted by low
   ChunkSet result;
-  const std::vector<Zone> zones = compute_zones(history);  // sorted by low
 
   // Maximal runs of transitively overlapping forward zones. Endpoints
   // are distinct, so "continuous union" is plain interval merging with
@@ -179,6 +183,45 @@ ChunkSet compute_chunk_set(const History& history) {
     }
   }
   return result;
+}
+
+ChunkStats compute_chunk_stats(const std::vector<Zone>& zones) {
+  // Mirrors compute_chunk_set exactly, keeping only chunk extents and
+  // per-chunk cluster counters (flat, parallel vectors). Any change to
+  // the merging or containment rules must land in both.
+  ChunkStats stats;
+  std::vector<Interval> extents;
+  std::vector<std::size_t> forward_counts;
+  for (const Zone& z : zones) {
+    if (!z.forward) continue;
+    if (!extents.empty() && z.low() < extents.back().hi) {
+      ++forward_counts.back();
+      extents.back().hi = std::max(extents.back().hi, z.high());
+    } else {
+      extents.push_back(z.interval());
+      forward_counts.push_back(1);
+    }
+  }
+  std::vector<std::size_t> backward_counts(extents.size(), 0);
+  for (const Zone& z : zones) {
+    if (z.forward) continue;
+    auto it = std::upper_bound(
+        extents.begin(), extents.end(), z.low(),
+        [](TimePoint t, const Interval& extent) { return t < extent.lo; });
+    if (it != extents.begin() && (it - 1)->contains(z.interval())) {
+      ++backward_counts[static_cast<std::size_t>(it - extents.begin()) - 1];
+    } else {
+      ++stats.dangling;
+    }
+  }
+  stats.chunks = extents.size();
+  for (std::size_t c = 0; c < extents.size(); ++c) {
+    stats.largest_chunk_clusters = std::max(
+        stats.largest_chunk_clusters, forward_counts[c] + backward_counts[c]);
+    stats.max_backward_per_chunk =
+        std::max(stats.max_backward_per_chunk, backward_counts[c]);
+  }
+  return stats;
 }
 
 Verdict check_2atomicity_fzf(const History& history, const FzfOptions& options) {

@@ -48,6 +48,25 @@ struct ChunkSet {
 // Stage 1, exposed for tests (the Figure 3 reproduction) and analysis.
 // Requires a normalized history.
 ChunkSet compute_chunk_set(const History& history);
+// Same, over zones the caller already computed (must be the
+// compute_zones(history) output, i.e. sorted by low endpoint) --
+// zone_profile and the dispatch policy share one zone pass this way.
+ChunkSet compute_chunk_set(const History& history,
+                           const std::vector<Zone>& zones);
+
+// Aggregate statistics of the Stage-1 partition, computed with the
+// same merging logic as compute_chunk_set but counters only -- no
+// per-chunk write lists, so a profile-driven caller (zone_profile, the
+// dispatch policy) pays O(chunks) flat storage instead of thousands of
+// small vectors. Field for field equal to deriving the stats from
+// compute_chunk_set(history, zones) (enforced by analysis_test).
+struct ChunkStats {
+  std::size_t chunks = 0;
+  std::size_t dangling = 0;
+  std::size_t largest_chunk_clusters = 0;
+  std::size_t max_backward_per_chunk = 0;
+};
+ChunkStats compute_chunk_stats(const std::vector<Zone>& zones);
 
 struct FzfOptions {
   bool check_preconditions = true;  // see LbtOptions

@@ -21,7 +21,11 @@
 
 namespace kav {
 
-Verdict check_1atomicity_gk(const History& history);
+// check_preconditions = false skips the find_anomalies pass when the
+// caller has already established an anomaly-free normalized history
+// (verify_k_atomicity does) -- same contract as LbtOptions/FzfOptions.
+Verdict check_1atomicity_gk(const History& history,
+                            bool check_preconditions = true);
 
 }  // namespace kav
 

@@ -29,10 +29,10 @@ class GreedyRun {
       : history_(history), k_(k), state_(history) {}
 
   Verdict run() {
+    std::vector<OpId> candidates;  // reused across epochs
     while (!state_.h_empty()) {
       ++stats_.epochs;
-      const std::vector<OpId> candidates =
-          detail::collect_epoch_candidates(history_, state_);
+      detail::collect_epoch_candidates(history_, state_, candidates);
       bool committed = false;
       for (OpId candidate : candidates) {
         const std::size_t checkpoint = state_.checkpoint();

@@ -10,11 +10,14 @@ namespace kav {
 
 namespace {
 
-// One write slot plus its adjacent read container (Figure 1); the
-// witness is the reverse concatenation of segments.
-struct Segment {
+// One write slot plus its adjacent reads (Figure 1); the witness is
+// the reverse concatenation of segments. Reads live in one shared pool
+// (a segment's block is [reads_begin, next segment's reads_begin)), so
+// an epoch costs zero heap allocations instead of one vector per
+// segment; rollback truncates the pool alongside the segment list.
+struct SegmentRef {
   OpId write;
-  std::vector<OpId> reads;  // ascending start time
+  std::uint32_t reads_begin;  // offset into the shared reads pool
 };
 
 enum class EpochResult : unsigned char { success, fail, budget_exceeded };
@@ -25,10 +28,10 @@ class LbtRun {
       : history_(history), options_(options), state_(history) {}
 
   Verdict run() {
+    std::vector<OpId> candidates;  // reused across epochs, no per-epoch alloc
     while (!state_.h_empty()) {
       ++stats_.epochs;
-      const std::vector<OpId> candidates =
-          detail::collect_epoch_candidates(history_, state_);
+      detail::collect_epoch_candidates(history_, state_, candidates);
       if (!run_one_epoch(candidates)) {
         return Verdict::make_no(
             "epoch " + std::to_string(stats_.epochs) + ": all " +
@@ -40,11 +43,15 @@ class LbtRun {
     // Segments were placed back to front; reverse for the final order.
     std::vector<OpId> witness;
     witness.reserve(history_.size());
-    for (auto segment = segments_.rbegin(); segment != segments_.rend();
-         ++segment) {
-      witness.push_back(segment->write);
-      witness.insert(witness.end(), segment->reads.begin(),
-                     segment->reads.end());
+    for (std::size_t s = segments_.size(); s-- > 0;) {
+      const std::uint32_t begin = segments_[s].reads_begin;
+      const std::uint32_t end = s + 1 < segments_.size()
+                                    ? segments_[s + 1].reads_begin
+                                    : static_cast<std::uint32_t>(
+                                          reads_pool_.size());
+      witness.push_back(segments_[s].write);
+      witness.insert(witness.end(), reads_pool_.begin() + begin,
+                     reads_pool_.begin() + end);
     }
     return Verdict::make_yes(std::move(witness), stats_);
   }
@@ -60,7 +67,7 @@ class LbtRun {
     while (true) {
       OpId w_prime = kInvalidOp;  // line 12
       const TimePoint w_finish = history_.op(w).finish;
-      Segment segment{w, {}};
+      const auto reads_begin = static_cast<std::uint32_t>(reads_pool_.size());
 
       // Lines 13-18: every live op starting after w finishes must be a
       // read of w or of a unique other write w'. They form a suffix of
@@ -82,7 +89,7 @@ class LbtRun {
         }
         state_.remove_h(op);  // line 18
         state_.remove_r(op);
-        segment.reads.push_back(op);
+        reads_pool_.push_back(op);
         if (++steps > budget) {
           stats_.steps += steps;
           return EpochResult::budget_exceeded;
@@ -92,26 +99,30 @@ class LbtRun {
       // The scan collected reads in descending start order, all after
       // w.finish; the remaining reads of w (line 19) all start before
       // w.finish, so reversing and prepending keeps ascending order.
-      std::reverse(segment.reads.begin(), segment.reads.end());
+      std::reverse(reads_pool_.begin() + reads_begin, reads_pool_.end());
 
-      // Lines 19-20: place w and its remaining dictated reads.
-      std::vector<OpId> remaining_reads;
+      // Lines 19-20: place w and its remaining dictated reads. They
+      // are appended (the r-list is already ascending) and rotated to
+      // the front of this segment's pool block -- same order as the
+      // old prepend, still allocation-free.
+      const auto remaining_begin = static_cast<std::uint32_t>(
+          reads_pool_.size());
       for (OpId r = state_.r_head(w); r != kInvalidOp;) {
         const OpId next = state_.r_next(r);
         state_.remove_h(r);
         state_.remove_r(r);
-        remaining_reads.push_back(r);
+        reads_pool_.push_back(r);
         if (++steps > budget) {
           stats_.steps += steps;
           return EpochResult::budget_exceeded;
         }
         r = next;
       }
-      segment.reads.insert(segment.reads.begin(), remaining_reads.begin(),
-                           remaining_reads.end());
+      std::rotate(reads_pool_.begin() + reads_begin,
+                  reads_pool_.begin() + remaining_begin, reads_pool_.end());
       state_.remove_h(w);
       state_.remove_w(w);
-      segments_.push_back(std::move(segment));
+      segments_.push_back(SegmentRef{w, reads_begin});
       if (++steps > budget) {
         stats_.steps += steps;
         return EpochResult::budget_exceeded;
@@ -131,6 +142,7 @@ class LbtRun {
   // non-committing attempt is rolled back through the undo log.
   bool run_one_epoch(const std::vector<OpId>& candidates) {
     const std::size_t segments_checkpoint = segments_.size();
+    const std::size_t pool_checkpoint = reads_pool_.size();
     if (!options_.iterative_deepening) {
       for (OpId candidate : candidates) {
         const std::size_t checkpoint = state_.checkpoint();
@@ -139,6 +151,7 @@ class LbtRun {
         if (result == EpochResult::success) return true;
         state_.revert_to(checkpoint);
         segments_.resize(segments_checkpoint);
+        reads_pool_.resize(pool_checkpoint);
       }
       return false;
     }
@@ -154,6 +167,7 @@ class LbtRun {
         if (result == EpochResult::success) return true;
         state_.revert_to(checkpoint);
         segments_.resize(segments_checkpoint);
+        reads_pool_.resize(pool_checkpoint);
         if (result == EpochResult::budget_exceeded) {
           next_round.push_back(candidate);
         }
@@ -166,7 +180,8 @@ class LbtRun {
   const History& history_;
   const LbtOptions& options_;
   detail::LinkedHistory state_;
-  std::vector<Segment> segments_;
+  std::vector<SegmentRef> segments_;
+  std::vector<OpId> reads_pool_;  // all segments' reads, back to front
   VerifyStats stats_;
 };
 

@@ -69,6 +69,14 @@ Verdict from_oracle(const OracleResult& result) {
 }
 
 Verdict dispatch(const History& history, int k, Algorithm algorithm) {
+  // verify_k_atomicity (the only caller) has already run
+  // find_anomalies and either bailed or normalized, so the deciders'
+  // own precondition passes are pure duplicate work -- skip them. The
+  // verdicts cannot change: the checks would succeed by construction.
+  LbtOptions lbt_options;
+  lbt_options.check_preconditions = false;
+  FzfOptions fzf_options;
+  fzf_options.check_preconditions = false;
   auto wrong_k = [&](const char* name, int expected) {
     return Verdict::make_precondition_failed(
         std::string(name) + " decides only k = " + std::to_string(expected) +
@@ -77,19 +85,19 @@ Verdict dispatch(const History& history, int k, Algorithm algorithm) {
   switch (algorithm) {
     case Algorithm::gk:
       if (k != 1) return wrong_k("gk", 1);
-      return check_1atomicity_gk(history);
+      return check_1atomicity_gk(history, /*check_preconditions=*/false);
     case Algorithm::lbt:
       if (k != 2) return wrong_k("lbt", 2);
-      return check_2atomicity_lbt(history);
+      return check_2atomicity_lbt(history, lbt_options);
     case Algorithm::lbt_naive: {
       if (k != 2) return wrong_k("lbt-naive", 2);
-      LbtOptions options;
+      LbtOptions options = lbt_options;
       options.iterative_deepening = false;
       return check_2atomicity_lbt(history, options);
     }
     case Algorithm::fzf:
       if (k != 2) return wrong_k("fzf", 2);
-      return check_2atomicity_fzf(history);
+      return check_2atomicity_fzf(history, fzf_options);
     case Algorithm::greedy:
       return check_k_atomicity_greedy(history, k);
     case Algorithm::oracle:
@@ -103,11 +111,11 @@ Verdict dispatch(const History& history, int k, Algorithm algorithm) {
   // the exact oracle when feasible, else the sound greedy checker with
   // an honest UNDECIDED when it finds no witness (Section VII open
   // problem).
-  if (k == 1) return check_1atomicity_gk(history);
+  if (k == 1) return check_1atomicity_gk(history, /*check_preconditions=*/false);
   if (k == 2) {
     return select_2av_algorithm(zone_profile(history)) == Algorithm::lbt
-               ? check_2atomicity_lbt(history)
-               : check_2atomicity_fzf(history);
+               ? check_2atomicity_lbt(history, lbt_options)
+               : check_2atomicity_fzf(history, fzf_options);
   }
   if (history.size() <= 64) {
     const Verdict v = from_oracle(oracle_is_k_atomic(history, k));

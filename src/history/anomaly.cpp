@@ -3,9 +3,42 @@
 #include <algorithm>
 #include <stdexcept>
 #include <unordered_map>
-#include <unordered_set>
+
+#include "util/simd.h"
 
 namespace kav {
+
+namespace {
+
+// Whether ANY two of the 2n event timestamps collide, via the
+// History's sorted time columns: a collision is an adjacent duplicate
+// inside either sorted column, or a common value between the two (one
+// merge scan). O(n) with SIMD adjacency scans, no hash table -- the
+// clean-history case, which is every case after normalization, never
+// allocates. Reporting WHICH events collide (and in the historical
+// encounter order) is the slow path's job.
+bool has_duplicate_timestamp(const History& history) {
+  const std::span<const TimePoint> starts = history.sorted_starts();
+  const std::span<const TimePoint> finishes = history.sorted_finishes();
+  if (simd::has_adjacent_duplicate_i64(starts.data(), starts.size()) ||
+      simd::has_adjacent_duplicate_i64(finishes.data(), finishes.size())) {
+    return true;
+  }
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < starts.size() && j < finishes.size()) {
+    if (starts[i] < finishes[j]) {
+      ++i;
+    } else if (finishes[j] < starts[i]) {
+      ++j;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
 
 const char* to_string(AnomalyKind kind) {
   switch (kind) {
@@ -79,8 +112,11 @@ AnomalyReport find_anomalies(const History& history) {
     }
   }
 
-  // Duplicate timestamps across all 2n events.
-  {
+  // Duplicate timestamps across all 2n events. The sorted-column scan
+  // above decides existence in O(n); only when a collision exists does
+  // the hash walk below run, reproducing the exact historical anomaly
+  // list (offender vs first-seen, in encounter order).
+  if (has_duplicate_timestamp(history)) {
     std::unordered_map<TimePoint, OpId> seen;
     seen.reserve(history.size() * 4);
     auto check = [&](TimePoint t, OpId id) {
@@ -111,12 +147,7 @@ AnomalyReport find_anomalies(const History& history) {
 }
 
 bool is_normalized(const History& history) {
-  std::unordered_set<TimePoint> stamps;
-  stamps.reserve(history.size() * 4);
-  for (const Operation& op : history.operations()) {
-    if (!stamps.insert(op.start).second) return false;
-    if (!stamps.insert(op.finish).second) return false;
-  }
+  if (has_duplicate_timestamp(history)) return false;
   for (OpId w : history.writes_by_start()) {
     for (OpId r : history.dictated_reads(w)) {
       if (history.op(w).finish >= history.op(r).finish) return false;

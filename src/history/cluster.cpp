@@ -4,26 +4,45 @@
 
 namespace kav {
 
-Zone compute_zone(const History& history, OpId write) {
-  const Operation& w = history.op(write);
-  TimePoint min_finish = w.finish;
-  TimePoint max_start = w.start;
+namespace {
+
+// Shared by both entry points: min finish / max start over the
+// cluster, reading the History's dense time columns (8-byte stride)
+// rather than 40-byte Operation rows -- dictated reads are start-
+// sorted and near-sequential, so the column walk is cache-friendly.
+inline Zone zone_of(const History& history, OpId write) {
+  std::span<const TimePoint> starts = history.start_column();
+  std::span<const TimePoint> finishes = history.finish_column();
+  TimePoint min_finish = finishes[write];
+  TimePoint max_start = starts[write];
   for (OpId r : history.dictated_reads(write)) {
-    min_finish = std::min(min_finish, history.op(r).finish);
-    max_start = std::max(max_start, history.op(r).start);
+    min_finish = std::min(min_finish, finishes[r]);
+    max_start = std::max(max_start, starts[r]);
   }
   return Zone{write, min_finish, max_start, min_finish < max_start};
+}
+
+}  // namespace
+
+Zone compute_zone(const History& history, OpId write) {
+  return zone_of(history, write);
 }
 
 std::vector<Zone> compute_zones(const History& history) {
   std::vector<Zone> zones;
   zones.reserve(history.write_count());
   for (OpId w : history.writes_by_start()) {
-    zones.push_back(compute_zone(history, w));
+    zones.push_back(zone_of(history, w));
   }
-  std::sort(zones.begin(), zones.end(), [](const Zone& a, const Zone& b) {
+  // Serial workloads produce zones already ordered along the timeline
+  // (writes_by_start order == low-endpoint order); one linear check
+  // dodges the n log n sorted-input sort.
+  const auto before = [](const Zone& a, const Zone& b) {
     return a.low() != b.low() ? a.low() < b.low() : a.write < b.write;
-  });
+  };
+  if (!std::is_sorted(zones.begin(), zones.end(), before)) {
+    std::sort(zones.begin(), zones.end(), before);
+  }
   return zones;
 }
 

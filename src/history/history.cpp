@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/simd.h"
+
 namespace kav {
 
 std::string describe(const Operation& op) {
@@ -14,12 +16,70 @@ std::string describe(const Operation& op) {
   return out;
 }
 
+void OperationColumns::clear() {
+  starts.clear();
+  finishes.clear();
+  values.clear();
+  clients.clear();
+  types.clear();
+}
+
+void OperationColumns::reserve(std::size_t n) {
+  starts.reserve(n);
+  finishes.reserve(n);
+  values.reserve(n);
+  clients.reserve(n);
+  types.reserve(n);
+}
+
+void OperationColumns::push_back(const Operation& op) {
+  starts.push_back(op.start);
+  finishes.push_back(op.finish);
+  values.push_back(op.value);
+  clients.push_back(op.client);
+  types.push_back(op.is_write() ? 1 : 0);
+}
+
+namespace {
+
+[[noreturn]] void throw_bad_interval(std::size_t index) {
+  throw std::invalid_argument("operation " + std::to_string(index) +
+                              " has start >= finish");
+}
+
+}  // namespace
+
 History::History(std::vector<Operation> ops) : ops_(std::move(ops)) {
-  for (std::size_t i = 0; i < ops_.size(); ++i) {
-    if (ops_[i].start >= ops_[i].finish) {
-      throw std::invalid_argument("operation " + std::to_string(i) +
-                                  " has start >= finish");
-    }
+  const std::size_t n = ops_.size();
+  start_col_.resize(n);
+  finish_col_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    start_col_[i] = ops_[i].start;
+    finish_col_[i] = ops_[i].finish;
+  }
+  const std::size_t bad =
+      simd::first_not_less_i64(start_col_.data(), finish_col_.data(), n);
+  if (bad != n) throw_bad_interval(bad);
+  build_indexes();
+}
+
+History::History(OperationColumns columns) {
+  const std::size_t n = columns.size();
+  if (columns.finishes.size() != n || columns.values.size() != n ||
+      columns.clients.size() != n || columns.types.size() != n) {
+    throw std::invalid_argument("OperationColumns columns differ in length");
+  }
+  const std::size_t bad = simd::first_not_less_i64(columns.starts.data(),
+                                                   columns.finishes.data(), n);
+  if (bad != n) throw_bad_interval(bad);
+  start_col_ = std::move(columns.starts);
+  finish_col_ = std::move(columns.finishes);
+  ops_.reserve(n);  // push_back, not resize: skip the zero-fill pass
+  for (std::size_t i = 0; i < n; ++i) {
+    ops_.push_back(Operation{
+        start_col_[i], finish_col_[i],
+        columns.types[i] != 0 ? OpType::write : OpType::read,
+        columns.values[i], columns.clients[i]});
   }
   build_indexes();
 }
@@ -27,18 +87,44 @@ History::History(std::vector<Operation> ops) : ops_(std::move(ops)) {
 void History::build_indexes() {
   const auto n = static_cast<OpId>(ops_.size());
 
+  // Event orders. Stored traces arrive per key in add() order, which
+  // for most workloads is already time-sorted -- detect that with one
+  // O(n) SIMD scan and skip the O(n log n) sorts entirely (an id-iota
+  // is exactly "sorted with ties broken by id" when the column is
+  // strictly increasing). The check is on the data, not a caller hint,
+  // so adversarial input degrades to the sort, never to a wrong index.
   by_start_.resize(n);
   std::iota(by_start_.begin(), by_start_.end(), 0);
-  by_finish_ = by_start_;
-  std::sort(by_start_.begin(), by_start_.end(), [&](OpId a, OpId b) {
-    return ops_[a].start != ops_[b].start ? ops_[a].start < ops_[b].start
-                                          : a < b;
-  });
-  std::sort(by_finish_.begin(), by_finish_.end(), [&](OpId a, OpId b) {
-    return ops_[a].finish != ops_[b].finish ? ops_[a].finish < ops_[b].finish
+  if (simd::is_strictly_increasing_i64(start_col_.data(), n)) {
+    sorted_starts_ = start_col_;
+  } else {
+    std::sort(by_start_.begin(), by_start_.end(), [&](OpId a, OpId b) {
+      return start_col_[a] != start_col_[b] ? start_col_[a] < start_col_[b]
                                             : a < b;
-  });
+    });
+    sorted_starts_.resize(n);
+    for (OpId i = 0; i < n; ++i) sorted_starts_[i] = start_col_[by_start_[i]];
+  }
+  by_finish_.resize(n);
+  std::iota(by_finish_.begin(), by_finish_.end(), 0);
+  if (simd::is_strictly_increasing_i64(finish_col_.data(), n)) {
+    sorted_finishes_ = finish_col_;
+  } else {
+    std::sort(by_finish_.begin(), by_finish_.end(), [&](OpId a, OpId b) {
+      return finish_col_[a] != finish_col_[b] ? finish_col_[a] < finish_col_[b]
+                                              : a < b;
+    });
+    sorted_finishes_.resize(n);
+    for (OpId i = 0; i < n; ++i) {
+      sorted_finishes_[i] = finish_col_[by_finish_[i]];
+    }
+  }
 
+  std::size_t write_count = 0;
+  for (const Operation& op : ops_) write_count += op.is_write() ? 1 : 0;
+  writes_by_start_.reserve(write_count);
+  reads_.reserve(n - write_count);
+  writes_by_finish_.reserve(write_count);
   for (OpId id : by_start_) {
     if (ops_[id].is_write()) {
       writes_by_start_.push_back(id);
@@ -51,21 +137,85 @@ void History::build_indexes() {
   }
 
   // Value index; earliest-starting write wins on (anomalous) duplicates
-  // so behaviour stays deterministic.
-  write_of_value_.reserve(writes_by_start_.size() * 2);
+  // so behaviour stays deterministic. Sorted-vector + binary search:
+  // the stable sort keeps start order among equal values, so dropping
+  // all but the first of each run keeps exactly the write the old
+  // hash-map try_emplace (in start order) kept. Monotonically
+  // increasing values (version counters, the common stored-trace shape)
+  // arrive already sorted and unique, making both the sort and the
+  // unique pass no-ops -- detect that while building and skip them.
+  value_index_.reserve(write_count);
+  bool values_strictly_increasing = true;
   for (OpId w : writes_by_start_) {
-    auto [it, inserted] = write_of_value_.try_emplace(ops_[w].value, w);
-    if (!inserted) has_duplicate_write_values_ = true;
+    const Value value = ops_[w].value;
+    values_strictly_increasing =
+        values_strictly_increasing &&
+        (value_index_.empty() || value_index_.back().first < value);
+    value_index_.emplace_back(value, w);
+  }
+  if (values_strictly_increasing) {
+    has_duplicate_write_values_ = false;
+  } else {
+    std::stable_sort(
+        value_index_.begin(), value_index_.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    const auto first_of_run = std::unique(
+        value_index_.begin(), value_index_.end(),
+        [](const auto& a, const auto& b) { return a.first == b.first; });
+    has_duplicate_write_values_ = first_of_run != value_index_.end();
+    value_index_.erase(first_of_run, value_index_.end());
   }
 
-  // Dictating writes and (flattened) dictated-read lists.
+  // Dictating writes and (flattened) dictated-read lists. Reads arrive
+  // start-sorted and their values are usually non-decreasing (each read
+  // returns the latest write), so instead of a cold binary search per
+  // read, gallop from the previous hit: an equal value costs one
+  // comparison, the next value one more, and an arbitrary jump degrades
+  // to the plain O(log w) search -- never worse than before.
   dictating_write_.assign(n, kInvalidOp);
   std::vector<std::uint32_t> counts(n + 1, 0);
+  const std::size_t index_size = value_index_.size();
+  std::size_t hint = 0;  // lower-bound position of the last read's value
   for (OpId r : reads_) {
-    auto it = write_of_value_.find(ops_[r].value);
-    if (it != write_of_value_.end()) {
-      dictating_write_[r] = it->second;
-      ++counts[it->second];
+    const Value value = ops_[r].value;
+    std::size_t pos;
+    if (hint < index_size && value_index_[hint].first == value) {
+      pos = hint;
+    } else if (hint < index_size && value_index_[hint].first < value) {
+      // Gallop forward: find probe with value_index_[probe].first >= value.
+      std::size_t low = hint + 1;
+      std::size_t step = 1;
+      std::size_t high = low;
+      while (high < index_size && value_index_[high].first < value) {
+        low = high + 1;
+        high = hint + (step *= 2);
+      }
+      high = std::min(high, index_size);
+      pos = static_cast<std::size_t>(
+          std::lower_bound(value_index_.begin() + static_cast<std::ptrdiff_t>(low),
+                           value_index_.begin() + static_cast<std::ptrdiff_t>(high),
+                           value,
+                           [](const auto& entry, Value v) {
+                             return entry.first < v;
+                           }) -
+          value_index_.begin());
+    } else {
+      // Value moved backward: full search of the prefix [0, hint).
+      pos = static_cast<std::size_t>(
+          std::lower_bound(value_index_.begin(),
+                           value_index_.begin() + static_cast<std::ptrdiff_t>(
+                                                      std::min(hint, index_size)),
+                           value,
+                           [](const auto& entry, Value v) {
+                             return entry.first < v;
+                           }) -
+          value_index_.begin());
+    }
+    hint = pos;
+    if (pos < index_size && value_index_[pos].first == value) {
+      const OpId w = value_index_[pos].second;
+      dictating_write_[r] = w;
+      ++counts[w];
     }
   }
   read_begin_.assign(n + 1, 0);
@@ -77,24 +227,26 @@ void History::build_indexes() {
     if (w != kInvalidOp) dictated_flat_[cursor[w]++] = r;
   }
 
-  // Max concurrent writes via an event sweep. Finish events at equal
-  // time sort before start events, matching the strict "precedes"
-  // relation (f < s): a write finishing exactly when another starts is
-  // concurrent with it, but the sweep difference is immaterial for the
-  // maximum because normalized histories have unique timestamps.
-  std::vector<std::pair<TimePoint, int>> events;
-  events.reserve(writes_by_start_.size() * 2);
-  for (OpId w : writes_by_start_) {
-    events.emplace_back(ops_[w].start, +1);
-    events.emplace_back(ops_[w].finish, -1);
-  }
-  std::sort(events.begin(), events.end());
+  // Max concurrent writes. The old implementation sorted 2W
+  // (time, delta) pairs with -1 ordered before +1 at equal time; the
+  // write starts and write finishes are each already ascending along
+  // writes_by_start_ / writes_by_finish_, so a two-way merge taking
+  // finishes first on ties sweeps the identical event sequence without
+  // the sort. (A write finishing exactly when another starts counts as
+  // not overlapping here, immaterial for the maximum on normalized
+  // histories, whose timestamps are unique -- same caveat as before.)
+  const std::size_t w_count = writes_by_start_.size();
+  std::size_t si = 0;
+  std::size_t fi = 0;
   std::size_t depth = 0;
-  for (const auto& [time, delta] : events) {
-    if (delta > 0) {
-      max_concurrent_writes_ = std::max(max_concurrent_writes_, ++depth);
-    } else {
+  while (si < w_count) {
+    if (finish_col_[writes_by_finish_[fi]] <=
+        start_col_[writes_by_start_[si]]) {
       --depth;
+      ++fi;
+    } else {
+      max_concurrent_writes_ = std::max(max_concurrent_writes_, ++depth);
+      ++si;
     }
   }
 }
@@ -105,16 +257,18 @@ std::span<const OpId> History::dictated_reads(OpId write) const {
 }
 
 OpId History::write_of_value(Value v) const {
-  auto it = write_of_value_.find(v);
-  return it == write_of_value_.end() ? kInvalidOp : it->second;
+  const auto it = std::lower_bound(
+      value_index_.begin(), value_index_.end(), v,
+      [](const auto& entry, Value value) { return entry.first < value; });
+  return it == value_index_.end() || it->first != v ? kInvalidOp : it->second;
 }
 
 TimePoint History::min_time() const {
-  return by_start_.empty() ? 0 : ops_[by_start_.front()].start;
+  return sorted_starts_.empty() ? 0 : sorted_starts_.front();
 }
 
 TimePoint History::max_time() const {
-  return by_finish_.empty() ? 0 : ops_[by_finish_.back()].finish;
+  return sorted_finishes_.empty() ? 0 : sorted_finishes_.back();
 }
 
 }  // namespace kav

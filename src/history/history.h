@@ -12,8 +12,9 @@
 #define KAV_HISTORY_HISTORY_H
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "history/operation.h"
@@ -21,12 +22,38 @@
 
 namespace kav {
 
+// Structure-of-arrays form of an operation sequence: column i across
+// all five vectors is operation i. This is what the zero-copy decode
+// path (store/block_cursor.h) produces straight from mmap'd block
+// bytes -- each fixed-width record field is gathered into its own
+// contiguous column with a SIMD kernel -- and History can ingest it
+// without an intermediate std::vector<Operation> ever existing.
+struct OperationColumns {
+  std::vector<TimePoint> starts;
+  std::vector<TimePoint> finishes;
+  std::vector<Value> values;
+  std::vector<ClientId> clients;
+  std::vector<unsigned char> types;  // 0 = read, 1 = write
+
+  std::size_t size() const { return starts.size(); }
+  void clear();
+  void reserve(std::size_t n);
+  void push_back(const Operation& op);
+};
+
 class History {
  public:
   History() = default;
 
   // Throws std::invalid_argument if any operation has start >= finish.
   explicit History(std::vector<Operation> ops);
+
+  // Column-wise construction (all five columns must have equal length;
+  // this is checked). Semantically identical to building the
+  // equivalent std::vector<Operation> -- same validation, same
+  // exception text, same indexes -- but the time columns are adopted
+  // in place instead of re-extracted.
+  explicit History(OperationColumns columns);
 
   std::size_t size() const { return ops_.size(); }
   bool empty() const { return ops_.empty(); }
@@ -62,6 +89,20 @@ class History {
 
   bool precedes(OpId a, OpId b) const { return ops_[a].precedes(ops_[b]); }
 
+  // Contiguous time columns, indexed by op id -- the SIMD-scannable
+  // mirror of operations()[id].start / .finish. Kept alongside the
+  // sorted event columns below so anomaly scans and zone computations
+  // run over dense 8-byte columns instead of 40-byte Operation rows.
+  std::span<const TimePoint> start_column() const { return start_col_; }
+  std::span<const TimePoint> finish_column() const { return finish_col_; }
+
+  // All n start (resp. finish) times in ascending order; element i
+  // belongs to op by_start()[i] (resp. by_finish()[i]).
+  std::span<const TimePoint> sorted_starts() const { return sorted_starts_; }
+  std::span<const TimePoint> sorted_finishes() const {
+    return sorted_finishes_;
+  }
+
   // Maximum number of pairwise-concurrent writes at any instant -- the
   // parameter c in LBT's O(n log n + c*n) bound (Theorem 3.2).
   std::size_t max_concurrent_writes() const { return max_concurrent_writes_; }
@@ -73,6 +114,12 @@ class History {
   void build_indexes();
 
   std::vector<Operation> ops_;
+  // Per-id time columns (start_col_[id] == ops_[id].start) plus the
+  // same times in sorted event order; see the accessors above.
+  std::vector<TimePoint> start_col_;
+  std::vector<TimePoint> finish_col_;
+  std::vector<TimePoint> sorted_starts_;
+  std::vector<TimePoint> sorted_finishes_;
   std::vector<OpId> by_start_;
   std::vector<OpId> by_finish_;
   std::vector<OpId> writes_by_start_;
@@ -83,7 +130,10 @@ class History {
   // dictated_flat_[read_begin_[w] .. read_begin_[w + 1]).
   std::vector<OpId> dictated_flat_;
   std::vector<std::uint32_t> read_begin_;
-  std::unordered_map<Value, OpId> write_of_value_;
+  // Value -> write id, sorted by value for binary search. Duplicate
+  // values (an anomaly) keep only the earliest-starting write, exactly
+  // like the hash map this replaced.
+  std::vector<std::pair<Value, OpId>> value_index_;
   bool has_duplicate_write_values_ = false;
   std::size_t max_concurrent_writes_ = 0;
 };

@@ -75,14 +75,9 @@ KeyedReport ShardedVerifier::verify_shards(const std::vector<ShardSpec>& shards,
   // outlive every task that dereferences them.
   const RunControl* run_ptr = &run;
 
-  std::vector<std::future<Verdict>> futures;
-  futures.reserve(shards.size());
-  try {
-    for (const ShardSpec& shard : shards) {
-      const ShardSpec* spec = &shard;
-      futures.push_back(pool_->submit([spec, verify_options, budget, fail_fast,
-                                       failed, sink_mutex,
-                                       run_ptr]() -> Verdict {
+  const auto run_shard = [verify_options, budget, fail_fast, failed,
+                          sink_mutex, run_ptr](const ShardSpec* spec)
+      -> Verdict {
         const Verdict verdict = [&]() -> Verdict {
           if (budget > 0 && spec->op_count > budget) {
             return Verdict::make_undecided(
@@ -123,6 +118,27 @@ KeyedReport ShardedVerifier::verify_shards(const std::vector<ShardSpec>& shards,
           run_ptr->on_key(spec->key, verdict);
         }
         return verdict;
+      };
+
+  // Single-shard fast path: run on the caller's thread. A one-key
+  // selective audit pays no pool handoff (submit + wake + future wait
+  // dwarf a small shard's decode-and-decide); semantics are identical
+  // -- same skip precedence, same sink callback, and a throwing lazy
+  // loader propagates out of this call exactly as the pooled path
+  // rethrows it from future::get with no sibling shards to wait on.
+  if (shards.size() == 1) {
+    KeyedReport report;
+    report.per_key.emplace(shards.front().key, run_shard(&shards.front()));
+    return report;
+  }
+
+  std::vector<std::future<Verdict>> futures;
+  futures.reserve(shards.size());
+  try {
+    for (const ShardSpec& shard : shards) {
+      const ShardSpec* spec = &shard;
+      futures.push_back(pool_->submit([&run_shard, spec] {
+        return run_shard(spec);
       }));
     }
   } catch (...) {

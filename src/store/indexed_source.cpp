@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "ingest/binary_trace.h"
+#include "store/block_cursor.h"
 
 namespace kav {
 
@@ -128,6 +129,22 @@ std::uint64_t IndexedTraceSource::total_records() const {
 }
 
 History IndexedTraceSource::load_key(const std::string& key) const {
+  // Zero-copy: each segment's blocks decode field-wise into one shared
+  // set of columns (SIMD strided gathers, whole-block validation), and
+  // History adopts the time columns in place -- no intermediate
+  // std::vector<Operation>, no per-segment partial vectors. Must stay
+  // bit-identical to load_key_materializing (store_fuzz differential).
+  OperationColumns columns;
+  columns.reserve(key_op_count(key));
+  for (const auto& segment : segments_) {
+    BlockCursor cursor(*segment, key);
+    cursor.decode_columns(columns);
+  }
+  return History(std::move(columns));
+}
+
+History IndexedTraceSource::load_key_materializing(
+    const std::string& key) const {
   std::vector<Operation> ops;
   ops.reserve(key_op_count(key));
   for (const auto& segment : segments_) {

@@ -55,7 +55,15 @@ class IndexedTraceSource final : public SelectiveTraceSource {
 
   std::vector<std::string> selectable_keys() const override;
   std::size_t key_op_count(const std::string& key) const override;
+  // Zero-copy decode: index -> BlockCursor -> SIMD column gathers ->
+  // History, with no intermediate Operation vector (see
+  // store/block_cursor.h for the equivalence contract).
   History load_key(const std::string& key) const override;
+  // The reference decode path (MappedSegment::read_key row-at-a-time
+  // into a vector<Operation>). Kept for the differential fuzz tests
+  // and benches that prove load_key bit-identical; same result, same
+  // errors, more allocation.
+  History load_key_materializing(const std::string& key) const;
 
   // Aggregate stat across segments; records == 0 when the key is
   // absent everywhere.

@@ -261,6 +261,37 @@ std::uint32_t MappedSegment::decode_record(std::uint64_t offset,
   return key_id;
 }
 
+std::uint64_t MappedSegment::block_records_begin(const BlockEntry& block) const {
+  std::uint64_t off = block.offset;
+  // Offset + 8 is in bounds (validated at open); the key entries the
+  // chunk introduces were not, so walk them checked.
+  const std::uint32_t new_keys = load_u32(at(off));
+  const std::uint32_t records = load_u32(at(off + 4));
+  off += 8;
+  if (records != block.records) {
+    fail(block.offset + 4,
+         "block record count " + std::to_string(records) +
+             " disagrees with index entry (" + std::to_string(block.records) +
+             ")");
+  }
+  if (new_keys > kBinaryTraceMaxChunkKeys) {
+    fail(block.offset,
+         "implausible chunk key count " + std::to_string(new_keys));
+  }
+  for (std::uint32_t k = 0; k < new_keys; ++k) {
+    if (records_end_ - off < 2) fail(off, "truncated key length");
+    const std::uint16_t length = load_u16(at(off));
+    off += 2;
+    if (records_end_ - off < length) fail(off, "truncated key bytes");
+    off += length;
+  }
+  if (records_end_ - off <
+      static_cast<std::uint64_t>(records) * kBinaryTraceRecordBytes) {
+    fail(off, "block extent points past the end of the record region");
+  }
+  return off;
+}
+
 std::vector<Operation> MappedSegment::read_key(std::string_view key) const {
   if (!indexed_) {
     throw std::logic_error("MappedSegment::read_key requires an indexed (v2) "
@@ -275,34 +306,8 @@ std::vector<Operation> MappedSegment::read_key(std::string_view key) const {
   for (std::uint32_t b = ke.first_block; b < ke.first_block + ke.block_count;
        ++b) {
     const BlockEntry& block = blocks_[b];
-    std::uint64_t off = block.offset;
-    // Offset + 8 is in bounds (validated at open); the key entries the
-    // chunk introduces were not, so walk them checked.
-    const std::uint32_t new_keys = load_u32(at(off));
-    const std::uint32_t records = load_u32(at(off + 4));
-    off += 8;
-    if (records != block.records) {
-      fail(block.offset + 4,
-           "block record count " + std::to_string(records) +
-               " disagrees with index entry (" + std::to_string(block.records) +
-               ")");
-    }
-    if (new_keys > kBinaryTraceMaxChunkKeys) {
-      fail(block.offset,
-           "implausible chunk key count " + std::to_string(new_keys));
-    }
-    for (std::uint32_t k = 0; k < new_keys; ++k) {
-      if (records_end_ - off < 2) fail(off, "truncated key length");
-      const std::uint16_t length = load_u16(at(off));
-      off += 2;
-      if (records_end_ - off < length) fail(off, "truncated key bytes");
-      off += length;
-    }
-    if (records_end_ - off <
-        static_cast<std::uint64_t>(records) * kBinaryTraceRecordBytes) {
-      fail(off, "block extent points past the end of the record region");
-    }
-    for (std::uint32_t r = 0; r < records; ++r) {
+    std::uint64_t off = block_records_begin(block);
+    for (std::uint32_t r = 0; r < block.records; ++r) {
       Operation op;
       const std::uint32_t key_id = decode_record(off, op);
       if (key_id != block.key_id) {

@@ -91,6 +91,8 @@ class MappedSegment {
   KeyedTrace read_all() const;  // drain a cursor
 
  private:
+  friend class BlockCursor;  // store/block_cursor.h: zero-copy key reads
+
   struct BlockEntry {
     std::uint32_t key_id = 0;
     std::uint64_t offset = 0;
@@ -111,6 +113,11 @@ class MappedSegment {
   // Decodes the 33-byte record at `offset` (caller bounds-checks),
   // validating type byte and interval; returns the record's key id.
   std::uint32_t decode_record(std::uint64_t offset, Operation& op) const;
+  // Validates `block`'s chunk header (record count against the index,
+  // introduced-key entries, record extent) and returns the offset of
+  // its first record. Shared by read_key and BlockCursor so both paths
+  // reject corruption with identical errors.
+  std::uint64_t block_records_begin(const BlockEntry& block) const;
   void unmap() noexcept;
 
   std::string path_;

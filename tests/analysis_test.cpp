@@ -112,6 +112,53 @@ TEST(ZoneProfile, ReportsConcurrencyKnob) {
   EXPECT_EQ(high_c.max_concurrent_writes, 12u);
 }
 
+TEST(ChunkStats, MatchesChunkSetOnCuratedShapes) {
+  // compute_chunk_stats mirrors compute_chunk_set with counters only;
+  // the two must agree field for field on every chunk shape.
+  for (const History& h :
+       {gen::generate_b3_chunk(3), gen::generate_b3_chunk(4),
+        gen::generate_property_p_triple(), gen::generate_property_p_fan(5),
+        gen::generate_forced_separation(3, 2), History{}}) {
+    const std::vector<Zone> zones = compute_zones(h);
+    const ChunkSet set = compute_chunk_set(h, zones);
+    const ChunkStats stats = compute_chunk_stats(zones);
+    EXPECT_EQ(stats.chunks, set.chunks.size());
+    EXPECT_EQ(stats.dangling, set.dangling_writes.size());
+    std::size_t largest = 0;
+    std::size_t max_backward = 0;
+    for (const Chunk& chunk : set.chunks) {
+      largest = std::max(largest, chunk.forward_writes.size() +
+                                      chunk.backward_writes.size());
+      max_backward = std::max(max_backward, chunk.backward_writes.size());
+    }
+    EXPECT_EQ(stats.largest_chunk_clusters, largest);
+    EXPECT_EQ(stats.max_backward_per_chunk, max_backward);
+  }
+}
+
+TEST(ChunkStats, MatchesChunkSetOnRandomHistories) {
+  Rng rng(0xC45);
+  for (int trial = 0; trial < 50; ++trial) {
+    gen::RandomMixConfig config;
+    config.operations = 10 + static_cast<int>(rng.bounded(80));
+    const History h = gen::generate_random_mix(config, rng);
+    const std::vector<Zone> zones = compute_zones(h);
+    const ChunkSet set = compute_chunk_set(h, zones);
+    const ChunkStats stats = compute_chunk_stats(zones);
+    ASSERT_EQ(stats.chunks, set.chunks.size()) << "trial " << trial;
+    ASSERT_EQ(stats.dangling, set.dangling_writes.size()) << "trial " << trial;
+    std::size_t largest = 0;
+    std::size_t max_backward = 0;
+    for (const Chunk& chunk : set.chunks) {
+      largest = std::max(largest, chunk.forward_writes.size() +
+                                      chunk.backward_writes.size());
+      max_backward = std::max(max_backward, chunk.backward_writes.size());
+    }
+    ASSERT_EQ(stats.largest_chunk_clusters, largest) << "trial " << trial;
+    ASSERT_EQ(stats.max_backward_per_chunk, max_backward) << "trial " << trial;
+  }
+}
+
 TEST(ZoneProfile, ToStringMentionsCounts) {
   const History h = gen::generate_b3_chunk(3);
   const std::string text = zone_profile(h).to_string();

@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <vector>
 
 #include "history/history.h"
+#include "util/rng.h"
 
 namespace kav {
 namespace {
@@ -98,6 +100,80 @@ TEST(History, DuplicateWriteValuesFlagged) {
   EXPECT_TRUE(h.has_duplicate_write_values());
   // Earliest-starting write wins the index.
   EXPECT_EQ(h.write_of_value(5), 0u);
+}
+
+TEST(History, DictatingWritesWithAdversarialValueOrder) {
+  // The dictating-write resolver gallops forward from the previous
+  // read's value; this history forces every branch: repeats (stay),
+  // big forward jumps (gallop), backward jumps (prefix re-search),
+  // and absent values landing between, before, and after the index.
+  HistoryBuilder b;
+  std::vector<OpId> writes;
+  for (int i = 0; i < 12; ++i) {
+    // Values 0, 10, 20, ... 110 -- gaps for the absent-value probes.
+    writes.push_back(b.write(i * 100, i * 100 + 5, i * 10));
+  }
+  const OpId repeat_a = b.read(1200, 1210, 50);
+  const OpId repeat_b = b.read(1220, 1230, 50);
+  const OpId jump_fwd = b.read(1240, 1250, 110);
+  const OpId jump_back = b.read(1260, 1270, 0);
+  const OpId absent_mid = b.read(1280, 1290, 55);
+  const OpId absent_low = b.read(1300, 1310, -3);
+  const OpId absent_high = b.read(1320, 1330, 999);
+  const OpId after_miss = b.read(1340, 1350, 70);
+  const History h = b.build();
+
+  EXPECT_EQ(h.dictating_write(repeat_a), writes[5]);
+  EXPECT_EQ(h.dictating_write(repeat_b), writes[5]);
+  EXPECT_EQ(h.dictating_write(jump_fwd), writes[11]);
+  EXPECT_EQ(h.dictating_write(jump_back), writes[0]);
+  EXPECT_EQ(h.dictating_write(absent_mid), kInvalidOp);
+  EXPECT_EQ(h.dictating_write(absent_low), kInvalidOp);
+  EXPECT_EQ(h.dictating_write(absent_high), kInvalidOp);
+  EXPECT_EQ(h.dictating_write(after_miss), writes[7]);
+}
+
+TEST(History, DictatingWritesMatchBruteForceOnRandomValueStreams) {
+  // Differential against a brute-force scan, over histories whose
+  // write values are shuffled (so the sorted-values fast path is off)
+  // and whose read values wander arbitrarily (so the gallop hint
+  // moves both directions and misses often).
+  Rng rng(0xD1C7);
+  for (int trial = 0; trial < 40; ++trial) {
+    HistoryBuilder b;
+    const int write_count = 1 + static_cast<int>(rng.bounded(20));
+    std::vector<Value> values;
+    for (int i = 0; i < write_count; ++i) {
+      values.push_back(static_cast<Value>(rng.bounded(30)));
+    }
+    TimePoint t = 0;
+    std::vector<OpId> writes;
+    for (int i = 0; i < write_count; ++i) {
+      writes.push_back(b.write(t, t + 5, values[static_cast<std::size_t>(i)]));
+      t += 10;
+    }
+    const int read_count = static_cast<int>(rng.bounded(40));
+    std::vector<OpId> reads;
+    std::vector<Value> read_values;
+    for (int i = 0; i < read_count; ++i) {
+      read_values.push_back(static_cast<Value>(rng.bounded(40)));
+      reads.push_back(b.read(t, t + 5, read_values.back()));
+      t += 10;
+    }
+    const History h = b.build();
+    for (int i = 0; i < read_count; ++i) {
+      // Brute force: earliest-starting write of that value, if any.
+      OpId want = kInvalidOp;
+      for (std::size_t w = 0; w < writes.size(); ++w) {
+        if (values[w] == read_values[static_cast<std::size_t>(i)]) {
+          want = writes[w];
+          break;
+        }
+      }
+      ASSERT_EQ(h.dictating_write(reads[static_cast<std::size_t>(i)]), want)
+          << "trial " << trial << " read " << i;
+    }
+  }
 }
 
 TEST(History, MaxConcurrentWritesCountsOnlyWrites) {

@@ -14,8 +14,18 @@
 //      index must beat full-file decode + verify of the same key by
 //      >= 10x (it is typically far more), with identical verdicts.
 //
+//   3. zero-copy differential -- the BlockCursor/SIMD column-decode
+//      path (IndexedTraceSource::load_key) must be bit-identical to
+//      the materializing reference (load_key_materializing): same
+//      Histories record for record, same Engine verdicts and Report
+//      stats, full and selective, across 1/2/8 worker threads and at
+//      every SIMD dispatch level. This is the safety invariant that
+//      lets the hot path skip per-record materialization.
+//
 // The master seed comes from KAV_FUZZ_SEED when set and is printed on
-// every failure; KAV_FUZZ_OPS scales the speedup workload.
+// every failure; KAV_FUZZ_OPS scales the speedup workload and
+// KAV_FUZZ_TRIALS overrides the per-test trial count (ci.sh uses it to
+// keep the sanitizer job fast).
 #include <gtest/gtest.h>
 #include <unistd.h>
 
@@ -32,10 +42,12 @@
 #include "history/serialization.h"
 #include "ingest/binary_trace.h"
 #include "ingest/trace_source.h"
+#include "store/block_cursor.h"
 #include "store/indexed_source.h"
 #include "store/segment_writer.h"
 #include "store/trace_store.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace kav {
 namespace {
@@ -49,6 +61,14 @@ std::uint64_t fuzz_seed() {
     return std::strtoull(env, nullptr, 10);
   }
   return kDefaultSeed;
+}
+
+int fuzz_trials(int fallback) {
+  if (const char* env = std::getenv("KAV_FUZZ_TRIALS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<int>(parsed);
+  }
+  return fallback;
 }
 
 class TempDir {
@@ -140,7 +160,7 @@ TEST(StoreFuzz, AllFormatsAndSelectiveRunsAgree) {
   Rng rng(seed);
   Engine engine;
   TempDir dir("differential");
-  constexpr int kTrials = 30;
+  const int kTrials = fuzz_trials(30);
   for (int trial = 0; trial < kTrials; ++trial) {
     SCOPED_TRACE("reproduce with KAV_FUZZ_SEED=" + std::to_string(seed) +
                  " (trial " + std::to_string(trial) + ")");
@@ -251,6 +271,88 @@ TEST(StoreFuzz, AllFormatsAndSelectiveRunsAgree) {
           full_memory.per_key.at(shards.per_key.begin()->first));
       expect_reports_equal(engine.verify(*store.open_source(), run), want,
                            "selective compacted store");
+    }
+  }
+}
+
+// --- The zero-copy differential -------------------------------------------
+
+// The BlockCursor column-decode path against the materializing
+// reference, record for record and verdict for verdict. Every trial
+// writes a fresh randomized trace at a random block size, then checks:
+//   - load_key == load_key_materializing as raw operation sequences,
+//     for every key and at every SIMD dispatch level (decode_columns
+//     takes the level explicitly, so one binary covers all tiers);
+//   - Engine reports over the indexed source are bit-identical to the
+//     in-memory reference, full-trace and per-key selective, at 1, 2,
+//     and 8 worker threads (the single-shard inline fast path, the
+//     smallest pool, and an oversubscribed pool all take this path).
+TEST(StoreFuzz, ZeroCopyDecodeMatchesMaterializingPath) {
+  const std::uint64_t seed = fuzz_seed() ^ 0x2ECC;
+  Rng rng(seed);
+  TempDir dir("zerocopy");
+  const int kTrials = fuzz_trials(25);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SCOPED_TRACE("reproduce with KAV_FUZZ_SEED=" + std::to_string(fuzz_seed()) +
+                 " (trial " + std::to_string(trial) + ")");
+    const KeyedTrace trace = random_trace(rng);
+    const std::string path = dir.file("z" + std::to_string(trial) + ".kavb");
+    {
+      std::ofstream out(path, std::ios::binary);
+      SegmentWriterOptions options;
+      options.records_per_block = 1 + rng.bounded(9);
+      options.max_buffered_records = 1 + rng.bounded(64);
+      SegmentWriter writer(out, options);
+      writer.add(trace);
+      writer.finish();
+    }
+    IndexedTraceSource source(path);
+
+    // Record-level identity, per key, at every dispatch level.
+    for (const std::string& key : source.selectable_keys()) {
+      const History reference = source.load_key_materializing(key);
+      const History zero_copy = source.load_key(key);
+      ASSERT_EQ(zero_copy.size(), reference.size()) << "key " << key;
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        ASSERT_EQ(zero_copy.operations()[i], reference.operations()[i])
+            << "key " << key << " op " << i;
+      }
+      for (simd::Level level :
+           {simd::Level::scalar, simd::Level::sse2, simd::Level::avx2}) {
+        OperationColumns columns;
+        for (const auto& segment : source.segments()) {
+          BlockCursor cursor(*segment, key);
+          cursor.decode_columns(columns, level);
+        }
+        const History at_level(std::move(columns));
+        ASSERT_EQ(at_level.size(), reference.size())
+            << "key " << key << " level " << simd::to_string(level);
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+          ASSERT_EQ(at_level.operations()[i], reference.operations()[i])
+              << "key " << key << " op " << i << " level "
+              << simd::to_string(level);
+        }
+      }
+    }
+
+    // Verdict/Report identity across thread counts, full + selective.
+    const Report want = Engine().verify(trace);
+    for (std::size_t threads : {1ULL, 2ULL, 8ULL}) {
+      EngineOptions options;
+      options.threads = threads;
+      Engine engine(options);
+      const std::string context = " threads=" + std::to_string(threads);
+      expect_reports_equal(engine.verify(*open_trace_source(path)), want,
+                           "zero-copy full" + context);
+      for (const auto& [key, keyed] : want.per_key) {
+        RunOptions run;
+        run.key_filter = {key};
+        Report expected;
+        expected.per_key.emplace(key, keyed);
+        expect_reports_equal(
+            engine.verify(*open_trace_source(path), run), expected,
+            "zero-copy selective " + key + context);
+      }
     }
   }
 }
