@@ -18,6 +18,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -224,6 +225,92 @@ void BM_ZoneProfileScan(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_ZoneProfileScan)->Unit(benchmark::kMillisecond);
+
+// --- v2.1 integrity: CRC verify overhead -----------------------------------
+//
+// The same zero-copy single-key load with block-checksum verification
+// switched off: the distance to BM_LoadOneKey_ZeroCopy is the whole
+// cost of transparent CRC32C verification on the hot read path. The
+// envelope is a few percent -- one hardware-accelerated pass over
+// bytes the decode touches anyway -- and run_bench.sh --smoke asserts
+// the pair stays close.
+
+void BM_LoadOneKey_ZeroCopyNoCrc(benchmark::State& state) {
+  const Fixture& f = fixture();
+  MappedSegmentOptions lax;
+  lax.verify_block_crc = false;
+  const IndexedTraceSource source(
+      {std::make_shared<const MappedSegment>(f.v2_path, lax)}, "nocrc");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(source.load_key(kProbeKey));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(f.probe_ops) *
+                          state.iterations());
+}
+BENCHMARK(BM_LoadOneKey_ZeroCopyNoCrc)->Unit(benchmark::kMillisecond);
+
+// --- Bloom-filter segment skipping -----------------------------------------
+//
+// A store of 1000 tiny segments, each holding its own disjoint key
+// set: the worst case for cross-segment lookups, and the case the
+// per-segment bloom page exists for. A single-key stat visits every
+// segment either way, but with the filter each miss costs k bit
+// probes instead of a string hash + key-table search, which is what
+// keeps the lookup ~flat as segment counts grow.
+
+constexpr int kManySegments = 1000;
+
+struct ManySegmentsFixture {
+  fs::path dir;
+  std::unique_ptr<TraceStore> store;
+
+  ManySegmentsFixture() {
+    dir = fs::temp_directory_path() / "kav_bench_store_many";
+    fs::remove_all(dir);
+    store = std::make_unique<TraceStore>(dir);
+    for (int s = 0; s < kManySegments; ++s) {
+      KeyedTrace chunk;
+      for (int k = 0; k < 4; ++k) {
+        chunk.add("s" + std::to_string(s) + "-k" + std::to_string(k),
+                  make_write(2 * k, 2 * k + 1, k + 1));
+      }
+      store->append(chunk);
+    }
+  }
+};
+
+const ManySegmentsFixture& many_segments() {
+  static ManySegmentsFixture shared;
+  return shared;
+}
+
+void BM_StoreStatPresentKey_1000Segments(benchmark::State& state) {
+  const ManySegmentsFixture& f = many_segments();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.store->stat("s500-k0"));
+  }
+  state.counters["segments"] = kManySegments;
+}
+BENCHMARK(BM_StoreStatPresentKey_1000Segments)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_StoreStatAbsentKey_1000Segments(benchmark::State& state) {
+  const ManySegmentsFixture& f = many_segments();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.store->stat("no-such-key"));
+  }
+  state.counters["segments"] = kManySegments;
+}
+BENCHMARK(BM_StoreStatAbsentKey_1000Segments)->Unit(benchmark::kMicrosecond);
+
+void BM_StoreReadOneKey_1000Segments(benchmark::State& state) {
+  const ManySegmentsFixture& f = many_segments();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.store->read_key("s500-k2"));
+  }
+  state.counters["segments"] = kManySegments;
+}
+BENCHMARK(BM_StoreReadOneKey_1000Segments)->Unit(benchmark::kMicrosecond);
 
 // --- End-to-end selective verification -------------------------------------
 

@@ -2,8 +2,11 @@
 # Tier-1 verification: configure, build, run every test suite.
 # Usage: ./ci.sh [--asan] [build-dir]   (default: build; build-asan with --asan)
 #   --asan: rebuild under Address + UndefinedBehavior sanitizers and run
-#           the deterministic `unit` ctest label plus the `fuzz` label
-#           at reduced trial counts (KAV_FUZZ_TRIALS / KAV_FUZZ_OPS) --
+#           the deterministic `unit` ctest label, the `crash` label (the
+#           store's fork/_Exit crash-recovery matrix -- _Exit skips the
+#           leak-check atexit hook, so the injected deaths are
+#           ASan-clean), plus the `fuzz` label at reduced trial counts
+#           (KAV_FUZZ_TRIALS / KAV_FUZZ_OPS) --
 #           the mmap-backed store, the zero-copy BlockCursor/SIMD
 #           decode, and the binary readers are exactly the code
 #           sanitizers exist for, and the differential fuzzers are what
@@ -31,9 +34,9 @@ if [[ "$ASAN" == 1 ]]; then
   # code paths run) is what matters under sanitizers, not trial volume.
   export KAV_FUZZ_TRIALS="${KAV_FUZZ_TRIALS:-5}"
   export KAV_FUZZ_OPS="${KAV_FUZZ_OPS:-50000}"
-  ctest --test-dir "$BUILD_DIR" -L 'unit|fuzz' --output-on-failure -j "$(nproc)"
+  ctest --test-dir "$BUILD_DIR" -L 'unit|fuzz|crash' --output-on-failure -j "$(nproc)"
   KAV_FORCE_SCALAR=1 \
-    ctest --test-dir "$BUILD_DIR" -L 'unit|fuzz' --output-on-failure -j "$(nproc)"
+    ctest --test-dir "$BUILD_DIR" -L 'unit|fuzz|crash' --output-on-failure -j "$(nproc)"
   exit 0
 fi
 

@@ -7,6 +7,7 @@
 #include "ingest/keyed_monitor.h"
 #include "pipeline/sharded_verifier.h"
 #include "pipeline/thread_pool.h"
+#include "store/trace_store.h"
 
 namespace kav {
 
@@ -131,6 +132,17 @@ Engine::Engine(EngineOptions options)
 Engine::~Engine() = default;
 
 std::size_t Engine::thread_count() const { return pool_->thread_count(); }
+
+std::unique_ptr<TraceStore> Engine::open_store(const std::string& directory) {
+  return open_store(directory, CompactionOptions{});
+}
+
+std::unique_ptr<TraceStore> Engine::open_store(
+    const std::string& directory, const CompactionOptions& compaction) {
+  auto store = std::make_unique<TraceStore>(directory);
+  store->enable_background_compaction(*pool_, compaction);
+  return store;
+}
 
 namespace {
 

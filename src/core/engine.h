@@ -57,6 +57,8 @@ namespace kav {
 class SelectiveTraceSource;
 class ShardedVerifier;
 struct ShardSpec;
+class TraceStore;
+struct CompactionOptions;
 
 // Everything the three legacy options structs said, minus their
 // duplicated thread counts. Field-by-field origin: VerifyOptions
@@ -143,6 +145,16 @@ class Engine {
   // online decider).
   Report monitor(const KeyedTrace& trace, const RunOptions& run = {});
   Report monitor(TraceSource& source, const RunOptions& run = {});
+
+  // Opens (creating if needed) a TraceStore at `directory` with
+  // background tiered compaction enabled on this engine's shared pool
+  // (store/trace_store.h) -- the session-owned way to run an
+  // out-of-core store that maintains itself between verify calls.
+  // Destroy the returned store before the engine: its destructor
+  // quiesces the background pass, which needs the pool alive.
+  std::unique_ptr<TraceStore> open_store(const std::string& directory);
+  std::unique_ptr<TraceStore> open_store(const std::string& directory,
+                                         const CompactionOptions& compaction);
 
   const EngineOptions& options() const { return options_; }
   std::size_t thread_count() const;

@@ -74,6 +74,14 @@ inline constexpr std::uint32_t kBinaryTraceMaxChunkKeys = 1u << 20;
 // between sentinel and trailer) then the footer magic.
 inline constexpr std::uint32_t kBinaryTraceFooterSentinel = 0xFFFFFFFFu;
 inline constexpr std::uint32_t kBinaryTraceFooterMagic = 0x4956414Bu;  // "KAVI"
+// v2.1 footer magic ("KAVJ"): same header and chunk stream as v2, but
+// the footer payload carries two extra integrity pages after the block
+// index -- a per-block CRC32C page and a per-segment bloom page -- and
+// ends with a CRC32C of the whole payload. The header version stays 2
+// (sequential readers are unaffected); indexed readers dispatch on the
+// trailer magic, so v2-only readers reject v2.1 footers cleanly instead
+// of misparsing the extra pages. Byte spec: docs/FORMATS.md.
+inline constexpr std::uint32_t kBinaryTraceFooterMagic21 = 0x4A56414Bu;
 inline constexpr std::size_t kBinaryTraceTrailerBytes = 12;
 // One index entry: key_id u32 | offset u64 | records u32 | min_start
 // i64 | max_finish i64.

@@ -56,6 +56,33 @@ inline std::int64_t load_i64(const unsigned char* p) {
   return static_cast<std::int64_t>(load_u64(p));
 }
 
+// --- Key hashing for the v2.1 bloom page (docs/FORMATS.md) -----------------
+//
+// These are part of the on-disk format, not an implementation detail:
+// a reader probing a segment written on another machine must derive
+// the same bit positions, so both functions are pinned here next to
+// the rest of the codec and covered by the format spec.
+
+// 64-bit FNV-1a over the raw key bytes -- the bloom page's base hash.
+inline std::uint64_t fnv1a64(const char* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// splitmix64 finalizer -- derives the bloom's second hash from the
+// first (double hashing), so each key is hashed exactly once however
+// many probe bits the filter uses.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace kav::wire
 
 #endif  // KAV_INGEST_WIRE_H

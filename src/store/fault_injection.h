@@ -1,0 +1,73 @@
+// Crash-fault injection for the store's durability tests
+// (tests/store_crash_test.cpp). The TraceStore sprinkles named
+// fault_point() calls between the steps of its commit protocols
+// (segment write, manifest commit, compaction fold/unlink); when the
+// KAV_STORE_FAULT_POINT environment variable names one of them, the
+// process dies on the spot via _Exit -- no stack unwinding, no
+// destructors, no stream flushes -- which is as close as a test can
+// get to power loss while the page cache (and thus every completed
+// write()) stays visible to the parent. The crash matrix forks a
+// child per (operation sequence, fault point) pair and asserts that
+// reopening the store afterwards yields bit-identical content to a
+// run that never crashed.
+//
+// In production builds the hooks cost one getenv per call on a cold
+// path (segment seal / manifest commit), which is noise next to the
+// fsyncs they sit between. getenv is deliberately NOT cached: the
+// test parent sets the variable in a forked child only, and a static
+// read in the parent would poison every child with the parent's
+// (unset) value.
+#ifndef KAV_STORE_FAULT_INJECTION_H
+#define KAV_STORE_FAULT_INJECTION_H
+
+#include <cstdlib>
+#include <cstring>
+
+namespace kav::store_detail {
+
+// Every crash site, between each pair of steps in the commit
+// protocols of trace_store.cpp. The names are stable test surface.
+inline constexpr const char* kFaultSegmentBeforeFinish =
+    "segment.before-finish";
+inline constexpr const char* kFaultSegmentAfterTmpWrite =
+    "segment.after-tmp-write";
+inline constexpr const char* kFaultSegmentAfterTmpSync =
+    "segment.after-tmp-sync";
+inline constexpr const char* kFaultSegmentAfterRename =
+    "segment.after-rename";
+inline constexpr const char* kFaultAppendBeforeManifest =
+    "append.before-manifest";
+inline constexpr const char* kFaultManifestAfterTmpWrite =
+    "manifest.after-tmp-write";
+inline constexpr const char* kFaultManifestAfterRename =
+    "manifest.after-rename";
+inline constexpr const char* kFaultCompactBeforeFold = "compact.before-fold";
+inline constexpr const char* kFaultCompactBeforeManifest =
+    "compact.before-manifest";
+inline constexpr const char* kFaultCompactAfterManifest =
+    "compact.after-manifest";
+inline constexpr const char* kFaultCompactMidUnlink = "compact.mid-unlink";
+
+inline constexpr const char* kAllFaultPoints[] = {
+    kFaultSegmentBeforeFinish,  kFaultSegmentAfterTmpWrite,
+    kFaultSegmentAfterTmpSync,  kFaultSegmentAfterRename,
+    kFaultAppendBeforeManifest, kFaultManifestAfterTmpWrite,
+    kFaultManifestAfterRename,  kFaultCompactBeforeFold,
+    kFaultCompactBeforeManifest, kFaultCompactAfterManifest,
+    kFaultCompactMidUnlink,
+};
+
+// Distinguishes an injected crash from any real exit status the child
+// could produce.
+inline constexpr int kFaultExitCode = 42;
+
+inline void fault_point(const char* name) {
+  const char* want = std::getenv("KAV_STORE_FAULT_POINT");
+  if (want != nullptr && std::strcmp(want, name) == 0) {
+    std::_Exit(kFaultExitCode);
+  }
+}
+
+}  // namespace kav::store_detail
+
+#endif  // KAV_STORE_FAULT_INJECTION_H

@@ -97,27 +97,30 @@ std::vector<std::string> IndexedTraceSource::selectable_keys() const {
 }
 
 std::size_t IndexedTraceSource::key_op_count(const std::string& key) const {
+  const BloomProbe probe = bloom_probe(key);
   std::uint64_t records = 0;
   for (const auto& segment : segments_) {
+    if (!segment->maybe_contains(probe)) continue;
     if (const KeyStat* s = segment->stat(key)) records += s->records;
   }
   return static_cast<std::size_t>(records);
 }
 
-KeyStat IndexedTraceSource::stat(const std::string& key) const {
-  KeyStat merged;
+std::optional<KeyStat> IndexedTraceSource::stat(const std::string& key) const {
+  const BloomProbe probe = bloom_probe(key);
+  std::optional<KeyStat> merged;
   for (const auto& segment : segments_) {
+    if (!segment->maybe_contains(probe)) continue;
     const KeyStat* s = segment->stat(key);
-    if (s == nullptr) continue;
-    if (merged.records == 0) {
-      merged.min_start = s->min_start;
-      merged.max_finish = s->max_finish;
-    } else {
-      merged.min_start = std::min(merged.min_start, s->min_start);
-      merged.max_finish = std::max(merged.max_finish, s->max_finish);
+    if (s == nullptr) continue;  // bloom false positive
+    if (!merged.has_value()) {
+      merged = *s;
+      continue;
     }
-    merged.records += s->records;
-    merged.blocks += s->blocks;
+    merged->min_start = std::min(merged->min_start, s->min_start);
+    merged->max_finish = std::max(merged->max_finish, s->max_finish);
+    merged->records += s->records;
+    merged->blocks += s->blocks;
   }
   return merged;
 }
@@ -134,9 +137,11 @@ History IndexedTraceSource::load_key(const std::string& key) const {
   // History adopts the time columns in place -- no intermediate
   // std::vector<Operation>, no per-segment partial vectors. Must stay
   // bit-identical to load_key_materializing (store_fuzz differential).
+  const BloomProbe probe = bloom_probe(key);
   OperationColumns columns;
   columns.reserve(key_op_count(key));
   for (const auto& segment : segments_) {
+    if (!segment->maybe_contains(probe)) continue;
     BlockCursor cursor(*segment, key);
     cursor.decode_columns(columns);
   }
@@ -145,9 +150,11 @@ History IndexedTraceSource::load_key(const std::string& key) const {
 
 History IndexedTraceSource::load_key_materializing(
     const std::string& key) const {
+  const BloomProbe probe = bloom_probe(key);
   std::vector<Operation> ops;
   ops.reserve(key_op_count(key));
   for (const auto& segment : segments_) {
+    if (!segment->maybe_contains(probe)) continue;
     std::vector<Operation> part = segment->read_key(key);
     ops.insert(ops.end(), part.begin(), part.end());
   }

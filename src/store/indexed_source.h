@@ -65,9 +65,10 @@ class IndexedTraceSource final : public SelectiveTraceSource {
   // errors, more allocation.
   History load_key_materializing(const std::string& key) const;
 
-  // Aggregate stat across segments; records == 0 when the key is
-  // absent everywhere.
-  KeyStat stat(const std::string& key) const;
+  // Aggregate stat across segments; nullopt when the key is absent
+  // everywhere. Like every per-key lookup here, consults each
+  // segment's bloom filter before its key table.
+  std::optional<KeyStat> stat(const std::string& key) const;
   std::uint64_t total_records() const;
   const std::vector<std::shared_ptr<const MappedSegment>>& segments() const {
     return segments_;

@@ -9,11 +9,13 @@
 #endif
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 #include <utility>
 
 #include "ingest/binary_trace.h"
+#include "util/crc32c.h"
 
 namespace kav {
 
@@ -22,6 +24,12 @@ namespace {
 using wire::load_u16;
 using wire::load_u32;
 using wire::load_u64;
+
+std::string hex32(std::uint32_t v) {
+  char buf[11];
+  std::snprintf(buf, sizeof buf, "0x%08x", v);
+  return buf;
+}
 
 }  // namespace
 
@@ -40,7 +48,9 @@ void MappedSegment::unmap() noexcept {
   data_ = nullptr;
 }
 
-MappedSegment::MappedSegment(const std::string& path) : path_(path) {
+MappedSegment::MappedSegment(const std::string& path,
+                             MappedSegmentOptions options)
+    : path_(path), options_(options) {
 #if KAV_STORE_HAVE_MMAP
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd >= 0) {
@@ -109,16 +119,22 @@ void MappedSegment::parse_footer() {
       kBinaryTraceHeaderBytes + 4 + 8 + kBinaryTraceTrailerBytes;
   if (size_ < min_size) return;  // no room for an index: plain v2 stream
   const std::uint64_t trailer = size_ - kBinaryTraceTrailerBytes;
-  if (load_u32(at(trailer + 8)) != kBinaryTraceFooterMagic) {
+  const std::uint32_t trailer_magic = load_u32(at(trailer + 8));
+  if (trailer_magic != kBinaryTraceFooterMagic &&
+      trailer_magic != kBinaryTraceFooterMagic21) {
     // No trailer magic: the segment was never sealed (writer died) or
     // the tail was truncated. Sequential access still works; selective
     // access reports unindexed rather than guessing.
     return;
   }
+  has_integrity_ = trailer_magic == kBinaryTraceFooterMagic21;
 
   // From here on the file claims an index; inconsistency is corruption.
   const std::uint64_t payload_bytes = load_u64(at(trailer));
-  if (payload_bytes < 8 ||
+  // v2.1 payloads additionally carry the bloom header and the trailing
+  // payload checksum even when empty.
+  const std::uint64_t min_payload = has_integrity_ ? 4 + 4 + 12 + 4 : 8;
+  if (payload_bytes < min_payload ||
       payload_bytes > trailer - kBinaryTraceHeaderBytes - 4) {
     fail(trailer, "truncated footer (payload of " +
                       std::to_string(payload_bytes) +
@@ -131,9 +147,23 @@ void MappedSegment::parse_footer() {
   }
   records_end_ = sentinel;
 
+  // The payload checksum covers every page below, so footer bit-rot
+  // (which could silently clear a bloom bit or redirect a block
+  // offset) is rejected here, before any page is trusted.
+  std::uint64_t pages_end = trailer;  // first byte past the parseable pages
+  if (has_integrity_) {
+    pages_end = trailer - 4;
+    const std::uint32_t stored = load_u32(at(pages_end));
+    const std::uint32_t computed = crc::crc32c(at(payload), payload_bytes - 4);
+    if (stored != computed) {
+      fail(pages_end, "footer checksum mismatch (stored " + hex32(stored) +
+                          ", computed " + hex32(computed) + ")");
+    }
+  }
+
   std::uint64_t p = payload;
   const auto need = [&](std::uint64_t n, const char* what) {
-    if (trailer - p < n) {
+    if (pages_end - p < n) {
       fail(p, std::string("truncated footer ") + what);
     }
   };
@@ -145,10 +175,10 @@ void MappedSegment::parse_footer() {
   // allocation: each table entry needs at least its 2 length bytes, so
   // a key_count the remaining payload cannot hold is corruption, not a
   // ~170 GB resize.
-  if (key_count > (trailer - p) / 2) {
+  if (key_count > (pages_end - p) / 2) {
     fail(p - 4, "truncated footer (key count " + std::to_string(key_count) +
                     " does not fit the remaining " +
-                    std::to_string(trailer - p) + " payload bytes)");
+                    std::to_string(pages_end - p) + " payload bytes)");
   }
   key_names_.reserve(key_count);
   key_ids_.reserve(key_count);
@@ -169,12 +199,25 @@ void MappedSegment::parse_footer() {
   need(4, "block count");
   const std::uint32_t block_count = load_u32(at(p));
   p += 4;
-  if (static_cast<std::uint64_t>(block_count) * kBinaryTraceBlockEntryBytes !=
-      trailer - p) {
+  // v2: the entries fill the remaining payload exactly. v2.1: each
+  // entry also owns a CRC page slot, and the bloom header follows;
+  // exact fill is re-checked after the bloom page is parsed.
+  const std::uint64_t per_block =
+      kBinaryTraceBlockEntryBytes + (has_integrity_ ? 4 : 0);
+  const std::uint64_t fixed_tail = has_integrity_ ? 12 : 0;
+  if (has_integrity_
+          ? static_cast<std::uint64_t>(block_count) * per_block + fixed_tail >
+                pages_end - p
+          : static_cast<std::uint64_t>(block_count) *
+                    kBinaryTraceBlockEntryBytes !=
+                pages_end - p) {
     fail(p, "footer size mismatch (" + std::to_string(block_count) +
-                " block entries do not fill the remaining " +
-                std::to_string(trailer - p) + " payload bytes)");
+                " block entries do not fit the remaining " +
+                std::to_string(pages_end - p) + " payload bytes)");
   }
+  // The CRC page sits after the whole entry array, in the same order.
+  const std::uint64_t crc_page =
+      p + static_cast<std::uint64_t>(block_count) * kBinaryTraceBlockEntryBytes;
   blocks_.reserve(block_count);
   for (std::uint32_t i = 0; i < block_count; ++i) {
     BlockEntry entry;
@@ -183,6 +226,9 @@ void MappedSegment::parse_footer() {
     entry.records = load_u32(at(p + 12));
     entry.min_start = wire::load_i64(at(p + 16));
     entry.max_finish = wire::load_i64(at(p + 24));
+    if (has_integrity_) {
+      entry.crc = load_u32(at(crc_page + static_cast<std::uint64_t>(i) * 4));
+    }
     if (entry.key_id >= key_count) {
       fail(p, "block entry key id " + std::to_string(entry.key_id) +
                   " out of range (table has " + std::to_string(key_count) +
@@ -228,6 +274,36 @@ void MappedSegment::parse_footer() {
     blocks_.push_back(entry);
     p += kBinaryTraceBlockEntryBytes;
   }
+
+  if (has_integrity_) {
+    p = crc_page + static_cast<std::uint64_t>(block_count) * 4;
+    need(12, "bloom header");
+    bloom_m_bits_ = load_u64(at(p));
+    bloom_hashes_ = load_u32(at(p + 8));
+    p += 12;
+    if (bloom_m_bits_ % 8 != 0) {
+      fail(p - 12, "bloom size " + std::to_string(bloom_m_bits_) +
+                       " bits is not a whole number of bytes");
+    }
+    if ((bloom_m_bits_ == 0) != (bloom_hashes_ == 0) || bloom_hashes_ > 64) {
+      fail(p - 4,
+           "implausible bloom hash count " + std::to_string(bloom_hashes_));
+    }
+    if (bloom_m_bits_ / 8 != pages_end - p) {
+      fail(p, "footer size mismatch (bloom page of " +
+                  std::to_string(bloom_m_bits_ / 8) +
+                  " bytes does not fill the remaining " +
+                  std::to_string(pages_end - p) + " payload bytes)");
+    }
+    if (bloom_m_bits_ > 0) bloom_bits_ = at(p);
+    // The sequential Cursor meets chunks in file order, not index
+    // order: give it an offset-sorted view of the CRC page.
+    chunk_crcs_.reserve(blocks_.size());
+    for (const BlockEntry& block : blocks_) {
+      chunk_crcs_.emplace_back(block.offset, block.crc);
+    }
+    std::sort(chunk_crcs_.begin(), chunk_crcs_.end());
+  }
   indexed_ = true;
 }
 
@@ -238,6 +314,14 @@ bool MappedSegment::contains(std::string_view key) const {
 const KeyStat* MappedSegment::stat(std::string_view key) const {
   const auto it = key_ids_.find(key);
   return it == key_ids_.end() ? nullptr : &key_entries_[it->second].stat;
+}
+
+bool MappedSegment::maybe_contains(const BloomProbe& probe) const {
+  // No filter (legacy v2, unindexed, v1): cannot rule the key out. A
+  // v2.1 filter with m_bits == 0 holds no keys and rules everything
+  // out -- bloom_maybe_contains handles that before touching bits.
+  if (!has_integrity_) return true;
+  return bloom_maybe_contains(bloom_bits_, bloom_m_bits_, bloom_hashes_, probe);
 }
 
 std::uint32_t MappedSegment::decode_record(std::uint64_t offset,
@@ -288,6 +372,21 @@ std::uint64_t MappedSegment::block_records_begin(const BlockEntry& block) const 
   if (records_end_ - off <
       static_cast<std::uint64_t>(records) * kBinaryTraceRecordBytes) {
     fail(off, "block extent points past the end of the record region");
+  }
+  // Integrity gate for every indexed read (read_key here, BlockCursor
+  // via ensure_block): the stored CRC covers the chunk exactly as
+  // mapped -- header, key entries, records -- so no corrupt byte can
+  // reach a decoder.
+  if (has_integrity_ && options_.verify_block_crc) {
+    const std::uint64_t end =
+        off + static_cast<std::uint64_t>(records) * kBinaryTraceRecordBytes;
+    const std::uint32_t computed =
+        crc::crc32c(at(block.offset), end - block.offset);
+    if (computed != block.crc) {
+      fail(block.offset, "block checksum mismatch (stored " +
+                             hex32(block.crc) + ", computed " +
+                             hex32(computed) + ")");
+    }
   }
   return off;
 }
@@ -355,6 +454,7 @@ bool MappedSegment::Cursor::next(std::string_view& key, Operation& op) {
     if (new_keys == 0 && records == 0) {
       seg.fail(offset_, "empty chunk");
     }
+    const std::uint64_t chunk_start = offset_;
     offset_ += 8;
     for (std::uint32_t k = 0; k < new_keys; ++k) {
       if (seg.records_end_ - offset_ < 2) {
@@ -368,6 +468,31 @@ bool MappedSegment::Cursor::next(std::string_view& key, Operation& op) {
       keys_.emplace_back(reinterpret_cast<const char*>(seg.at(offset_)),
                          length);
       offset_ += length;
+    }
+    // v2.1: the whole chunk is covered by its CRC page slot, so the
+    // sequential path is as tamper-evident as the indexed one. Every
+    // chunk of a sealed v2.1 file IS a block, so an offset the index
+    // does not know is itself corruption.
+    if (seg.has_integrity_ && seg.options_.verify_block_crc) {
+      if (seg.records_end_ - offset_ <
+          static_cast<std::uint64_t>(records) * kBinaryTraceRecordBytes) {
+        seg.fail(offset_, "truncated record payload");
+      }
+      const std::uint64_t chunk_end =
+          offset_ + static_cast<std::uint64_t>(records) * kBinaryTraceRecordBytes;
+      const auto it = std::lower_bound(
+          seg.chunk_crcs_.begin(), seg.chunk_crcs_.end(),
+          std::make_pair(chunk_start, std::uint32_t{0}));
+      if (it == seg.chunk_crcs_.end() || it->first != chunk_start) {
+        seg.fail(chunk_start, "chunk not present in the block index");
+      }
+      const std::uint32_t computed =
+          crc::crc32c(seg.at(chunk_start), chunk_end - chunk_start);
+      if (computed != it->second) {
+        seg.fail(chunk_start, "block checksum mismatch (stored " +
+                                  hex32(it->second) + ", computed " +
+                                  hex32(computed) + ")");
+      }
     }
     chunk_records_ = records;
   }
@@ -393,6 +518,48 @@ KeyedTrace MappedSegment::read_all() const {
   Operation op;
   while (walk.next(key, op)) trace.add(std::string(key), op);
   return trace;
+}
+
+std::uint64_t MappedSegment::verify_integrity(
+    std::vector<std::string>& errors) const {
+  std::uint64_t records_ok = 0;
+  if (!indexed_) {
+    errors.push_back("segment " + path_ +
+                     ": not indexed (unsealed or pre-v2 file)");
+    return 0;
+  }
+  for (const BlockEntry& block : blocks_) {
+    // One bad block must not hide the rest: collect its error and keep
+    // scanning. block_records_begin re-runs the structural and CRC
+    // checks; the record loop re-runs the decoder's.
+    try {
+      std::uint64_t off = block_records_begin(block);
+      for (std::uint32_t r = 0; r < block.records; ++r) {
+        Operation op;
+        const std::uint32_t key_id = decode_record(off, op);
+        if (key_id != block.key_id) {
+          fail(off, "foreign record (key id " + std::to_string(key_id) +
+                        ") in block of key id " + std::to_string(block.key_id));
+        }
+        off += kBinaryTraceRecordBytes;
+        ++records_ok;
+      }
+    } catch (const std::exception& e) {
+      errors.emplace_back(e.what());
+    }
+  }
+  if (has_integrity_) {
+    // Bloom self-check: a filter that misses its own table keys would
+    // silently hide data from cross-segment lookups.
+    for (const std::string_view name : key_names_) {
+      if (!maybe_contains(bloom_probe(name))) {
+        errors.push_back("segment " + path_ +
+                         ": bloom filter misses table key \"" +
+                         std::string(name) + "\"");
+      }
+    }
+  }
+  return records_ok;
 }
 
 }  // namespace kav

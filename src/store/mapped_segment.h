@@ -14,6 +14,13 @@
 // v1 files (and v2 files whose footer is absent, e.g. a writer died
 // mid-seal) open with indexed() == false: sequential access via
 // Cursor/read_all still works, selective access does not.
+//
+// v2.1 footers (trailer magic 'KAVJ') add integrity pages: a CRC32C
+// per block, verified transparently on every read path (read_key,
+// BlockCursor, the sequential Cursor) before any record byte is
+// trusted, and a per-segment bloom filter answering maybe_contains()
+// without a key-table probe. Old 'KAVI' footers still open, with
+// has_integrity() == false and maybe_contains() always true.
 #ifndef KAV_STORE_MAPPED_SEGMENT_H
 #define KAV_STORE_MAPPED_SEGMENT_H
 
@@ -22,9 +29,11 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "history/keyed_trace.h"
+#include "store/bloom.h"
 #include "util/time_types.h"
 
 namespace kav {
@@ -39,13 +48,23 @@ struct KeyStat {
   TimePoint max_finish = 0;
 };
 
+struct MappedSegmentOptions {
+  // Verify each block's CRC page entry before decoding it (v2.1
+  // segments only; a no-op on files without integrity pages). Off
+  // exists solely so bench_store can price the check -- every product
+  // path leaves it on.
+  bool verify_block_crc = true;
+};
+
 class MappedSegment {
  public:
   // Maps the file and parses header + footer. Throws std::runtime_error
   // on open failure, bad magic/version, or a corrupt index (trailer
-  // magic present but sentinel/sizes/offsets inconsistent -- including
-  // any block offset or extent pointing past the record region).
-  explicit MappedSegment(const std::string& path);
+  // magic present but sentinel/sizes/offsets/checksum inconsistent --
+  // including any block offset or extent pointing past the record
+  // region).
+  explicit MappedSegment(const std::string& path,
+                         MappedSegmentOptions options = {});
   ~MappedSegment();
 
   MappedSegment(const MappedSegment&) = delete;
@@ -55,6 +74,9 @@ class MappedSegment {
   std::size_t size_bytes() const { return size_; }
   std::uint16_t version() const { return version_; }
   bool indexed() const { return indexed_; }
+  // True when the footer carries the v2.1 integrity pages (per-block
+  // CRC + bloom). Legacy 'KAVI' segments are readable but unverified.
+  bool has_integrity() const { return has_integrity_; }
 
   // Index accessors; all require indexed() (they return empty/null/0
   // otherwise, they do not throw).
@@ -63,6 +85,11 @@ class MappedSegment {
   const std::vector<std::string_view>& keys() const { return key_names_; }
   bool contains(std::string_view key) const;
   const KeyStat* stat(std::string_view key) const;  // nullptr when absent
+  // Bloom precheck: false means the key is definitively absent; true
+  // means "probe the table" (always true for segments without a
+  // filter). The probe is hashed once by the caller and reused across
+  // every segment -- the cheap half of cross-segment lookups.
+  bool maybe_contains(const BloomProbe& probe) const;
   std::uint64_t total_records() const { return total_records_; }
   std::uint64_t block_count() const { return blocks_.size(); }
 
@@ -90,6 +117,13 @@ class MappedSegment {
 
   KeyedTrace read_all() const;  // drain a cursor
 
+  // Deep scan for TraceStore::fsck(): re-validates every block's
+  // structure and checksum, decodes every record, and self-checks the
+  // bloom filter (each table key must pass the segment's own filter).
+  // Appends one human-readable line per problem to `errors` and keeps
+  // going; returns the number of records successfully decoded.
+  std::uint64_t verify_integrity(std::vector<std::string>& errors) const;
+
  private:
   friend class BlockCursor;  // store/block_cursor.h: zero-copy key reads
 
@@ -99,6 +133,7 @@ class MappedSegment {
     std::uint32_t records = 0;
     TimePoint min_start = 0;
     TimePoint max_finish = 0;
+    std::uint32_t crc = 0;  // CRC page entry (v2.1; 0 when absent)
   };
   struct KeyEntry {
     KeyStat stat;
@@ -121,18 +156,27 @@ class MappedSegment {
   void unmap() noexcept;
 
   std::string path_;
+  MappedSegmentOptions options_;
   const unsigned char* data_ = nullptr;
   std::size_t size_ = 0;
   void* map_base_ = nullptr;                 // non-null iff mmap succeeded
   std::vector<unsigned char> heap_fallback_; // used when mmap unavailable
   std::uint16_t version_ = 0;
   bool indexed_ = false;
+  bool has_integrity_ = false;
   std::uint64_t records_end_ = 0;  // first byte past the last chunk
   std::uint64_t total_records_ = 0;
   std::vector<std::string_view> key_names_;  // id order, views into mapping
   std::unordered_map<std::string_view, std::uint32_t> key_ids_;
   std::vector<KeyEntry> key_entries_;        // parallel to key_names_
   std::vector<BlockEntry> blocks_;
+  // v2.1 bloom page, pointing into the mapping.
+  std::uint64_t bloom_m_bits_ = 0;
+  std::uint32_t bloom_hashes_ = 0;
+  const unsigned char* bloom_bits_ = nullptr;
+  // (chunk offset, crc) sorted by offset: the sequential Cursor's view
+  // of the CRC page (blocks_ is sorted by key id, not by position).
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> chunk_crcs_;
 };
 
 }  // namespace kav

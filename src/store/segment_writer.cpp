@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "ingest/binary_trace.h"
+#include "store/bloom.h"
+#include "util/crc32c.h"
 
 namespace kav {
 
@@ -118,6 +120,13 @@ void SegmentWriter::flush_block(std::uint32_t key_id) {
   entry.records = state.pending_records;
   entry.min_start = state.pending_min_start;
   entry.max_finish = state.pending_max_finish;
+  // The CRC covers the block exactly as a reader maps it: chunk header,
+  // key-table delta, records.
+  entry.crc = crc::crc32c_extend(
+      crc::crc32c_extend(
+          crc::crc32c(chunk_header.data(), chunk_header.size()),
+          key_entries.data(), key_entries.size()),
+      state.pending.data(), state.pending.size());
 
   write_raw(chunk_header);
   write_raw(key_entries);
@@ -167,9 +176,26 @@ SegmentStats SegmentWriter::finish() {
     append_i64(payload, block.max_finish);
   }
 
+  // v2.1 integrity pages. CRC page: one u32 per index entry, same
+  // (key_id, offset) order as the index itself.
+  for (const BlockEntry& block : blocks_) {
+    append_u32(payload, block.crc);
+  }
+  // Bloom page over the segment's key set.
+  BloomBuilder bloom(keys_.size());
+  for (const KeyState& state : keys_) bloom.add(state.name);
+  append_u64(payload, bloom.m_bits());
+  append_u32(payload, bloom.hashes());
+  payload.append(reinterpret_cast<const char*>(bloom.bytes().data()),
+                 bloom.bytes().size());
+  // Payload checksum: everything from key_count through the bloom page,
+  // so footer bit-rot (a cleared bloom bit would be a silent false
+  // negative) is caught at open, before any page is trusted.
+  append_u32(payload, crc::crc32c(payload.data(), payload.size()));
+
   std::string trailer;
   append_u64(trailer, static_cast<std::uint64_t>(payload.size()));
-  append_u32(trailer, kBinaryTraceFooterMagic);
+  append_u32(trailer, kBinaryTraceFooterMagic21);
 
   write_raw(footer);
   write_raw(payload);

@@ -1,12 +1,16 @@
-// SegmentWriter: the streaming writer of .kavb format v2 "segments" --
-// the persistent unit of the trace store (store/trace_store.h). Where
+// SegmentWriter: the streaming writer of .kavb v2.1 "segments" -- the
+// persistent unit of the trace store (store/trace_store.h). Where
 // BinaryTraceWriter (ingest/binary_trace.h) emits records in arrival
 // order interleaved across keys, SegmentWriter regroups them into
 // per-key *blocks* (single-key chunks) and appends a key-table +
 // block-index footer, so an indexed reader (store/mapped_segment.h)
 // can later decode exactly one key's operations without touching the
 // rest of the file -- the out-of-core selective-verification path of
-// kav::Engine (RunOptions::key_filter).
+// kav::Engine (RunOptions::key_filter). The v2.1 footer additionally
+// carries a per-block CRC32C page (verified on every indexed read), a
+// per-segment bloom page (store/bloom.h) for cross-segment key skips,
+// and a whole-payload checksum; the chunk stream itself is bit-for-bit
+// v2, so sequential readers are unaffected.
 //
 // Within a key, block order equals add() order, so a per-key history
 // reassembled from the index is bit-identical to one filtered out of
@@ -97,6 +101,7 @@ class SegmentWriter {
     std::uint32_t records = 0;
     TimePoint min_start = 0;
     TimePoint max_finish = 0;
+    std::uint32_t crc = 0;  // CRC32C of the block's full chunk bytes
   };
 
   // Emits `key_id`'s pending records as one single-key chunk. Key table

@@ -7,24 +7,31 @@
 #endif
 
 #include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <fstream>
-#include <optional>
+#include <iterator>
+#include <limits>
 #include <set>
+#include <sstream>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
 #include "ingest/trace_source.h"
+#include "pipeline/thread_pool.h"
+#include "store/fault_injection.h"
+#include "util/crc32c.h"
 
 namespace kav {
 
 namespace {
 
 // Best-effort durability (POSIX only; a no-op elsewhere): flush the
-// written segment's pages, and after a rename flush the directory so
-// the new name itself survives a crash. "Best effort" because a
-// failing fsync on a freshly written, successfully closed file has no
-// useful recovery here beyond reporting nothing.
+// written file's pages, and after a rename flush the directory so the
+// new name itself survives a crash. "Best effort" because a failing
+// fsync on a freshly written, successfully closed file has no useful
+// recovery here beyond reporting nothing.
 void sync_path(const std::filesystem::path& path) {
 #if KAV_STORE_HAVE_FSYNC
   const int fd = ::open(path.c_str(), O_RDONLY);
@@ -39,35 +46,157 @@ void sync_path(const std::filesystem::path& path) {
 
 constexpr const char* kSegmentPrefix = "seg-";
 constexpr const char* kSegmentSuffix = ".kavb";
+constexpr const char* kTmpSuffix = ".tmp";
+constexpr const char* kManifestName = "MANIFEST";
+constexpr const char* kManifestHeader = "kav-store-manifest v1";
 
-// seg-000001.kavb -> 1; nullopt for anything else (including .tmp
-// leftovers, which the store ignores rather than trips over).
-std::optional<std::uint64_t> parse_segment_number(const std::string& name) {
-  const std::string prefix = kSegmentPrefix;
-  const std::string suffix = kSegmentSuffix;
-  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
-  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
-  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
-    return std::nullopt;
-  }
-  const std::string digits =
-      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+// Overflow-checked decimal parse; nullopt on empty input, a non-digit,
+// or a value that does not fit uint64.
+std::optional<std::uint64_t> parse_decimal(std::string_view digits) {
   if (digits.empty()) return std::nullopt;
   std::uint64_t number = 0;
   for (const char c : digits) {
     if (c < '0' || c > '9') return std::nullopt;
-    number = number * 10 + static_cast<std::uint64_t>(c - '0');
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (number > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return std::nullopt;
+    }
+    number = number * 10 + digit;
   }
   return number;
 }
 
+bool ends_with(std::string_view name, std::string_view suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// The live segment set as committed on disk. Format (text, one fact
+// per line, closed by a CRC32C of all preceding bytes -- see
+// docs/FORMATS.md):
+//
+//   kav-store-manifest v1
+//   next <next segment number>
+//   seg <number>            -- one per live segment, in REPLAY order
+//   crc32c <8 hex digits>
+struct ManifestData {
+  std::vector<std::uint64_t> numbers;  // replay order
+  std::uint64_t next = 1;
+};
+
+// nullopt when the manifest does not exist (a legacy or fresh
+// directory); throws on any structural or checksum problem -- the
+// manifest is tiny and replaced atomically, so a damaged one means
+// real corruption, and guessing the live set would defeat its point.
+std::optional<ManifestData> read_manifest(const std::filesystem::path& path) {
+  if (!std::filesystem::exists(path)) return std::nullopt;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("trace store: cannot open manifest " +
+                             path.string());
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const auto fail = [&](const std::string& what) {
+    throw std::runtime_error("trace store: corrupt manifest " + path.string() +
+                             ": " + what);
+  };
+  if (text.empty() || text.back() != '\n') {
+    fail("truncated (no trailing newline)");
+  }
+  // The last line carries the checksum of everything before it.
+  std::size_t crc_begin = text.find_last_of('\n', text.size() - 2);
+  crc_begin = crc_begin == std::string::npos ? 0 : crc_begin + 1;
+  const std::string_view crc_line(text.data() + crc_begin,
+                                  text.size() - crc_begin);
+  constexpr std::string_view kCrcPrefix = "crc32c ";
+  if (crc_line.size() != kCrcPrefix.size() + 8 + 1 ||
+      crc_line.substr(0, kCrcPrefix.size()) != kCrcPrefix) {
+    fail("missing checksum line");
+  }
+  std::uint32_t stored = 0;
+  const char* hex_begin = crc_line.data() + kCrcPrefix.size();
+  const auto [ptr, ec] = std::from_chars(hex_begin, hex_begin + 8, stored, 16);
+  if (ec != std::errc{} || ptr != hex_begin + 8) fail("bad checksum digits");
+  const std::uint32_t computed = crc::crc32c(text.data(), crc_begin);
+  if (stored != computed) fail("checksum mismatch");
+
+  std::istringstream lines(text.substr(0, crc_begin));
+  std::string line;
+  if (!std::getline(lines, line) || line != kManifestHeader) {
+    fail("bad header line");
+  }
+  ManifestData data;
+  if (!std::getline(lines, line) || line.rfind("next ", 0) != 0) {
+    fail("missing next line");
+  }
+  const auto next = parse_decimal(std::string_view(line).substr(5));
+  if (!next.has_value()) fail("bad next line");
+  data.next = *next;
+  while (std::getline(lines, line)) {
+    if (line.rfind("seg ", 0) != 0) fail("bad segment line: " + line);
+    const auto number = parse_decimal(std::string_view(line).substr(4));
+    if (!number.has_value()) fail("bad segment line: " + line);
+    data.numbers.push_back(*number);
+  }
+  return data;
+}
+
 }  // namespace
+
+namespace store_detail {
+
+std::optional<std::uint64_t> parse_segment_number(const std::string& name) {
+  const std::string_view prefix = kSegmentPrefix;
+  const std::string_view suffix = kSegmentSuffix;
+  if (name.size() <= prefix.size() + suffix.size()) return std::nullopt;
+  if (name.compare(0, prefix.size(), prefix) != 0) return std::nullopt;
+  if (!ends_with(name, suffix)) return std::nullopt;
+  const std::string_view digits = std::string_view(name).substr(
+      prefix.size(), name.size() - prefix.size() - suffix.size());
+  return parse_decimal(digits);
+}
+
+std::optional<std::pair<std::size_t, std::size_t>> pick_fold_range(
+    const std::vector<std::uint64_t>& segment_records,
+    const CompactionOptions& options) {
+  const std::size_t fanout = std::max<std::size_t>(options.fanout, 2);
+  const std::uint64_t tier0 = std::max<std::uint64_t>(options.tier0_records, 1);
+  const auto tier_of = [&](std::uint64_t records) {
+    std::size_t tier = 0;
+    std::uint64_t cap = tier0;
+    while (records >= cap) {
+      ++tier;
+      if (cap > std::numeric_limits<std::uint64_t>::max() / fanout) break;
+      cap *= fanout;
+    }
+    return tier;
+  };
+  // Oldest-first scan for a run of >= fanout adjacent same-tier
+  // segments; the WHOLE run folds (a longer-than-fanout run can form
+  // while a fold is deferred behind appends).
+  std::size_t run_begin = 0;
+  for (std::size_t i = 1; i <= segment_records.size(); ++i) {
+    if (i == segment_records.size() ||
+        tier_of(segment_records[i]) != tier_of(segment_records[run_begin])) {
+      if (i - run_begin >= fanout) return std::make_pair(run_begin, i - run_begin);
+      run_begin = i;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace store_detail
 
 std::filesystem::path TraceStore::segment_path(std::uint64_t number) const {
   char name[32];
   std::snprintf(name, sizeof name, "%s%06llu%s", kSegmentPrefix,
                 static_cast<unsigned long long>(number), kSegmentSuffix);
   return directory_ / name;
+}
+
+std::filesystem::path TraceStore::manifest_path() const {
+  return directory_ / kManifestName;
 }
 
 TraceStore::TraceStore(std::filesystem::path directory)
@@ -79,28 +208,87 @@ TraceStore::TraceStore(std::filesystem::path directory)
                              directory_.string());
   }
   std::map<std::uint64_t, std::filesystem::path> found;
+  std::vector<std::filesystem::path> tmp_files;
   for (const auto& entry : std::filesystem::directory_iterator(directory_)) {
     if (!entry.is_regular_file()) continue;
-    const auto number = parse_segment_number(entry.path().filename().string());
+    const std::string name = entry.path().filename().string();
+    if (ends_with(name, kTmpSuffix)) {
+      // An interrupted segment write or manifest commit; the rename
+      // never happened, so the content was never live.
+      tmp_files.push_back(entry.path());
+      continue;
+    }
+    const auto number = store_detail::parse_segment_number(name);
     if (!number.has_value()) continue;
     found.emplace(*number, entry.path());
   }
-  for (const auto& [number, path] : found) {
+
+  const auto load = [&](const std::filesystem::path& path) {
     auto segment = std::make_shared<const MappedSegment>(path.string());
     if (!segment->indexed()) {
       throw std::runtime_error("trace store: segment is not indexed (v2): " +
                                path.string());
     }
-    segments_.push_back(std::move(segment));
-    numbers_.push_back(number);
-    next_number_ = std::max(next_number_, number + 1);
+    return segment;
+  };
+
+  const std::optional<ManifestData> manifest = read_manifest(manifest_path());
+  if (manifest.has_value()) {
+    // The manifest IS the live set: serve exactly its segments, in its
+    // (replay) order; everything else in the directory is a crash
+    // stranded between a segment rename and the manifest commit.
+    next_number_ = manifest->next;
+    for (const std::uint64_t number : manifest->numbers) {
+      const auto it = found.find(number);
+      if (it == found.end()) {
+        throw std::runtime_error(
+            "trace store: manifest names missing or duplicate segment " +
+            segment_path(number).filename().string() + " in " +
+            directory_.string());
+      }
+      segments_.push_back(load(it->second));
+      numbers_.push_back(number);
+      next_number_ = std::max(next_number_, number + 1);
+      found.erase(it);
+    }
+    for (const auto& [number, path] : found) {
+      std::error_code remove_ec;
+      std::filesystem::remove(path, remove_ec);  // orphan sweep, best effort
+    }
+  } else {
+    // Legacy or fresh directory: adopt every segment in number order
+    // and commit a manifest so the next open has one.
+    for (const auto& [number, path] : found) {
+      segments_.push_back(load(path));
+      numbers_.push_back(number);
+      next_number_ = std::max(next_number_, number + 1);
+    }
+    commit_manifest(numbers_, next_number_);
+  }
+  for (const auto& path : tmp_files) {
+    std::error_code remove_ec;
+    std::filesystem::remove(path, remove_ec);  // best effort
   }
 }
 
+TraceStore::~TraceStore() { disable_background_compaction(); }
+
+std::vector<std::shared_ptr<const MappedSegment>> TraceStore::snapshot()
+    const {
+  std::shared_lock<std::shared_mutex> lock(segments_mutex_);
+  return segments_;
+}
+
+std::size_t TraceStore::segment_count() const {
+  std::shared_lock<std::shared_mutex> lock(segments_mutex_);
+  return segments_.size();
+}
+
 std::vector<SegmentInfo> TraceStore::segments() const {
+  const auto segments = snapshot();
   std::vector<SegmentInfo> out;
-  out.reserve(segments_.size());
-  for (const auto& segment : segments_) {
+  out.reserve(segments.size());
+  for (const auto& segment : segments) {
     SegmentInfo info;
     info.path = segment->path();
     info.records = segment->total_records();
@@ -114,80 +302,168 @@ std::vector<SegmentInfo> TraceStore::segments() const {
 
 std::uint64_t TraceStore::total_records() const {
   std::uint64_t records = 0;
-  for (const auto& segment : segments_) records += segment->total_records();
+  for (const auto& segment : snapshot()) records += segment->total_records();
   return records;
 }
 
-template <typename Feed>
-std::shared_ptr<const MappedSegment> TraceStore::write_segment(
-    std::uint64_t number, std::size_t records_per_block, Feed&& feed) {
-  const std::filesystem::path final_path = segment_path(number);
-  const std::filesystem::path tmp_path =
-      final_path.string() + ".tmp";
+void TraceStore::commit_manifest(const std::vector<std::uint64_t>& numbers,
+                                 std::uint64_t next) const {
+  std::string text = kManifestHeader;
+  text += "\nnext " + std::to_string(next) + "\n";
+  for (const std::uint64_t number : numbers) {
+    text += "seg " + std::to_string(number) + "\n";
+  }
+  char crc_line[24];
+  std::snprintf(crc_line, sizeof crc_line, "crc32c %08x\n",
+                crc::crc32c(text.data(), text.size()));
+  text += crc_line;
+
+  const std::filesystem::path final_path = manifest_path();
+  const std::filesystem::path tmp_path(final_path.string() + kTmpSuffix);
   {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     if (!out) {
       throw std::runtime_error("trace store: cannot create " +
                                tmp_path.string());
     }
-    SegmentWriterOptions options;
-    options.records_per_block = records_per_block;
-    SegmentWriter writer(out, options);
-    feed(writer);
-    writer.finish();
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    out.flush();
     if (!out) {
       throw std::runtime_error("trace store: error writing " +
                                tmp_path.string());
     }
   }
+  store_detail::fault_point(store_detail::kFaultManifestAfterTmpWrite);
   sync_path(tmp_path);
   std::error_code ec;
   std::filesystem::rename(tmp_path, final_path, ec);
   if (ec) {
-    throw std::runtime_error("trace store: cannot rename " +
-                             tmp_path.string() + " to " + final_path.string());
+    std::error_code remove_ec;
+    std::filesystem::remove(tmp_path, remove_ec);
+    throw std::runtime_error("trace store: cannot rename " + tmp_path.string() +
+                             " to " + final_path.string());
   }
+  store_detail::fault_point(store_detail::kFaultManifestAfterRename);
   sync_path(directory_);
-  auto segment = std::make_shared<const MappedSegment>(final_path.string());
-  if (!segment->indexed()) {
-    throw std::runtime_error("trace store: freshly written segment has no "
-                             "index: " +
-                             final_path.string());
+}
+
+template <typename Feed>
+std::shared_ptr<const MappedSegment> TraceStore::write_segment(
+    std::uint64_t number, std::size_t records_per_block, Feed&& feed) {
+  const std::filesystem::path final_path = segment_path(number);
+  const std::filesystem::path tmp_path(final_path.string() + kTmpSuffix);
+  bool renamed = false;
+  try {
+    {
+      std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        throw std::runtime_error("trace store: cannot create " +
+                                 tmp_path.string());
+      }
+      SegmentWriterOptions options;
+      options.records_per_block = records_per_block;
+      SegmentWriter writer(out, options);
+      feed(writer);
+      store_detail::fault_point(store_detail::kFaultSegmentBeforeFinish);
+      writer.finish();
+      if (!out) {
+        throw std::runtime_error("trace store: error writing " +
+                                 tmp_path.string());
+      }
+    }
+    store_detail::fault_point(store_detail::kFaultSegmentAfterTmpWrite);
+    sync_path(tmp_path);
+    store_detail::fault_point(store_detail::kFaultSegmentAfterTmpSync);
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, final_path, ec);
+    if (ec) {
+      throw std::runtime_error("trace store: cannot rename " +
+                               tmp_path.string() + " to " +
+                               final_path.string());
+    }
+    renamed = true;
+    store_detail::fault_point(store_detail::kFaultSegmentAfterRename);
+    sync_path(directory_);
+    auto segment = std::make_shared<const MappedSegment>(final_path.string());
+    if (!segment->indexed()) {
+      throw std::runtime_error(
+          "trace store: freshly written segment has no index: " +
+          final_path.string());
+    }
+    return segment;
+  } catch (...) {
+    // The segment was never committed (the manifest does not name it):
+    // leave nothing behind and burn no number -- the caller advances
+    // next_number_ only on success.
+    std::error_code ignore;
+    std::filesystem::remove(tmp_path, ignore);
+    if (renamed) std::filesystem::remove(final_path, ignore);
+    throw;
   }
-  return segment;
+}
+
+template <typename Feed>
+std::filesystem::path TraceStore::append_segment_locked(
+    std::size_t records_per_block, Feed&& feed) {
+  const std::uint64_t number = next_number_;
+  auto segment =
+      write_segment(number, records_per_block, std::forward<Feed>(feed));
+  const std::filesystem::path path(segment->path());
+
+  std::vector<std::uint64_t> numbers = numbers_;
+  numbers.push_back(number);
+  store_detail::fault_point(store_detail::kFaultAppendBeforeManifest);
+  try {
+    commit_manifest(numbers, number + 1);
+  } catch (...) {
+    // Not committed: remove the renamed-but-unlisted segment so a
+    // failed append is a perfect no-op.
+    segment.reset();
+    std::error_code ignore;
+    std::filesystem::remove(path, ignore);
+    throw;
+  }
+  next_number_ = number + 1;
+  {
+    std::unique_lock<std::shared_mutex> lock(segments_mutex_);
+    segments_.push_back(std::move(segment));
+    numbers_ = std::move(numbers);
+  }
+  return path;
 }
 
 std::filesystem::path TraceStore::append(const KeyedTrace& trace,
                                          std::size_t records_per_block) {
-  const std::uint64_t number = next_number_++;
-  auto segment = write_segment(number, records_per_block,
-                               [&](SegmentWriter& writer) {
-                                 writer.add(trace);
-                               });
-  const std::filesystem::path path(segment->path());
-  segments_.push_back(std::move(segment));
-  numbers_.push_back(number);
+  std::filesystem::path path;
+  {
+    std::lock_guard<std::mutex> writer(writer_mutex_);
+    path = append_segment_locked(
+        records_per_block, [&](SegmentWriter& writer) { writer.add(trace); });
+  }
+  maybe_schedule_maintenance();
   return path;
 }
 
 std::filesystem::path TraceStore::import_file(const std::string& path,
                                               std::size_t records_per_block) {
-  const std::uint64_t number = next_number_++;
-  auto segment = write_segment(
-      number, records_per_block, [&](SegmentWriter& writer) {
-        const std::unique_ptr<TraceSource> source = open_trace_source(path);
-        KeyedOperation kop;
-        while (source->next(kop)) writer.add(kop.key, kop.op);
-      });
-  const std::filesystem::path segment_file(segment->path());
-  segments_.push_back(std::move(segment));
-  numbers_.push_back(number);
+  std::filesystem::path segment_file;
+  {
+    std::lock_guard<std::mutex> writer(writer_mutex_);
+    segment_file =
+        append_segment_locked(records_per_block, [&](SegmentWriter& writer) {
+          const std::unique_ptr<TraceSource> source = open_trace_source(path);
+          KeyedOperation kop;
+          while (source->next(kop)) writer.add(kop.key, kop.op);
+        });
+  }
+  maybe_schedule_maintenance();
   return segment_file;
 }
 
 std::vector<std::string> TraceStore::keys() const {
   std::set<std::string_view> merged;
-  for (const auto& segment : segments_) {
+  const auto segments = snapshot();
+  for (const auto& segment : segments) {
     merged.insert(segment->keys().begin(), segment->keys().end());
   }
   return {merged.begin(), merged.end()};
@@ -195,7 +471,7 @@ std::vector<std::string> TraceStore::keys() const {
 
 std::map<std::string, KeyStat> TraceStore::key_stats() const {
   std::map<std::string, KeyStat> merged;
-  for (const auto& segment : segments_) {
+  for (const auto& segment : snapshot()) {
     for (const std::string_view key : segment->keys()) {
       const KeyStat* s = segment->stat(key);
       auto [it, inserted] = merged.try_emplace(std::string(key), *s);
@@ -210,36 +486,51 @@ std::map<std::string, KeyStat> TraceStore::key_stats() const {
   return merged;
 }
 
-KeyStat TraceStore::stat(const std::string& key) const {
-  KeyStat merged;
-  for (const auto& segment : segments_) {
+std::optional<KeyStat> TraceStore::stat(const std::string& key) const {
+  const BloomProbe probe = bloom_probe(key);
+  std::optional<KeyStat> merged;
+  for (const auto& segment : snapshot()) {
+    if (!segment->maybe_contains(probe)) continue;  // definitively absent
     const KeyStat* s = segment->stat(key);
-    if (s == nullptr) continue;
-    if (merged.records == 0) {
-      merged.min_start = s->min_start;
-      merged.max_finish = s->max_finish;
-    } else {
-      merged.min_start = std::min(merged.min_start, s->min_start);
-      merged.max_finish = std::max(merged.max_finish, s->max_finish);
+    if (s == nullptr) continue;  // bloom false positive
+    if (!merged.has_value()) {
+      merged = *s;
+      continue;
     }
-    merged.records += s->records;
-    merged.blocks += s->blocks;
+    merged->min_start = std::min(merged->min_start, s->min_start);
+    merged->max_finish = std::max(merged->max_finish, s->max_finish);
+    merged->records += s->records;
+    merged->blocks += s->blocks;
   }
   return merged;
 }
 
 bool TraceStore::contains(const std::string& key) const {
-  for (const auto& segment : segments_) {
+  const BloomProbe probe = bloom_probe(key);
+  for (const auto& segment : snapshot()) {
+    if (!segment->maybe_contains(probe)) continue;
     if (segment->contains(key)) return true;
   }
   return false;
 }
 
 History TraceStore::read_key(const std::string& key) const {
+  const BloomProbe probe = bloom_probe(key);
+  const auto segments = snapshot();
+  // First pass over the indexes: which segments really hold the key,
+  // and how many records to reserve.
+  std::vector<const MappedSegment*> holders;
+  std::uint64_t expected = 0;
+  for (const auto& segment : segments) {
+    if (!segment->maybe_contains(probe)) continue;
+    const KeyStat* s = segment->stat(key);
+    if (s == nullptr) continue;
+    holders.push_back(segment.get());
+    expected += s->records;
+  }
   std::vector<Operation> ops;
-  ops.reserve(static_cast<std::size_t>(stat(key).records));
-  for (const auto& segment : segments_) {
-    if (!segment->contains(key)) continue;
+  ops.reserve(static_cast<std::size_t>(expected));
+  for (const MappedSegment* segment : holders) {
     std::vector<Operation> part = segment->read_key(key);
     ops.insert(ops.end(), part.begin(), part.end());
   }
@@ -248,79 +539,212 @@ History TraceStore::read_key(const std::string& key) const {
 
 std::unique_ptr<IndexedTraceSource> TraceStore::open_source() const {
   return std::make_unique<IndexedTraceSource>(
-      segments_, "store:" + directory_.string());
+      snapshot(), "store:" + directory_.string());
 }
 
 std::size_t TraceStore::compact(std::size_t first_n,
                                 std::size_t records_per_block) {
-  if (first_n == 0 || first_n > segments_.size()) first_n = segments_.size();
-  if (first_n < 2) return segments_.size();
+  std::lock_guard<std::mutex> writer(writer_mutex_);
+  const std::size_t count = segments_.size();
+  if (first_n == 0 || first_n > count) first_n = count;
+  if (first_n < 2) return count;
+  fold_range_locked(0, first_n, records_per_block);
+  return segments_.size();
+}
 
-  // The folded segment takes the first victim's number so replay order
-  // (segment-number order) is unchanged for the segments that remain.
-  const std::uint64_t number = numbers_.front();
+void TraceStore::fold_range_locked(std::size_t begin, std::size_t count,
+                                   std::size_t records_per_block) {
   std::vector<std::shared_ptr<const MappedSegment>> victims(
-      segments_.begin(),
-      segments_.begin() + static_cast<std::ptrdiff_t>(first_n));
+      segments_.begin() + static_cast<std::ptrdiff_t>(begin),
+      segments_.begin() + static_cast<std::ptrdiff_t>(begin + count));
 
-  const std::filesystem::path final_path = segment_path(number);
-  const std::filesystem::path tmp_path = final_path.string() + ".tmp";
+  // The folded segment gets a NEW number and its replay position comes
+  // from the manifest, so at no instant do the fold and its victims
+  // both belong to the live set -- the double-replay window of the old
+  // rename-over-victim scheme cannot exist.
+  const std::uint64_t number = next_number_;
+  store_detail::fault_point(store_detail::kFaultCompactBeforeFold);
+  auto folded =
+      write_segment(number, records_per_block, [&](SegmentWriter& writer) {
+        // Stream segment by segment in replay order; O(block) memory.
+        for (const auto& victim : victims) {
+          MappedSegment::Cursor cursor = victim->cursor();
+          std::string_view key;
+          Operation op;
+          while (cursor.next(key, op)) writer.add(key, op);
+        }
+      });
+
+  std::vector<std::uint64_t> numbers;
+  numbers.reserve(numbers_.size() - count + 1);
+  numbers.insert(numbers.end(), numbers_.begin(),
+                 numbers_.begin() + static_cast<std::ptrdiff_t>(begin));
+  numbers.push_back(number);
+  numbers.insert(numbers.end(),
+                 numbers_.begin() + static_cast<std::ptrdiff_t>(begin + count),
+                 numbers_.end());
+
+  // The manifest rename is the commit point: before it, reopen serves
+  // the victims and sweeps the fold; after it, the fold replaces them
+  // and any not-yet-unlinked victim is the orphan.
+  store_detail::fault_point(store_detail::kFaultCompactBeforeManifest);
+  try {
+    commit_manifest(numbers, number + 1);
+  } catch (...) {
+    folded.reset();
+    std::error_code ignore;
+    std::filesystem::remove(segment_path(number), ignore);
+    throw;
+  }
+  store_detail::fault_point(store_detail::kFaultCompactAfterManifest);
+  next_number_ = number + 1;
   {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw std::runtime_error("trace store: cannot create " +
-                               tmp_path.string());
-    }
-    SegmentWriterOptions options;
-    options.records_per_block = records_per_block;
-    SegmentWriter writer(out, options);
-    // Stream segment by segment in replay order; O(block) memory.
-    for (const auto& victim : victims) {
-      MappedSegment::Cursor cursor = victim->cursor();
-      std::string_view key;
-      Operation op;
-      while (cursor.next(key, op)) writer.add(key, op);
-    }
-    writer.finish();
-    if (!out) {
-      throw std::runtime_error("trace store: error writing " +
-                               tmp_path.string());
-    }
+    std::unique_lock<std::shared_mutex> lock(segments_mutex_);
+    segments_.erase(
+        segments_.begin() + static_cast<std::ptrdiff_t>(begin),
+        segments_.begin() + static_cast<std::ptrdiff_t>(begin + count));
+    segments_.insert(segments_.begin() + static_cast<std::ptrdiff_t>(begin),
+                     std::move(folded));
+    numbers_ = std::move(numbers);
   }
-
-  // Commit order matters for failure containment: rename FIRST
-  // (atomically replacing the first victim's file -- its mapping stays
-  // valid, mappings outlive unlink/replace on POSIX), and only then
-  // remove the other victims. A failed rename therefore throws with
-  // every original segment still on disk and still served; only the
-  // crash window between the rename and the last remove can leave
-  // stale (never wrong) extra segments behind.
-  sync_path(tmp_path);
-  std::error_code ec;
-  std::filesystem::rename(tmp_path, final_path, ec);
-  if (ec) {
-    throw std::runtime_error("trace store: cannot rename " +
-                             tmp_path.string() + " to " + final_path.string());
-  }
-  sync_path(directory_);
-  auto folded = std::make_shared<const MappedSegment>(final_path.string());
-
-  segments_.erase(segments_.begin(),
-                  segments_.begin() + static_cast<std::ptrdiff_t>(first_n));
-  numbers_.erase(numbers_.begin(),
-                 numbers_.begin() + static_cast<std::ptrdiff_t>(first_n));
   std::vector<std::filesystem::path> victim_paths;
   victim_paths.reserve(victims.size());
   for (const auto& victim : victims) victim_paths.emplace_back(victim->path());
   victims.clear();  // drop mappings before deleting the files
   for (const auto& path : victim_paths) {
-    if (path == final_path) continue;  // already replaced by the rename
+    store_detail::fault_point(store_detail::kFaultCompactMidUnlink);
     std::error_code remove_ec;
     std::filesystem::remove(path, remove_ec);  // best effort
   }
-  segments_.insert(segments_.begin(), std::move(folded));
-  numbers_.insert(numbers_.begin(), number);
-  return segments_.size();
+}
+
+std::size_t TraceStore::apply_retention_locked(std::uint64_t retain_bytes) {
+  std::uint64_t total = 0;
+  for (const auto& segment : segments_) total += segment->size_bytes();
+  std::size_t drop = 0;
+  while (drop + 1 < segments_.size() && total > retain_bytes) {
+    total -= segments_[drop]->size_bytes();
+    ++drop;
+  }
+  if (drop == 0) return 0;
+
+  std::vector<std::uint64_t> numbers(
+      numbers_.begin() + static_cast<std::ptrdiff_t>(drop), numbers_.end());
+  commit_manifest(numbers, next_number_);
+  std::vector<std::shared_ptr<const MappedSegment>> dropped(
+      segments_.begin(), segments_.begin() + static_cast<std::ptrdiff_t>(drop));
+  {
+    std::unique_lock<std::shared_mutex> lock(segments_mutex_);
+    segments_.erase(segments_.begin(),
+                    segments_.begin() + static_cast<std::ptrdiff_t>(drop));
+    numbers_ = std::move(numbers);
+  }
+  std::vector<std::filesystem::path> paths;
+  paths.reserve(dropped.size());
+  for (const auto& segment : dropped) paths.emplace_back(segment->path());
+  dropped.clear();
+  for (const auto& path : paths) {
+    std::error_code remove_ec;
+    std::filesystem::remove(path, remove_ec);  // best effort
+  }
+  return drop;
+}
+
+std::size_t TraceStore::run_maintenance(const CompactionOptions& options) {
+  std::size_t actions = 0;
+  for (;;) {
+    // Reacquired per fold so appends interleave with a long run.
+    std::lock_guard<std::mutex> writer(writer_mutex_);
+    std::vector<std::uint64_t> records;
+    records.reserve(segments_.size());
+    for (const auto& segment : segments_) {
+      records.push_back(segment->total_records());
+    }
+    const auto range = store_detail::pick_fold_range(records, options);
+    if (range.has_value()) {
+      fold_range_locked(range->first, range->second,
+                        std::max<std::size_t>(options.records_per_block, 1));
+      ++actions;
+      continue;
+    }
+    if (options.retain_bytes > 0) {
+      actions += apply_retention_locked(options.retain_bytes);
+    }
+    return actions;
+  }
+}
+
+FsckReport TraceStore::fsck() const {
+  FsckReport report;
+  for (const auto& segment : snapshot()) {
+    ++report.segments;
+    report.blocks += segment->block_count();
+    if (!segment->has_integrity()) ++report.segments_without_integrity;
+    report.records += segment->verify_integrity(report.errors);
+  }
+  return report;
+}
+
+void TraceStore::enable_background_compaction(pipeline::ThreadPool& pool,
+                                              CompactionOptions options) {
+  std::lock_guard<std::mutex> lock(bg_mutex_);
+  bg_pool_ = &pool;
+  bg_options_ = options;
+  bg_enabled_ = true;
+  schedule_maintenance_locked();
+}
+
+void TraceStore::disable_background_compaction() {
+  std::unique_lock<std::mutex> lock(bg_mutex_);
+  bg_enabled_ = false;
+  bg_cv_.wait(lock, [this] { return !bg_running_; });
+  bg_pool_ = nullptr;
+}
+
+std::string TraceStore::last_maintenance_error() const {
+  std::lock_guard<std::mutex> lock(bg_mutex_);
+  return last_maintenance_error_;
+}
+
+void TraceStore::maybe_schedule_maintenance() {
+  std::lock_guard<std::mutex> lock(bg_mutex_);
+  schedule_maintenance_locked();
+}
+
+void TraceStore::schedule_maintenance_locked() {
+  if (!bg_enabled_ || bg_running_ || bg_pool_ == nullptr) return;
+  bg_running_ = true;
+  try {
+    // The returned future is dropped on purpose: the pool stores task
+    // exceptions rather than terminating, and maintenance_task catches
+    // everything anyway (failures land in last_maintenance_error_).
+    bg_pool_->submit([this] { maintenance_task(); });
+  } catch (...) {
+    // Pool already shut down: background compaction silently stops
+    // (the store still works, callers can compact synchronously).
+    bg_running_ = false;
+    bg_cv_.notify_all();
+  }
+}
+
+void TraceStore::maintenance_task() {
+  CompactionOptions options;
+  {
+    std::lock_guard<std::mutex> lock(bg_mutex_);
+    options = bg_options_;
+  }
+  std::string error;
+  try {
+    run_maintenance(options);
+  } catch (const std::exception& e) {
+    error = e.what();
+  } catch (...) {
+    error = "unknown maintenance error";
+  }
+  std::lock_guard<std::mutex> lock(bg_mutex_);
+  if (!error.empty()) last_maintenance_error_ = error;
+  bg_running_ = false;
+  bg_cv_.notify_all();
 }
 
 }  // namespace kav

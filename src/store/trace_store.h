@@ -1,44 +1,59 @@
 // TraceStore: a persistent repository of trace segments -- the
 // out-of-core answer to "audit a multi-gigabyte trace without loading
-// it". A store is a directory of numbered, indexed .kavb v2 segment
-// files (seg-000001.kavb, seg-000002.kavb, ...); every batch of
-// operations appended becomes one immutable segment written via
-// SegmentWriter, and every read goes through mmap-backed
-// MappedSegments, so the store's memory footprint is O(keys + blocks)
-// regardless of how many operations are on disk.
+// it". A store is a directory of numbered, indexed .kavb v2.1 segment
+// files (seg-000001.kavb, seg-000002.kavb, ...) plus a MANIFEST
+// naming the live segment set; every batch of operations appended
+// becomes one immutable segment written via SegmentWriter, and every
+// read goes through mmap-backed MappedSegments, so the store's memory
+// footprint is O(keys + blocks) regardless of how many operations are
+// on disk.
 //
-// Replay order is segment-number order; within a segment the stream
+// Replay order is MANIFEST order (for freshly appended segments that
+// is also number order; a compaction's folded segment keeps its
+// victims' position under a new number). Within a segment the stream
 // order is block order (key-grouped), with every key's own operation
 // sequence preserved exactly -- so PER-KEY replay equals append order
 // end to end (the only order verification depends on; see
 // docs/FORMATS.md on v2 stream order), while cross-key interleaving
-// is not reproduced. compact() folds the N oldest segments into one
-// (re-blocked, freshly indexed) segment that takes the first folded
-// segment's number, so that ordering contract is preserved and
-// per-key reads touch fewer, larger blocks afterwards.
+// is not reproduced.
 //
-// open_source() serves the whole store as one IndexedTraceSource:
-// sequential streaming for monitors, per-key selective loads for
-// kav::Engine's RunOptions::key_filter.
+// Durability: every mutation commits by atomic rename. A segment is
+// born as seg-N.kavb.tmp, fsynced, renamed; the mutation then commits
+// by writing a new MANIFEST (write MANIFEST.tmp + fsync + rename +
+// directory fsync). Reopen serves exactly the manifest's segments and
+// sweeps everything else (*.tmp leftovers, segments a crash stranded
+// between rename and manifest commit), so a crash at ANY step leaves
+// the store bit-identical to either the before or the after state --
+// in particular compact() can no longer double-replay its victims
+// (tests/store_crash_test.cpp proves every window). A directory
+// without a MANIFEST (created by an older build) adopts every
+// seg-*.kavb in number order and writes one.
 //
-// Concurrency: const methods are safe to call concurrently (they read
-// immutable mappings); append/import/compact are not -- one writer at
-// a time, external to this class. Compaction survives ordinary
-// failures (a failed write or rename throws with every original
-// segment intact and still served) but is not crash-atomic: the
-// folded segment is renamed over the first victim before the other
-// victims are removed, so a crash inside that window leaves
-// already-folded data also present under its original seg-*.kavb
-// names -- recover by deleting those stale files (the folded segment
-// supersedes them) before reopening the store.
+// Integrity: segments carry the v2.1 CRC + bloom pages; reads verify
+// block checksums transparently, cross-segment stat/contains/read_key
+// skip segments whose bloom filter rules the key out, and fsck()
+// re-verifies every byte on demand.
+//
+// Concurrency: const methods are safe to call concurrently with each
+// other AND with writers (they serve an immutable snapshot of the
+// segment set). Writers (append/import_file/compact/run_maintenance)
+// serialize on an internal mutex. Background compaction, when
+// enabled, runs run_maintenance() on a borrowed ThreadPool after each
+// append; disable_background_compaction() (or the destructor)
+// quiesces it -- destroy the store before the pool.
 #ifndef KAV_STORE_TRACE_STORE_H
 #define KAV_STORE_TRACE_STORE_H
 
+#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "history/history.h"
@@ -49,6 +64,10 @@
 
 namespace kav {
 
+namespace pipeline {
+class ThreadPool;
+}
+
 struct SegmentInfo {
   std::filesystem::path path;
   std::uint64_t records = 0;
@@ -57,18 +76,74 @@ struct SegmentInfo {
   std::uint64_t bytes = 0;
 };
 
+// Policy for run_maintenance() / background compaction. Segments are
+// binned into size tiers (tier t holds [tier0_records * fanout^t,
+// tier0_records * fanout^(t+1)) records); when `fanout` adjacent
+// segments share a tier, they fold into one segment of the next tier
+// -- the classic tiered-LSM shape: every record is rewritten O(log
+// total / log fanout) times, and segment counts stay logarithmic in
+// data size.
+struct CompactionOptions {
+  std::size_t fanout = 4;          // segments per tier that trigger a fold
+  std::size_t records_per_block = 4096;  // re-blocking granularity of folds
+  std::uint64_t tier0_records = 1 << 16;  // tier-0 upper bound (records)
+  // Retention cap in bytes; 0 = unlimited. When the store exceeds it
+  // after folding, the OLDEST segments are dropped (never below one
+  // segment). This deletes data -- it is for bounded-disk monitoring
+  // deployments, not archival stores.
+  std::uint64_t retain_bytes = 0;
+};
+
+// What fsck() found. `errors` is human-readable, one line per
+// problem; an empty list means every block of every segment
+// structurally validated, checksummed (v2.1), and decoded cleanly.
+struct FsckReport {
+  std::size_t segments = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t records = 0;  // records that decoded cleanly
+  // Legacy 'KAVI' segments: readable, served, but carrying no CRC or
+  // bloom pages to check (compaction rewrites them as v2.1).
+  std::size_t segments_without_integrity = 0;
+  std::vector<std::string> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+namespace store_detail {
+
+// seg-000001.kavb -> 1; nullopt for anything else, INCLUDING digit
+// strings that overflow uint64 (silent wrapping would let two
+// distinct filenames collide to one segment number).
+std::optional<std::uint64_t> parse_segment_number(const std::string& name);
+
+// The tiered-compaction policy, pure and separately testable: given
+// the live segments' record counts in replay order, returns the
+// (first index, count) of the oldest run of >= fanout adjacent
+// same-tier segments, or nullopt when nothing should fold. Only
+// ADJACENT runs are ever folded -- folding non-adjacent segments
+// would splice their keys' replay order.
+std::optional<std::pair<std::size_t, std::size_t>> pick_fold_range(
+    const std::vector<std::uint64_t>& segment_records,
+    const CompactionOptions& options);
+
+}  // namespace store_detail
+
 class TraceStore {
  public:
-  // Opens (creating the directory if needed) and maps every
-  // seg-*.kavb segment. Throws std::runtime_error when the directory
-  // cannot be created or a segment is corrupt or unindexed.
+  // Opens (creating the directory if needed), recovers to the
+  // MANIFEST's segment set (sweeping *.tmp leftovers and segments a
+  // crash stranded outside the manifest), and maps every live
+  // segment. Throws std::runtime_error when the directory cannot be
+  // created, the manifest is corrupt or names a missing segment, or a
+  // live segment is corrupt or unindexed.
   explicit TraceStore(std::filesystem::path directory);
+  // Quiesces background compaction (waits for an in-flight pass).
+  ~TraceStore();
 
   TraceStore(const TraceStore&) = delete;
   TraceStore& operator=(const TraceStore&) = delete;
 
   const std::filesystem::path& directory() const { return directory_; }
-  std::size_t segment_count() const { return segments_.size(); }
+  std::size_t segment_count() const;
   std::vector<SegmentInfo> segments() const;
   std::uint64_t total_records() const;
 
@@ -82,11 +157,13 @@ class TraceStore {
                                     std::size_t records_per_block = 4096);
 
   // Key listing/statting across all segments, straight from the
-  // indexes (no record decoding). keys() is sorted.
+  // indexes (no record decoding). keys() is sorted. stat/contains
+  // consult each segment's bloom filter first, so a key that is
+  // absent (or held by few segments) costs k bit-probes per segment,
+  // not a key-table lookup per segment.
   std::vector<std::string> keys() const;
   std::map<std::string, KeyStat> key_stats() const;
-  // Aggregate stat; records == 0 when the key is absent.
-  KeyStat stat(const std::string& key) const;
+  std::optional<KeyStat> stat(const std::string& key) const;
   bool contains(const std::string& key) const;
 
   // One key's operations across all segments, in replay order.
@@ -94,29 +171,108 @@ class TraceStore {
 
   // The whole store as one source (sequential + selective). The source
   // holds shared mappings, so it stays valid across later append()s
-  // (it serves the segments that existed when it was opened).
+  // and compactions (it serves the segments that existed when it was
+  // opened).
   std::unique_ptr<IndexedTraceSource> open_source() const;
 
   // Folds the `first_n` oldest segments (0 = all) into one indexed
   // segment, re-blocked at records_per_block. No-op when fewer than
   // two segments would fold. Returns the segment count afterwards.
+  // Crash-atomic: the fold commits via the MANIFEST rename; a crash
+  // at any step reopens as either all victims or only the folded
+  // segment, never both.
   std::size_t compact(std::size_t first_n = 0,
                       std::size_t records_per_block = 4096);
 
+  // One synchronous maintenance pass: tiered folds per `options`
+  // (pick_fold_range) until none applies, then retention. Returns the
+  // number of folds + retention drops performed. This is exactly what
+  // the background task runs; callers without a pool can drive it
+  // directly.
+  std::size_t run_maintenance(const CompactionOptions& options = {});
+
+  // Re-verifies every live segment: footer structure, per-block
+  // CRC32C, every record decode, bloom self-check. Read-only and
+  // safe concurrently with everything else.
+  FsckReport fsck() const;
+
+  // Schedules run_maintenance(options) on `pool` after every append/
+  // import (one pass in flight at a time). The pool is borrowed: it
+  // must outlive the store (or a disable_background_compaction()
+  // call). Replaces any earlier enable's pool/options.
+  void enable_background_compaction(pipeline::ThreadPool& pool,
+                                    CompactionOptions options = {});
+  // Quiesce: no new passes are scheduled, and any in-flight pass has
+  // finished when this returns. Idempotent.
+  void disable_background_compaction();
+  // Last error a background pass swallowed ("" when none): background
+  // maintenance must not crash the process, so failures land here.
+  std::string last_maintenance_error() const;
+
  private:
   std::filesystem::path segment_path(std::uint64_t number) const;
+  std::filesystem::path manifest_path() const;
+
+  // Reader-side view of the live segment set. Cheap (shared_ptr
+  // copies) and immutable once taken.
+  std::vector<std::shared_ptr<const MappedSegment>> snapshot() const;
+
   // Writes a segment file at `number` from `feed(writer)`, maps it,
   // and returns the mapping. The file is written under a .tmp name,
   // fsynced (POSIX; best effort), renamed into place, and the
-  // directory is fsynced so the name survives a crash.
+  // directory is fsynced. On any failure the .tmp (and, past the
+  // rename, the final file) is unlinked before the exception leaves
+  // -- nothing to leak, no segment number burned (the caller only
+  // advances next_number_ on success).
   template <typename Feed>
   std::shared_ptr<const MappedSegment> write_segment(
       std::uint64_t number, std::size_t records_per_block, Feed&& feed);
 
+  // Atomically replaces the MANIFEST with one naming `numbers` (in
+  // replay order) and `next`. This rename IS the commit point of
+  // every mutation.
+  void commit_manifest(const std::vector<std::uint64_t>& numbers,
+                       std::uint64_t next) const;
+
+  // Shared append path; writer_mutex_ held.
+  template <typename Feed>
+  std::filesystem::path append_segment_locked(std::size_t records_per_block,
+                                              Feed&& feed);
+  // Folds segments_[begin, begin+count) into one new segment;
+  // writer_mutex_ held, count >= 2.
+  void fold_range_locked(std::size_t begin, std::size_t count,
+                         std::size_t records_per_block);
+  // Drops oldest segments while over `retain_bytes` (keeps >= 1);
+  // writer_mutex_ held. Returns segments dropped.
+  std::size_t apply_retention_locked(std::uint64_t retain_bytes);
+
+  void maybe_schedule_maintenance();
+  void schedule_maintenance_locked();  // bg_mutex_ held
+  void maintenance_task();
+
   std::filesystem::path directory_;
-  std::vector<std::shared_ptr<const MappedSegment>> segments_;  // number order
+
+  // Writer serialization: append/import/compact/maintenance hold this
+  // for their full duration (fold passes reacquire per fold so
+  // appends interleave with a long compaction run).
+  std::mutex writer_mutex_;
+  // Guards the in-memory segment set for the reader snapshot;
+  // writers swap under the exclusive side, readers copy under the
+  // shared side. Only writers (serialized above) ever modify.
+  mutable std::shared_mutex segments_mutex_;
+  std::vector<std::shared_ptr<const MappedSegment>> segments_;  // replay order
   std::vector<std::uint64_t> numbers_;  // parallel to segments_
-  std::uint64_t next_number_ = 1;
+  std::uint64_t next_number_ = 1;       // writer_mutex_ holder only
+
+  // Background compaction accounting (quiesce mirrors the keyed
+  // monitor's drain: flag off, wait for running to clear).
+  mutable std::mutex bg_mutex_;
+  std::condition_variable bg_cv_;
+  bool bg_enabled_ = false;
+  bool bg_running_ = false;
+  pipeline::ThreadPool* bg_pool_ = nullptr;
+  CompactionOptions bg_options_;
+  std::string last_maintenance_error_;
 };
 
 }  // namespace kav

@@ -258,8 +258,12 @@ TEST(StoreFuzz, AllFormatsAndSelectiveRunsAgree) {
       expect_reports_equal(from_memory, want, "selective memory");
     }
 
-    // Compaction changes the file layout, never the verdicts.
+    // Compaction changes the file layout, never the verdicts -- and
+    // every byte it writes must survive a full integrity re-scan.
     store.compact(0, 1 + rng.bounded(9));
+    const FsckReport fsck = store.fsck();
+    ASSERT_TRUE(fsck.ok()) << fsck.errors.front();
+    ASSERT_EQ(fsck.records, store.total_records());
     expect_reports_equal(engine.verify(*store.open_source()), full_memory,
                          "full compacted store");
     if (!shards.per_key.empty()) {
