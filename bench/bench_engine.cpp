@@ -214,6 +214,81 @@ void verify_from_file_legacy(benchmark::State& state) {
 }
 BENCHMARK(verify_from_file_legacy)->UseRealTime()->Unit(benchmark::kMillisecond);
 
+// --- Observability overhead (the run_bench.sh guardrail pair) ---------------
+//
+// The always-on obs layer's whole bargain is "one relaxed atomic on hot
+// paths, a bool load when disabled". This pair prices it on the most
+// instrumented end-to-end path there is -- selective verification of
+// every key of a 1M-op indexed segment (index-driven lazy decode +
+// verify per shard: shard timers, decode timers, kav_verify_* counter
+// folds, run lifecycle) -- once with the injected registry enabled and
+// once with it disabled, which is byte-for-byte what KAV_NO_METRICS
+// does at registry construction. bench/run_bench.sh --smoke fails CI
+// when the enabled side exceeds the disabled side by more than 2%
+// (min over interleaved repetitions, the low-noise estimator).
+
+std::size_t selective_ops() {
+  if (const char* env = std::getenv("KAV_BENCH_OPS")) {
+    const long long parsed = std::atoll(env);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 1'000'000;
+}
+
+struct SelectiveFixture {
+  std::string path;
+  std::vector<std::string> keys;
+
+  SelectiveFixture() {
+    const KeyedTrace trace = make_trace(selective_ops(), 8);
+    for (int k = 0; k < 8; ++k) keys.push_back("key" + std::to_string(k));
+    path = std::filesystem::temp_directory_path().string() +
+           "/kav_bench_engine_selective.kavb";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    SegmentWriter writer(out);
+    writer.add(trace);
+    writer.finish();
+  }
+};
+
+const SelectiveFixture& selective_fixture() {
+  static const SelectiveFixture instance;
+  return instance;
+}
+
+void selective_verify_pair(benchmark::State& state, bool metrics_enabled) {
+  obs::MetricsRegistry registry;
+  registry.set_enabled(metrics_enabled);
+  EngineOptions options;
+  options.threads = 1;  // timer noise, not scheduling, is the subject
+  options.metrics = &registry;
+  Engine engine(options);
+  RunOptions run;
+  run.key_filter = selective_fixture().keys;
+  std::uint64_t ops_done = 0;
+  for (auto _ : state) {
+    auto source = open_trace_source(selective_fixture().path);
+    const Report report = engine.verify(*source, run);
+    benchmark::DoNotOptimize(report);
+    ops_done += selective_ops();
+  }
+  ops_rate(state, ops_done);
+  state.counters["trace_ops"] = static_cast<double>(selective_ops());
+  state.counters["metrics"] = metrics_enabled ? 1.0 : 0.0;
+}
+
+void selective_verify_metrics(benchmark::State& state) {
+  selective_verify_pair(state, /*metrics_enabled=*/true);
+}
+BENCHMARK(selective_verify_metrics)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void selective_verify_no_metrics(benchmark::State& state) {
+  selective_verify_pair(state, /*metrics_enabled=*/false);
+}
+BENCHMARK(selective_verify_no_metrics)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace kav
 

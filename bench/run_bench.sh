@@ -36,7 +36,18 @@ fi
 
 "$BUILD_DIR/bench_ingest"   "${ARGS[@]}" --benchmark_out=BENCH_ingest.json
 "$BUILD_DIR/bench_pipeline" "${ARGS[@]}" --benchmark_out=BENCH_pipeline.json
-"$BUILD_DIR/bench_engine"   "${ARGS[@]}" --benchmark_out=BENCH_engine.json
+ENGINE_ARGS=("${ARGS[@]}")
+if [[ "$MODE" == smoke ]]; then
+  # The observability guardrail below compares a pair expected to
+  # differ by well under 2%, but individual smoke samples carry 4-7%
+  # scheduler noise. Two countermeasures: random interleaving (so CPU
+  # frequency / cache drift cannot bias one side of the pair -- the
+  # repetitions of both benchmarks are shuffled together), and enough
+  # repetitions for the min-estimator in the guardrail to converge.
+  ENGINE_ARGS+=(--benchmark_repetitions=15
+                --benchmark_enable_random_interleaving=true)
+fi
+"$BUILD_DIR/bench_engine"   "${ENGINE_ARGS[@]}" --benchmark_out=BENCH_engine.json
 STORE_ARGS=("${ARGS[@]}")
 if [[ "$MODE" == smoke ]]; then
   # The guardrail below compares sub-0.1ms benchmarks; one 10ms sample
@@ -83,6 +94,46 @@ for zero_copy, materializing in pairs:
     failed |= verdict != "ok"
 if failed:
     sys.exit("zero-copy path slower than materializing reference")
+EOF
+
+  # Observability guardrail: the always-on metrics layer may cost at
+  # most 2% on the selective-verify path (bench_engine's
+  # selective_verify_metrics vs selective_verify_no_metrics pair --
+  # the same engine with the registry enabled vs disabled, which is
+  # what KAV_NO_METRICS toggles). Timing noise is one-sided additive
+  # (preemption and cache pollution only ever slow a sample down), so
+  # the MINIMUM over the interleaved repetitions is the low-variance
+  # estimator of each side's true cost -- the median of this pair
+  # still wobbles past 2% on a busy box when the real gap, by min, is
+  # under 0.5%. The absolute floor absorbs the residual run-to-run
+  # scatter of the min itself (~±0.45ms at the 14ms smoke workload:
+  # the main thread blocks on pool handoff, so real_time carries
+  # wakeup-latency noise the estimator cannot fully remove). The
+  # regressions this guardrail exists to catch sit far above floor +
+  # 2%: one clock read per operation costs ~4ms at 200k smoke ops,
+  # one atomic RMW per operation ~1ms.
+  python3 - <<'EOF'
+import json, sys
+
+with open("BENCH_engine.json") as f:
+    entries = json.load(f)["benchmarks"]
+results = {}
+for b in entries:
+    if "aggregate_name" in b:
+        continue  # raw repetition samples only
+    name = b["name"].removesuffix("/real_time")
+    results[name] = min(results.get(name, float("inf")), b["real_time"])
+
+enabled = results["selective_verify_metrics"]
+disabled = results["selective_verify_no_metrics"]
+tolerance = 1.02
+floor_ms = 0.5  # run-to-run scatter of the min on a busy box
+budget = disabled * tolerance + floor_ms
+verdict = "ok" if enabled <= budget else "OVERHEAD"
+print(f"selective_verify metrics (min of reps): {enabled:.3f}ms vs "
+      f"no_metrics: {disabled:.3f}ms (budget {budget:.3f}ms) -> {verdict}")
+if verdict != "ok":
+    sys.exit("observability overhead above 2% on the selective-verify path")
 EOF
 fi
 

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, run every test suite.
-# Usage: ./ci.sh [--asan] [build-dir]   (default: build; build-asan with --asan)
+# Usage: ./ci.sh [--asan|--tsan] [build-dir]
+#        (default: build; build-asan with --asan, build-tsan with --tsan)
 #   --asan: rebuild under Address + UndefinedBehavior sanitizers and run
 #           the deterministic `unit` ctest label, the `crash` label (the
 #           store's fork/_Exit crash-recovery matrix -- _Exit skips the
@@ -15,13 +16,40 @@
 #           KAV_FORCE_SCALAR=1, so every tier is sanitized. Skips the
 #           integration sweeps and the bench smoke (sanitized timings
 #           are meaningless).
+#   --tsan: rebuild under ThreadSanitizer (-DKAV_SANITIZE=thread) and
+#           run the `unit` and `fuzz` labels at reduced trial counts.
+#           This is the always-on observability layer's race check: the
+#           sharded counter cells, gauge deltas, and tracer ring are
+#           hammered from every pool worker, monitor drain task, and
+#           background compaction pass the suites spin up. The `crash`
+#           label is excluded -- its fork()-after-threads matrix is
+#           undefined under TSan's runtime.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 ASAN=0
+TSAN=0
 if [[ "${1:-}" == "--asan" ]]; then
   ASAN=1
   shift
+elif [[ "${1:-}" == "--tsan" ]]; then
+  TSAN=1
+  shift
+fi
+
+if [[ "$TSAN" == 1 ]]; then
+  BUILD_DIR="${1:-build-tsan}"
+  cmake -B "$BUILD_DIR" -S . -DKAV_WERROR=ON -DKAV_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$BUILD_DIR" -j "$(nproc)"
+  # TSan multiplies runtime and memory like ASan does; trial volume
+  # matters even less here -- what TSan needs is every lock-free path
+  # exercised from genuinely concurrent threads, which the unit
+  # hammers and the fuzz pipelines already guarantee.
+  export KAV_FUZZ_TRIALS="${KAV_FUZZ_TRIALS:-5}"
+  export KAV_FUZZ_OPS="${KAV_FUZZ_OPS:-50000}"
+  ctest --test-dir "$BUILD_DIR" -L 'unit|fuzz' --output-on-failure -j "$(nproc)"
+  exit 0
 fi
 
 if [[ "$ASAN" == 1 ]]; then

@@ -14,8 +14,15 @@
 // without ever holding the whole trace).
 //
 //   $ ./streaming_monitor --horizon=10000 --slack=1000 trace.kavb
+//   $ ./streaming_monitor --metrics trace.kavb   # Prometheus exposition
 //   $ ./streaming_monitor --demo --ops=200 --replicas=5 --write-quorum=1
 //         --read-quorum=1 --save=demo.kavb
+//
+// --metrics replaces the human-readable summary with the engine's full
+// metrics snapshot in Prometheus text exposition format
+// (obs::render_prometheus) -- the exact bytes a /metrics endpoint
+// would serve after this run: ingest totals, watermark lag, reorder
+// occupancy, pool queue statistics, per-kind violation counters.
 //
 // Exit status: 0 when every key's stream is clean, 1 otherwise.
 #include <cstdio>
@@ -67,21 +74,29 @@ int main(int argc, char** argv) {
   options.queue_capacity =
       static_cast<std::size_t>(flags.get_int("queue", 1'024));
   const bool demo = flags.get_bool("demo", false);
+  const bool metrics = flags.get_bool("metrics", false);
   // Batch re-verify on the same engine; defaults on in demo mode (the
   // trace is already in memory there).
-  const bool reverify = flags.get_bool("verify", demo);
+  const bool reverify = flags.get_bool("verify", demo && !metrics);
 
   // Live sink: violations print the moment a drain task detects them,
   // not at finish() -- what a production deployment would page on.
+  // Suppressed in --metrics mode, where stdout is the exposition.
   RunOptions run;
-  run.on_finding = [](const std::string& key,
-                      const StreamingViolation& violation) {
-    std::printf("  LIVE [%s] key %s at watermark %lld: %s\n",
-                kind_name(violation.kind), key.c_str(),
-                static_cast<long long>(violation.when),
-                violation.detail.c_str());
-  };
+  if (!metrics) {
+    run.on_finding = [](const std::string& key,
+                        const StreamingViolation& violation) {
+      std::printf("  LIVE [%s] key %s at watermark %lld: %s\n",
+                  kind_name(violation.kind), key.c_str(),
+                  static_cast<long long>(violation.when),
+                  violation.detail.c_str());
+    };
+  }
 
+  // --metrics scrapes this run alone through a private registry, so
+  // the exposition holds exactly this engine's series.
+  obs::MetricsRegistry registry;
+  if (metrics) options.metrics = &registry;
   Engine engine(options);
   Report report;
   KeyedTrace demo_trace;
@@ -107,10 +122,13 @@ int main(int argc, char** argv) {
     }
 
     demo_trace = quorum::run_sloppy_quorum_sim(config).trace;
-    std::printf("simulated %zu operations (N=%d W=%d R=%d, %s quorums)\n",
-                demo_trace.size(), config.replicas, config.write_quorum,
-                config.read_quorum,
-                config.first_responders ? "first-responder" : "fixed-subset");
+    if (!metrics) {
+      std::printf("simulated %zu operations (N=%d W=%d R=%d, %s quorums)\n",
+                  demo_trace.size(), config.replicas, config.write_quorum,
+                  config.read_quorum,
+                  config.first_responders ? "first-responder"
+                                          : "fixed-subset");
+    }
     if (!save_path.empty()) save_trace(save_path, demo_trace);
     report = engine.monitor(demo_trace, run);
   } else {
@@ -129,11 +147,18 @@ int main(int argc, char** argv) {
       // the whole trace.
       auto source = open_trace_source(path);
       report = engine.monitor(*source, run);
-      std::printf("monitored %s\n", source->describe().c_str());
+      if (!metrics) std::printf("monitored %s\n", source->describe().c_str());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "error: %s\n", e.what());
       return 2;
     }
+  }
+
+  if (metrics) {
+    // The run's registry in Prometheus text exposition format --
+    // nothing else on stdout. Verdict stays in the exit code.
+    std::fputs(obs::render_prometheus(engine.snapshot()).c_str(), stdout);
+    return report.all_yes() ? 0 : 1;
   }
 
   for (const auto& [key, result] : report.per_key) {

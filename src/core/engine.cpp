@@ -5,11 +5,171 @@
 #include <utility>
 
 #include "ingest/keyed_monitor.h"
+#include "obs/span.h"
 #include "pipeline/sharded_verifier.h"
 #include "pipeline/thread_pool.h"
 #include "store/trace_store.h"
 
 namespace kav {
+
+// Run-lifecycle instruments. Counters are labeled by mode so one
+// scrape distinguishes batch verification from online monitoring;
+// verdict and finding breakdowns use one series per enum value so
+// rates stay cheap to compute scraper-side.
+struct Engine::Metrics {
+  obs::Counter& runs_started_batch;
+  obs::Counter& runs_started_monitor;
+  obs::Counter& runs_completed_batch;
+  obs::Counter& runs_completed_monitor;
+  obs::Counter& runs_cancelled_batch;
+  obs::Counter& runs_cancelled_monitor;
+  obs::Histogram& run_seconds_batch;
+  obs::Histogram& run_seconds_monitor;
+  obs::Counter& keys_verified;
+  obs::Counter& verdict_yes;
+  obs::Counter& verdict_no;
+  obs::Counter& verdict_undecided;
+  obs::Counter& verdict_precondition_failed;
+  obs::Counter& finding_not_2atomic;
+  obs::Counter& finding_horizon_exceeded;
+  obs::Counter& finding_hard_anomaly;
+  obs::Counter& finding_late_arrival;
+
+  explicit Metrics(obs::MetricsRegistry& r)
+      : runs_started_batch(r.counter(
+            "kav_engine_runs_started_total",
+            "Verification/monitoring runs entered, by mode.",
+            {{"mode", "batch"}})),
+        runs_started_monitor(r.counter("kav_engine_runs_started_total",
+                                       "Verification/monitoring runs entered, "
+                                       "by mode.",
+                                       {{"mode", "monitor"}})),
+        runs_completed_batch(r.counter(
+            "kav_engine_runs_completed_total",
+            "Runs that returned a report without an early stop, by mode.",
+            {{"mode", "batch"}})),
+        runs_completed_monitor(r.counter(
+            "kav_engine_runs_completed_total",
+            "Runs that returned a report without an early stop, by mode.",
+            {{"mode", "monitor"}})),
+        runs_cancelled_batch(r.counter(
+            "kav_engine_runs_cancelled_total",
+            "Runs stopped early by a CancelToken or deadline, by mode.",
+            {{"mode", "batch"}})),
+        runs_cancelled_monitor(r.counter(
+            "kav_engine_runs_cancelled_total",
+            "Runs stopped early by a CancelToken or deadline, by mode.",
+            {{"mode", "monitor"}})),
+        run_seconds_batch(r.histogram(
+            "kav_engine_run_seconds",
+            "End-to-end wall time of one run, by mode.",
+            {{"mode", "batch"}})),
+        run_seconds_monitor(r.histogram(
+            "kav_engine_run_seconds",
+            "End-to-end wall time of one run, by mode.",
+            {{"mode", "monitor"}})),
+        keys_verified(r.counter(
+            "kav_engine_keys_verified_total",
+            "Per-key results produced across all runs (skips included).")),
+        verdict_yes(r.counter("kav_engine_verdicts_total",
+                              "Per-key verdicts produced, by outcome.",
+                              {{"outcome", "yes"}})),
+        verdict_no(r.counter("kav_engine_verdicts_total",
+                             "Per-key verdicts produced, by outcome.",
+                             {{"outcome", "no"}})),
+        verdict_undecided(r.counter("kav_engine_verdicts_total",
+                                    "Per-key verdicts produced, by outcome.",
+                                    {{"outcome", "undecided"}})),
+        verdict_precondition_failed(
+            r.counter("kav_engine_verdicts_total",
+                      "Per-key verdicts produced, by outcome.",
+                      {{"outcome", "precondition_failed"}})),
+        finding_not_2atomic(r.counter(
+            "kav_engine_findings_total",
+            "Monitor-mode violations surfaced in reports, by kind.",
+            {{"kind", "not_2atomic"}})),
+        finding_horizon_exceeded(r.counter(
+            "kav_engine_findings_total",
+            "Monitor-mode violations surfaced in reports, by kind.",
+            {{"kind", "horizon_exceeded"}})),
+        finding_hard_anomaly(r.counter(
+            "kav_engine_findings_total",
+            "Monitor-mode violations surfaced in reports, by kind.",
+            {{"kind", "hard_anomaly"}})),
+        finding_late_arrival(r.counter(
+            "kav_engine_findings_total",
+            "Monitor-mode violations surfaced in reports, by kind.",
+            {{"kind", "late_arrival"}})) {}
+
+  obs::Counter& for_outcome(Outcome outcome) {
+    switch (outcome) {
+      case Outcome::yes:
+        return verdict_yes;
+      case Outcome::no:
+        return verdict_no;
+      case Outcome::undecided:
+        return verdict_undecided;
+      case Outcome::precondition_failed:
+        break;
+    }
+    return verdict_precondition_failed;
+  }
+
+  obs::Counter& for_kind(StreamingViolation::Kind kind) {
+    switch (kind) {
+      case StreamingViolation::Kind::not_2atomic:
+        return finding_not_2atomic;
+      case StreamingViolation::Kind::horizon_exceeded:
+        return finding_horizon_exceeded;
+      case StreamingViolation::Kind::hard_anomaly:
+        return finding_hard_anomaly;
+      case StreamingViolation::Kind::late_arrival:
+        break;
+    }
+    return finding_late_arrival;
+  }
+
+  // One per public entry point: counts the run as started immediately
+  // (so a scraper can see runs in flight as started - completed -
+  // cancelled), times it into run_seconds + an "engine.verify" /
+  // "engine.monitor" span, and on finish() folds the finished Report's
+  // verdicts and findings into the registry. A run that throws still
+  // records its start and duration, never a completion.
+  class RunScope {
+   public:
+    RunScope(Metrics& metrics, bool batch)
+        : metrics_(metrics),
+          batch_(batch),
+          timer_(batch ? &metrics.run_seconds_batch
+                       : &metrics.run_seconds_monitor,
+                 &obs::Tracer::global(),
+                 batch ? "engine.verify" : "engine.monitor", "engine") {
+      (batch ? metrics.runs_started_batch : metrics.runs_started_monitor)
+          .add(1);
+    }
+
+    void finish(const Report& report) {
+      obs::Counter& end =
+          batch_ ? (report.cancelled ? metrics_.runs_cancelled_batch
+                                     : metrics_.runs_completed_batch)
+                 : (report.cancelled ? metrics_.runs_cancelled_monitor
+                                     : metrics_.runs_completed_monitor);
+      end.add(1);
+      metrics_.keys_verified.add(report.per_key.size());
+      for (const auto& [key, result] : report.per_key) {
+        metrics_.for_outcome(result.verdict.outcome).add(1);
+        for (const StreamingViolation& violation : result.findings) {
+          metrics_.for_kind(violation.kind).add(1);
+        }
+      }
+    }
+
+   private:
+    Metrics& metrics_;
+    bool batch_;
+    obs::ScopedTimer timer_;
+  };
+};
 
 namespace {
 
@@ -121,12 +281,16 @@ std::string drive_source(
 
 Engine::Engine(EngineOptions options)
     : options_(std::move(options)),
-      pool_(std::make_unique<pipeline::ThreadPool>(options_.threads)) {
+      metrics_(options_.metrics != nullptr ? options_.metrics
+                                           : &obs::MetricsRegistry::global()),
+      em_(std::make_unique<Metrics>(*metrics_)),
+      pool_(std::make_unique<pipeline::ThreadPool>(options_.threads,
+                                                   metrics_)) {
   PipelineOptions pipeline_options;
   pipeline_options.shard_op_budget = options_.shard_op_budget;
   pipeline_options.fail_fast = options_.fail_fast;
   verifier_ = std::make_unique<ShardedVerifier>(*pool_, options_.verify,
-                                                pipeline_options);
+                                                pipeline_options, metrics_);
 }
 
 Engine::~Engine() = default;
@@ -139,7 +303,7 @@ std::unique_ptr<TraceStore> Engine::open_store(const std::string& directory) {
 
 std::unique_ptr<TraceStore> Engine::open_store(
     const std::string& directory, const CompactionOptions& compaction) {
-  auto store = std::make_unique<TraceStore>(directory);
+  auto store = std::make_unique<TraceStore>(directory, metrics_);
   store->enable_background_compaction(*pool_, compaction);
   return store;
 }
@@ -233,19 +397,28 @@ Report Engine::verify_selective(
 }
 
 Report Engine::verify(const KeyedTrace& trace, const RunOptions& run) {
+  Metrics::RunScope scope(*em_, /*batch=*/true);
   const auto deadline = effective_deadline(run);
   const KeyedHistories shards = split_by_key(trace);
-  if (!run.key_filter.empty()) return verify_filtered(shards, run, deadline);
-  return run_batch(shards, run, deadline);
+  Report report = run.key_filter.empty()
+                      ? run_batch(shards, run, deadline)
+                      : verify_filtered(shards, run, deadline);
+  scope.finish(report);
+  return report;
 }
 
 Report Engine::verify(const KeyedHistories& shards, const RunOptions& run) {
+  Metrics::RunScope scope(*em_, /*batch=*/true);
   const auto deadline = effective_deadline(run);
-  if (!run.key_filter.empty()) return verify_filtered(shards, run, deadline);
-  return run_batch(shards, run, deadline);
+  Report report = run.key_filter.empty()
+                      ? run_batch(shards, run, deadline)
+                      : verify_filtered(shards, run, deadline);
+  scope.finish(report);
+  return report;
 }
 
 Report Engine::verify(TraceSource& source, const RunOptions& run) {
+  Metrics::RunScope scope(*em_, /*batch=*/true);
   // Anchored once at entry: the same cutoff governs reading the source
   // AND the shard phase, so a slow source cannot re-arm the timeout.
   const auto deadline = effective_deadline(run);
@@ -254,7 +427,9 @@ Report Engine::verify(TraceSource& source, const RunOptions& run) {
     // op counts and lazy loaders, so only the requested keys' blocks
     // are ever decoded -- no full-file materialization.
     if (auto* selective = dynamic_cast<SelectiveTraceSource*>(&source)) {
-      return verify_selective(*selective, run, deadline);
+      Report report = verify_selective(*selective, run, deadline);
+      scope.finish(report);
+      return report;
     }
     // Any other source: filter while draining. Still one pass and no
     // stored non-matching operations, but every record is decoded.
@@ -273,6 +448,7 @@ Report Engine::verify(TraceSource& source, const RunOptions& run) {
       report.cancelled = true;
       report.stop_reason = stop;
     }
+    scope.finish(report);
     return report;
   }
   KeyedTrace trace;
@@ -286,18 +462,23 @@ Report Engine::verify(TraceSource& source, const RunOptions& run) {
     report.cancelled = true;
     report.stop_reason = stop;
   }
+  scope.finish(report);
   return report;
 }
 
 namespace {
 
 MonitorOptions monitor_options_for(const EngineOptions& options,
-                                   const RunOptions& run) {
+                                   const RunOptions& run,
+                                   obs::MetricsRegistry* metrics) {
   MonitorOptions monitor_options;
   monitor_options.streaming = options.streaming;
   monitor_options.reorder_slack = options.reorder_slack;
   monitor_options.queue_capacity = options.queue_capacity;
   monitor_options.on_violation = run.on_finding;
+  // The engine's resolved registry, not options.metrics: a null there
+  // already resolved to the global at engine construction.
+  monitor_options.metrics = metrics;
   return monitor_options;
 }
 
@@ -316,6 +497,7 @@ void finish_monitor_into(KeyedStreamingMonitor& monitor, Report& report) {
 }  // namespace
 
 Report Engine::monitor(const KeyedTrace& trace, const RunOptions& run) {
+  Metrics::RunScope scope(*em_, /*batch=*/false);
   // Dedicated loop rather than a MemoryTraceSource: the trace is
   // already in memory, so every operation is ingested by reference --
   // no O(trace) copy on this (and the legacy monitor_trace) path.
@@ -327,7 +509,8 @@ Report Engine::monitor(const KeyedTrace& trace, const RunOptions& run) {
   report.mode = Report::Mode::monitor;
   std::set<std::string> offered;
   {
-    KeyedStreamingMonitor monitor(*pool_, monitor_options_for(options_, run));
+    KeyedStreamingMonitor monitor(
+        *pool_, monitor_options_for(options_, run, metrics_));
     std::uint64_t pulled = 0;
     for (const KeyedOperation& kop : trace.ops) {
       if (filter.active) {
@@ -346,17 +529,20 @@ Report Engine::monitor(const KeyedTrace& trace, const RunOptions& run) {
     finish_monitor_into(monitor, report);
   }
   account_selection(report, filter, offered);
+  scope.finish(report);
   return report;
 }
 
 Report Engine::monitor(TraceSource& source, const RunOptions& run) {
+  Metrics::RunScope scope(*em_, /*batch=*/false);
   const auto deadline = effective_deadline(run);
   const KeyFilter filter(run);
   Report report;
   report.mode = Report::Mode::monitor;
   std::set<std::string> offered;
   {
-    KeyedStreamingMonitor monitor(*pool_, monitor_options_for(options_, run));
+    KeyedStreamingMonitor monitor(
+        *pool_, monitor_options_for(options_, run, metrics_));
     const std::string stop = drive_source(
         source, run, deadline, "monitoring " + source.describe(),
         [&monitor, &filter, &offered](KeyedOperation kop) {
@@ -373,6 +559,7 @@ Report Engine::monitor(TraceSource& source, const RunOptions& run) {
     finish_monitor_into(monitor, report);
   }
   account_selection(report, filter, offered);
+  scope.finish(report);
   return report;
 }
 

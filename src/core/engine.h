@@ -47,6 +47,7 @@
 #include "core/verify.h"
 #include "history/keyed_trace.h"
 #include "ingest/trace_source.h"
+#include "obs/metrics.h"
 
 namespace kav::pipeline {
 class ThreadPool;
@@ -81,6 +82,14 @@ struct EngineOptions {
   StreamingOptions streaming;       // per-key staleness horizon
   TimePoint reorder_slack = 1'000;  // arrival disorder bound
   std::size_t queue_capacity = 1'024;  // per-key backpressure queue
+
+  // Observability (src/obs/): the registry every subsystem this engine
+  // owns reports into -- pool, sharded verifier, per-run monitors, and
+  // any store from open_store(). nullptr = the process-wide
+  // obs::MetricsRegistry::global(). Inject a private registry to
+  // isolate one engine's series (tests do) or to scrape several
+  // engines separately from one process.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Per-call run options. Default-constructed RunOptions reproduce the
@@ -162,6 +171,16 @@ class Engine {
   // side work without spawning their own.
   pipeline::ThreadPool& pool() { return *pool_; }
 
+  // The registry this engine reports into (EngineOptions::metrics, or
+  // the process-wide global). Safe to read/scrape from any thread.
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  // Coherent point-in-time snapshot of every metric in this engine's
+  // registry -- callable concurrently with running verify/monitor
+  // calls (counters are monotone; a snapshot taken mid-run shows a
+  // consistent prefix of the run's work). Feed it to
+  // obs::render_prometheus / obs::render_json for the wire formats.
+  obs::RegistrySnapshot snapshot() const { return metrics_->snapshot(); }
+
  private:
   // `deadline` is the already-anchored cutoff for the whole call --
   // computed once at the public entry point so a slow TraceSource read
@@ -186,6 +205,12 @@ class Engine {
       const std::optional<std::chrono::steady_clock::time_point>& deadline);
 
   EngineOptions options_;
+  obs::MetricsRegistry* metrics_;  // never null after construction
+  // Run-lifecycle instruments (kav_engine_runs_*, run_seconds,
+  // verdicts, findings); defined in engine.cpp, accounted by the
+  // RunScope helper wrapping each public entry point.
+  struct Metrics;
+  std::unique_ptr<Metrics> em_;
   std::unique_ptr<pipeline::ThreadPool> pool_;
   std::unique_ptr<ShardedVerifier> verifier_;
 };

@@ -9,6 +9,56 @@
 
 namespace kav {
 
+// Live series behind MonitorStats. Counters advance by per-key deltas
+// computed against high-water marks stored in KeyState (always under
+// that key's process_mutex), so registry totals equal the
+// snapshot_totals() sums at every quiescent point -- the differential
+// test in tests/engine_fuzz_test.cpp pins that equality. Gauges are
+// refreshed on the same cadence (every drain pass), which is what
+// makes them *live*: a scraper sees lag and occupancy move while the
+// run is still in flight.
+struct KeyedStreamingMonitor::Metrics {
+  obs::Counter& ops_ingested;
+  obs::Counter& late_arrivals;
+  obs::Counter& violations;
+  obs::Counter& chunks_verified;
+  obs::Gauge& watermark_lag;
+  obs::Gauge& reorder_pending;
+  obs::Gauge& queue_backlog;
+  obs::Gauge& active_keys;
+
+  explicit Metrics(obs::MetricsRegistry& registry)
+      : ops_ingested(registry.counter(
+            "kav_monitor_ops_ingested_total",
+            "Operations accepted by ingest(); live ops/sec is this "
+            "series' rate.")),
+        late_arrivals(registry.counter(
+            "kav_monitor_late_arrivals_total",
+            "Arrivals behind the reorder watermark (slack exceeded), "
+            "recorded as late_arrival findings.")),
+        violations(registry.counter(
+            "kav_monitor_violations_total",
+            "Streaming violations of every kind, checker- and "
+            "monitor-level (late arrivals included).")),
+        chunks_verified(registry.counter(
+            "kav_monitor_chunks_verified_total",
+            "Chunks the per-key streaming checkers settled.")),
+        watermark_lag(registry.gauge(
+            "kav_monitor_watermark_lag",
+            "Verification lag in trace ticks (newest ingested start "
+            "minus checker watermark) of the most recently drained "
+            "key.")),
+        reorder_pending(registry.gauge(
+            "kav_monitor_reorder_pending",
+            "Operations buffered in reorder buffers across keys.")),
+        queue_backlog(registry.gauge(
+            "kav_monitor_queue_backlog",
+            "Operations ingested but not yet processed by a drain "
+            "task, across keys.")),
+        active_keys(registry.gauge("kav_monitor_active_keys",
+                                   "Distinct keys seen by live monitors.")) {}
+};
+
 struct KeyedStreamingMonitor::KeyState {
   KeyState(std::string key_name, const MonitorOptions& options)
       : key(std::move(key_name)),
@@ -23,6 +73,10 @@ struct KeyedStreamingMonitor::KeyState {
   // (non-thread-safe) reorder buffer and checker see serial access.
   std::atomic<bool> scheduled{false};
   std::atomic<std::int64_t> ingested{0};
+  // This key's share of the kav_monitor_queue_backlog gauge (ops
+  // pushed minus ops popped), so the destructor can retire exactly
+  // what was never processed.
+  std::atomic<std::int64_t> backlog{0};
   std::atomic<TimePoint> newest_start{kTimeMin};
   std::atomic<TimePoint> oldest_start{kTimeMax};
 
@@ -38,6 +92,13 @@ struct KeyedStreamingMonitor::KeyState {
   // on_violation sink, so each finding is emitted exactly once.
   std::size_t reported_checker = 0;
   std::size_t reported_extra = 0;
+  // High-water marks of what update_key_metrics() already folded into
+  // the registry, so counter deltas are exact (checker totals are
+  // monotone for the life of the key).
+  std::size_t counted_checker = 0;
+  std::size_t counted_extra = 0;
+  std::uint64_t counted_chunks = 0;
+  std::int64_t last_reorder_pending = 0;
 };
 
 // --- MonitorReport ---------------------------------------------------------
@@ -74,12 +135,20 @@ std::string MonitorReport::summary() const {
 
 KeyedStreamingMonitor::KeyedStreamingMonitor(const MonitorOptions& options)
     : options_(options),
-      owned_pool_(std::make_unique<pipeline::ThreadPool>(options.threads)),
+      metrics_(std::make_unique<Metrics>(
+          options.metrics != nullptr ? *options.metrics
+                                     : obs::MetricsRegistry::global())),
+      owned_pool_(std::make_unique<pipeline::ThreadPool>(options.threads,
+                                                         options.metrics)),
       pool_(owned_pool_.get()) {}
 
 KeyedStreamingMonitor::KeyedStreamingMonitor(pipeline::ThreadPool& pool,
                                              const MonitorOptions& options)
-    : options_(options), pool_(&pool) {}
+    : options_(options),
+      metrics_(std::make_unique<Metrics>(
+          options.metrics != nullptr ? *options.metrics
+                                     : obs::MetricsRegistry::global())),
+      pool_(&pool) {}
 
 KeyedStreamingMonitor::~KeyedStreamingMonitor() {
   // Every queued or running drain task holds a pointer into keys_; wait
@@ -87,6 +156,15 @@ KeyedStreamingMonitor::~KeyedStreamingMonitor() {
   // is never shut down here -- it belongs to the caller (typically a
   // kav::Engine outliving many monitors).
   quiesce();
+  // Retire this monitor's share of the level gauges so a shared
+  // registry (several monitors over one Engine lifetime) returns to
+  // zero between runs. Counters stay -- they are lifetime series.
+  std::shared_lock<std::shared_mutex> lock(keys_mutex_);
+  for (const auto& [key, state] : keys_) {
+    metrics_->queue_backlog.sub(state->backlog.load(std::memory_order_relaxed));
+    metrics_->reorder_pending.sub(state->last_reorder_pending);
+  }
+  metrics_->active_keys.sub(static_cast<std::int64_t>(keys_.size()));
 }
 
 void KeyedStreamingMonitor::quiesce() {
@@ -109,6 +187,7 @@ KeyedStreamingMonitor::KeyState& KeyedStreamingMonitor::state_for(
   auto it = keys_.find(key);  // re-check: another producer may have won
   if (it == keys_.end()) {
     it = keys_.emplace(key, std::make_unique<KeyState>(key, options_)).first;
+    metrics_->active_keys.add(1);
   }
   return *it->second;
 }
@@ -121,6 +200,9 @@ void KeyedStreamingMonitor::ingest(const std::string& key,
   KeyState& state = state_for(key);
   state.queue.push(op);  // blocks when full: backpressure
   state.ingested.fetch_add(1, std::memory_order_relaxed);
+  state.backlog.fetch_add(1, std::memory_order_relaxed);
+  metrics_->ops_ingested.add(1);
+  metrics_->queue_backlog.add(1);
   TimePoint seen = state.newest_start.load(std::memory_order_relaxed);
   while (op.start > seen &&
          !state.newest_start.compare_exchange_weak(
@@ -162,7 +244,10 @@ void KeyedStreamingMonitor::ingest(const KeyedOperation& kop) {
 }
 
 void KeyedStreamingMonitor::process_one(KeyState& state, const Operation& op) {
+  state.backlog.fetch_sub(1, std::memory_order_relaxed);
+  metrics_->queue_backlog.sub(1);
   if (!state.reorder.push(op)) {
+    metrics_->late_arrivals.add(1);
     state.extra_violations.push_back(
         {StreamingViolation::Kind::late_arrival, state.reorder.watermark(),
          "arrival with start " + std::to_string(op.start) +
@@ -208,6 +293,38 @@ void KeyedStreamingMonitor::emit_new_violations(KeyState& state) {
   }
 }
 
+void KeyedStreamingMonitor::update_key_metrics(KeyState& state) {
+  // Counter deltas against per-key high-water marks: checker violation
+  // and chunk totals only grow for a live key, so each call adds
+  // exactly the progress since the previous one. This mirrors the sums
+  // snapshot_totals() computes, keeping registry totals equal to
+  // MonitorStats at quiescence.
+  const std::size_t checker_now = state.checker.violations().size();
+  const std::size_t extra_now = state.extra_violations.size();
+  metrics_->violations.add((checker_now - state.counted_checker) +
+                           (extra_now - state.counted_extra));
+  state.counted_checker = checker_now;
+  state.counted_extra = extra_now;
+
+  const std::uint64_t chunks_now = state.checker.stats().chunks_verified;
+  metrics_->chunks_verified.add(chunks_now - state.counted_chunks);
+  state.counted_chunks = chunks_now;
+
+  const std::int64_t pending_now =
+      static_cast<std::int64_t>(state.reorder.pending());
+  metrics_->reorder_pending.add(pending_now - state.last_reorder_pending);
+  state.last_reorder_pending = pending_now;
+
+  // Same lag definition as MonitorStats::max_watermark_lag, but as the
+  // current level of the key just drained -- the live view.
+  const TimePoint newest = state.newest_start.load(std::memory_order_relaxed);
+  const TimePoint oldest = state.oldest_start.load(std::memory_order_relaxed);
+  if (newest != kTimeMin) {
+    const TimePoint floor = std::max(state.checker.watermark(), oldest);
+    metrics_->watermark_lag.set(newest - floor);
+  }
+}
+
 void KeyedStreamingMonitor::drain(KeyState& state) {
   // The in-flight count must drop on EVERY exit path, exceptional ones
   // included -- a leaked increment would hang the destructor's
@@ -246,6 +363,7 @@ void KeyedStreamingMonitor::drain(KeyState& state) {
         state.peak_window =
             std::max(state.peak_window,
                      state.checker.window_size() + state.reorder.pending());
+        update_key_metrics(state);
       } catch (const std::exception& e) {
         std::lock_guard<std::mutex> lock(state.process_mutex);
         state.extra_violations.push_back(
@@ -303,6 +421,7 @@ MonitorReport KeyedStreamingMonitor::finish() {
           " monitor-level violation(s); first: " +
           state->extra_violations.front().detail);
     }
+    update_key_metrics(*state);
     report.per_key.emplace(key, std::move(result));
   }
   report.totals = snapshot_totals();

@@ -44,6 +44,7 @@
 #include "core/streaming.h"
 #include "history/keyed_trace.h"
 #include "ingest/reorder_buffer.h"
+#include "obs/metrics.h"
 #include "pipeline/bounded_queue.h"
 #include "pipeline/thread_pool.h"
 
@@ -73,6 +74,14 @@ struct MonitorOptions {
   std::function<void(const std::string& key,
                      const StreamingViolation& violation)>
       on_violation;
+  // Registry the monitor instruments into (kav_monitor_* series: live
+  // ingest/violation counters plus watermark-lag, reorder-occupancy,
+  // and backlog gauges -- ops/sec is rate(kav_monitor_ops_ingested_total)
+  // on the scraper side). nullptr means the process registry,
+  // obs::MetricsRegistry::global(); kav::Engine injects its own. Must
+  // outlive the monitor. MonitorStats stays the per-run summary view
+  // and is computed from the same per-key state, never from these.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // MonitorStats lives in core/report.h (the unified Report embeds it).
@@ -133,11 +142,19 @@ class KeyedStreamingMonitor {
   // Reports not-yet-reported violations to options_.on_violation.
   // Caller holds state.process_mutex.
   void emit_new_violations(KeyState& state);
+  // Folds the key's progress since the last call into the registry
+  // (violation/chunk deltas via per-key high-water marks, gauge
+  // refreshes). Caller holds state.process_mutex.
+  void update_key_metrics(KeyState& state);
   // Blocks until no drain task of this monitor is queued or running.
   void quiesce();
   MonitorStats snapshot_totals() const;
 
   MonitorOptions options_;
+  // kav_monitor_* instruments (keyed_monitor.cpp); owned by the
+  // registry in options_.metrics, not by the monitor.
+  struct Metrics;
+  std::unique_ptr<Metrics> metrics_;
   std::unique_ptr<pipeline::ThreadPool> owned_pool_;
   pipeline::ThreadPool* pool_;  // owned_pool_.get() or the borrowed pool
 

@@ -48,6 +48,13 @@
 #include "ingest/reorder_buffer.h"
 #include "ingest/trace_source.h"
 
+// Observability: metrics registry, span tracing, exporters. Always on
+// at near-zero cost; scrape Engine::snapshot() through
+// obs::render_prometheus / obs::render_json (docs/OBSERVABILITY.md).
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 // Trace store: persistent indexed segments, mmap-backed selective reads.
 #include "store/indexed_source.h"
 #include "store/mapped_segment.h"

@@ -1,0 +1,201 @@
+#include "obs/export.h"
+
+#include <charconv>
+#include <system_error>
+
+namespace kav::obs {
+
+namespace {
+
+// Shortest round-trip decimal form (std::to_chars): "3", "0.004",
+// "9.313225746154785e-10". Locale-independent and deterministic.
+std::string format_double(double v) {
+  char buf[64];
+  const auto result = std::to_chars(buf, buf + sizeof(buf), v);
+  if (result.ec != std::errc()) return "0";  // cannot happen with 64 bytes
+  return std::string(buf, result.ptr);
+}
+
+void append_prometheus_escaped(std::string& out, const std::string& s,
+                               bool escape_quotes) {
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '"' && escape_quotes) {
+      out += "\\\"";
+    } else {
+      out += c;
+    }
+  }
+}
+
+// {k1="v1",k2="v2"} with `extra` appended last (used for le=""), or
+// nothing when there are no labels at all.
+void append_label_set(std::string& out, const Labels& labels,
+                      const std::string* extra_key = nullptr,
+                      const std::string* extra_value = nullptr) {
+  if (labels.empty() && extra_key == nullptr) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    append_prometheus_escaped(out, v, /*escape_quotes=*/true);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += *extra_key;
+    out += "=\"";
+    out += *extra_value;
+    out += '"';
+  }
+  out += '}';
+}
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      static const char* hex = "0123456789abcdef";
+      out += "\\u00";
+      out += hex[(c >> 4) & 0xF];
+      out += hex[c & 0xF];
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string render_prometheus(const RegistrySnapshot& snapshot) {
+  static const std::string kLe = "le";
+  std::string out;
+  const std::string* last_name = nullptr;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    // Snapshots are sorted, so all series of one name are contiguous:
+    // emit HELP/TYPE once, at the first series.
+    if (last_name == nullptr || *last_name != m.name) {
+      out += "# HELP ";
+      out += m.name;
+      out += ' ';
+      append_prometheus_escaped(out, m.help, /*escape_quotes=*/false);
+      out += "\n# TYPE ";
+      out += m.name;
+      out += ' ';
+      out += to_string(m.type);
+      out += '\n';
+      last_name = &m.name;
+    }
+    if (m.type == MetricType::histogram) {
+      const HistogramSnapshot& h = m.histogram;
+      std::uint64_t cumulative = 0;
+      for (int b = 0; b + 1 < kHistogramBuckets; ++b) {
+        const std::uint64_t n = h.buckets[static_cast<std::size_t>(b)];
+        if (n == 0) continue;  // only populated bounds; +Inf closes the set
+        cumulative += n;
+        const std::string bound =
+            format_double(Histogram::bucket_upper_bound(b));
+        out += m.name;
+        out += "_bucket";
+        append_label_set(out, m.labels, &kLe, &bound);
+        out += ' ';
+        out += std::to_string(cumulative);
+        out += '\n';
+      }
+      static const std::string kInf = "+Inf";
+      out += m.name;
+      out += "_bucket";
+      append_label_set(out, m.labels, &kLe, &kInf);
+      out += ' ';
+      out += std::to_string(h.count);
+      out += '\n';
+      out += m.name;
+      out += "_sum";
+      append_label_set(out, m.labels);
+      out += ' ';
+      out += format_double(h.sum);
+      out += '\n';
+      out += m.name;
+      out += "_count";
+      append_label_set(out, m.labels);
+      out += ' ';
+      out += std::to_string(h.count);
+      out += '\n';
+    } else {
+      out += m.name;
+      append_label_set(out, m.labels);
+      out += ' ';
+      out += format_double(m.value);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string render_json(const RegistrySnapshot& snapshot) {
+  std::string out = "{\n  \"metrics\": [";
+  bool first = true;
+  for (const MetricSnapshot& m : snapshot.metrics) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, m.name);
+    out += "\",\"type\":\"";
+    out += to_string(m.type);
+    out += "\",\"help\":\"";
+    append_json_escaped(out, m.help);
+    out += "\",\"labels\":{";
+    bool first_label = true;
+    for (const auto& [k, v] : m.labels) {
+      if (!first_label) out += ',';
+      first_label = false;
+      out += '"';
+      append_json_escaped(out, k);
+      out += "\":\"";
+      append_json_escaped(out, v);
+      out += '"';
+    }
+    out += '}';
+    if (m.type == MetricType::histogram) {
+      const HistogramSnapshot& h = m.histogram;
+      out += ",\"count\":";
+      out += std::to_string(h.count);
+      out += ",\"sum\":";
+      out += format_double(h.sum);
+      // Cumulative counts at each populated finite bound; the total
+      // (including the overflow bucket) is "count" above.
+      out += ",\"buckets\":[";
+      std::uint64_t cumulative = 0;
+      bool first_bucket = true;
+      for (int b = 0; b + 1 < kHistogramBuckets; ++b) {
+        const std::uint64_t n = h.buckets[static_cast<std::size_t>(b)];
+        if (n == 0) continue;
+        cumulative += n;
+        if (!first_bucket) out += ',';
+        first_bucket = false;
+        out += "{\"le\":";
+        out += format_double(Histogram::bucket_upper_bound(b));
+        out += ",\"count\":";
+        out += std::to_string(cumulative);
+        out += '}';
+      }
+      out += ']';
+    } else {
+      out += ",\"value\":";
+      out += format_double(m.value);
+    }
+    out += '}';
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+}  // namespace kav::obs

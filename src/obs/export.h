@@ -1,0 +1,30 @@
+// Exposition renderers: pure functions from a RegistrySnapshot to
+// text, with no clocks, no I/O, and no global state, so the kavd HTTP
+// endpoint (ROADMAP item 1) can serve their output verbatim and golden
+// tests can pin it byte-for-byte.
+//
+//   render_prometheus() -- Prometheus text exposition format 0.0.4:
+//     # HELP/# TYPE per metric name, histograms as cumulative
+//     <name>_bucket{le="..."} series plus _sum/_count.
+//   render_json()       -- one JSON document {"metrics": [...]}, each
+//     metric carrying name/type/help/labels and either "value" or
+//     histogram "count"/"sum"/"buckets".
+//
+// Both render doubles via shortest-round-trip formatting
+// (std::to_chars), so output is locale-independent and deterministic
+// for identical snapshots. Exact grammar: docs/OBSERVABILITY.md.
+#ifndef KAV_OBS_EXPORT_H
+#define KAV_OBS_EXPORT_H
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace kav::obs {
+
+std::string render_prometheus(const RegistrySnapshot& snapshot);
+std::string render_json(const RegistrySnapshot& snapshot);
+
+}  // namespace kav::obs
+
+#endif  // KAV_OBS_EXPORT_H

@@ -1,0 +1,160 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace kav::obs {
+
+const char* to_string(MetricType type) {
+  switch (type) {
+    case MetricType::counter:
+      return "counter";
+    case MetricType::gauge:
+      return "gauge";
+    case MetricType::histogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+namespace {
+
+bool metrics_disabled_by_env() {
+  const char* raw = std::getenv("KAV_NO_METRICS");
+  return raw != nullptr && raw[0] != '\0' &&
+         !(raw[0] == '0' && raw[1] == '\0');
+}
+
+Labels sorted_labels(const Labels& labels) {
+  Labels out = labels;
+  std::sort(out.begin(), out.end());
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    if (out[i - 1].first == out[i].first) {
+      throw std::logic_error("duplicate metric label key: " + out[i].first);
+    }
+  }
+  return out;
+}
+
+// Entry map key: metric name, then each sorted label pair, joined with
+// control bytes no Prometheus-legal name contains. Map order therefore
+// groups every series of a name together, before any longer name that
+// shares the prefix -- which is exactly the snapshot/render order.
+std::string entry_key(const std::string& name, const Labels& labels) {
+  std::string key = name;
+  for (const auto& [k, v] : labels) {
+    key += '\x01';
+    key += k;
+    key += '\x02';
+    key += v;
+  }
+  return key;
+}
+
+}  // namespace
+
+struct MetricsRegistry::Entry {
+  std::string name;
+  std::string help;
+  MetricType type;
+  Labels labels;
+  // Exactly one of these is set, matching `type`.
+  std::unique_ptr<Counter> counter;
+  std::unique_ptr<Gauge> gauge;
+  std::unique_ptr<Histogram> histogram;
+};
+
+MetricsRegistry::MetricsRegistry() {
+  if (metrics_disabled_by_env()) enabled_.store(false);
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    const std::string& name, const std::string& help, const Labels& labels,
+    MetricType type) {
+  Labels sorted = sorted_labels(labels);
+  const std::string key = entry_key(name, sorted);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [type_it, type_inserted] = types_.emplace(name, type);
+  if (!type_inserted && type_it->second != type) {
+    throw std::logic_error("metric '" + name + "' already registered as " +
+                           std::string(to_string(type_it->second)) +
+                           ", requested " + to_string(type));
+  }
+  auto it = entries_.find(key);
+  if (it != entries_.end()) return *it->second;
+
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->type = type;
+  entry->labels = std::move(sorted);
+  switch (type) {
+    case MetricType::counter:
+      entry->counter.reset(new Counter(&enabled_));
+      break;
+    case MetricType::gauge:
+      entry->gauge.reset(new Gauge(&enabled_));
+      break;
+    case MetricType::histogram:
+      entry->histogram.reset(new Histogram(&enabled_));
+      break;
+  }
+  return *entries_.emplace(key, std::move(entry)).first->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const Labels& labels) {
+  return *find_or_create(name, help, labels, MetricType::counter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const Labels& labels) {
+  return *find_or_create(name, help, labels, MetricType::gauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      const Labels& labels) {
+  return *find_or_create(name, help, labels, MetricType::histogram).histogram;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  RegistrySnapshot out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.metrics.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    MetricSnapshot m;
+    m.name = entry->name;
+    m.help = entry->help;
+    m.type = entry->type;
+    m.labels = entry->labels;
+    switch (entry->type) {
+      case MetricType::counter:
+        m.value = static_cast<double>(entry->counter->value());
+        break;
+      case MetricType::gauge:
+        m.value = static_cast<double>(entry->gauge->value());
+        break;
+      case MetricType::histogram:
+        m.histogram = entry->histogram->snapshot();
+        break;
+    }
+    out.metrics.push_back(std::move(m));
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: instruments borrowed from the global registry
+  // (e.g. by a static Engine in a test binary) must stay valid during
+  // static destruction, so the registry must never be destroyed.
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+}  // namespace kav::obs

@@ -1,0 +1,160 @@
+#include "obs/span.h"
+
+#include <cstdlib>
+
+namespace kav::obs {
+
+namespace {
+
+std::uint64_t steady_ns(std::chrono::steady_clock::time_point tp) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
+bool tracing_enabled_by_env() {
+  const char* raw = std::getenv("KAV_TRACE");
+  return raw != nullptr && raw[0] != '\0' &&
+         !(raw[0] == '0' && raw[1] == '\0');
+}
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      static const char* hex = "0123456789abcdef";
+      out += "\\u00";
+      out += hex[(c >> 4) & 0xF];
+      out += hex[c & 0xF];
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void Tracer::record(const TraceEvent& event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++total_;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once the ring wrapped, next_ points at the oldest surviving event.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ - ring_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string Tracer::dump_chrome_json() const {
+  const std::vector<TraceEvent> snapshot = events();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : snapshot) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, e.name);
+    out += "\",\"cat\":\"";
+    append_json_escaped(out, e.category);
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    // chrome://tracing wants microseconds; keep sub-us precision as a
+    // zero-padded fraction (Perfetto accepts fractional ts/dur).
+    const auto append_us = [&out](std::uint64_t ns) {
+      out += std::to_string(ns / 1000);
+      const std::uint64_t frac = ns % 1000;
+      out += '.';
+      out += static_cast<char>('0' + frac / 100);
+      out += static_cast<char>('0' + (frac / 10) % 10);
+      out += static_cast<char>('0' + frac % 10);
+    };
+    out += ",\"ts\":";
+    append_us(e.start_ns);
+    out += ",\"dur\":";
+    append_us(e.duration_ns);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer();
+  static bool init = [] {
+    if (tracing_enabled_by_env()) instance->enable();
+    return true;
+  }();
+  (void)init;
+  return *instance;
+}
+
+void Span::finish() noexcept {
+  if (tracer_ == nullptr) return;
+  const auto end = std::chrono::steady_clock::now();
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.tid = detail::thread_slot();
+  event.start_ns = steady_ns(start_);
+  event.duration_ns = steady_ns(end) - event.start_ns;
+  tracer_->record(event);
+  tracer_ = nullptr;
+}
+
+double ScopedTimer::stop() noexcept {
+  if (histogram_ == nullptr && tracer_ == nullptr) return 0.0;
+  const auto end = std::chrono::steady_clock::now();
+  const auto elapsed = end - start_;
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  if (histogram_ != nullptr) {
+    histogram_->observe(seconds);
+    histogram_ = nullptr;
+  }
+  if (tracer_ != nullptr) {
+    TraceEvent event;
+    event.name = name_;
+    event.category = category_;
+    event.tid = detail::thread_slot();
+    event.start_ns = steady_ns(start_);
+    event.duration_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    tracer_->record(event);
+    tracer_ = nullptr;
+  }
+  return seconds;
+}
+
+}  // namespace kav::obs

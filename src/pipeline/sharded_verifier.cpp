@@ -8,22 +8,101 @@
 #include <utility>
 #include <vector>
 
+#include "obs/span.h"
+
 namespace kav {
 
+// Per-shard pipeline instruments. The kav_verify_* counters mirror
+// VerifyStats field-for-field: each decided shard adds its verdict's
+// stats here, so after a batch run the registry totals equal
+// Report::verify_totals exactly (pinned by the differential test in
+// tests/engine_fuzz_test.cpp). The structs stay the per-run view;
+// these are the process-lifetime series a scraper watches.
+struct ShardedVerifier::Metrics {
+  obs::Histogram& shard_verify_seconds;
+  obs::Histogram& shard_decode_seconds;
+  obs::Counter& shards_verified;
+  obs::Counter& skipped_budget;
+  obs::Counter& skipped_cancelled;
+  obs::Counter& skipped_deadline;
+  obs::Counter& skipped_fail_fast;
+  obs::Counter& steps;
+  obs::Counter& epochs;
+  obs::Counter& candidates;
+  obs::Counter& chunks;
+  obs::Counter& dangling;
+  obs::Counter& orders_tested;
+  obs::Counter& oracle_nodes;
+
+  explicit Metrics(obs::MetricsRegistry& registry)
+      : shard_verify_seconds(registry.histogram(
+            "kav_engine_shard_verify_seconds",
+            "Wall time deciding one per-key shard (decode excluded).")),
+        shard_decode_seconds(registry.histogram(
+            "kav_engine_shard_decode_seconds",
+            "Wall time materializing one lazy shard from its source "
+            "(mmap block decode on the selective path).")),
+        shards_verified(registry.counter(
+            "kav_engine_shards_verified_total",
+            "Per-key shards a decision procedure actually ran on.")),
+        skipped_budget(registry.counter("kav_engine_shards_skipped_total",
+                                        "Shards skipped without deciding.",
+                                        {{"reason", "budget"}})),
+        skipped_cancelled(registry.counter("kav_engine_shards_skipped_total",
+                                           "Shards skipped without deciding.",
+                                           {{"reason", "cancelled"}})),
+        skipped_deadline(registry.counter("kav_engine_shards_skipped_total",
+                                          "Shards skipped without deciding.",
+                                          {{"reason", "deadline"}})),
+        skipped_fail_fast(registry.counter("kav_engine_shards_skipped_total",
+                                           "Shards skipped without deciding.",
+                                           {{"reason", "fail_fast"}})),
+        steps(registry.counter("kav_verify_steps_total",
+                               "LBT/FZF ops processed, reverts included.")),
+        epochs(registry.counter("kav_verify_epochs_total",
+                                "LBT committed epochs.")),
+        candidates(registry.counter("kav_verify_candidates_total",
+                                    "LBT RunEpoch invocations.")),
+        chunks(registry.counter("kav_verify_chunks_total",
+                                "FZF chunk-sequence elements |CS(H)|.")),
+        dangling(registry.counter("kav_verify_dangling_total",
+                                  "FZF dangling backward clusters.")),
+        orders_tested(registry.counter("kav_verify_orders_tested_total",
+                                       "FZF viability subroutine calls.")),
+        oracle_nodes(registry.counter("kav_verify_oracle_nodes_total",
+                                      "Oracle search nodes expanded.")) {}
+
+  void add_stats(const VerifyStats& stats) {
+    steps.add(stats.steps);
+    epochs.add(stats.epochs);
+    candidates.add(stats.candidates_tried);
+    chunks.add(stats.chunks);
+    dangling.add(stats.dangling);
+    orders_tested.add(stats.orders_tested);
+    oracle_nodes.add(stats.nodes);
+  }
+};
+
 ShardedVerifier::ShardedVerifier(VerifyOptions verify_options,
-                                 PipelineOptions pipeline_options)
+                                 PipelineOptions pipeline_options,
+                                 obs::MetricsRegistry* metrics)
     : verify_options_(verify_options),
       pipeline_options_(pipeline_options),
-      owned_pool_(
-          std::make_unique<pipeline::ThreadPool>(pipeline_options.threads)),
-      pool_(owned_pool_.get()) {}
+      owned_pool_(std::make_unique<pipeline::ThreadPool>(
+          pipeline_options.threads, metrics)),
+      pool_(owned_pool_.get()),
+      metrics_(std::make_shared<Metrics>(
+          metrics != nullptr ? *metrics : obs::MetricsRegistry::global())) {}
 
 ShardedVerifier::ShardedVerifier(pipeline::ThreadPool& pool,
                                  VerifyOptions verify_options,
-                                 PipelineOptions pipeline_options)
+                                 PipelineOptions pipeline_options,
+                                 obs::MetricsRegistry* metrics)
     : verify_options_(verify_options),
       pipeline_options_(pipeline_options),
-      pool_(&pool) {}
+      pool_(&pool),
+      metrics_(std::make_shared<Metrics>(
+          metrics != nullptr ? *metrics : obs::MetricsRegistry::global())) {}
 
 KeyedReport ShardedVerifier::verify(const KeyedTrace& trace) {
   return verify(split_by_key(trace));
@@ -76,10 +155,13 @@ KeyedReport ShardedVerifier::verify_shards(const std::vector<ShardSpec>& shards,
   const RunControl* run_ptr = &run;
 
   const auto run_shard = [verify_options, budget, fail_fast, failed,
-                          sink_mutex, run_ptr](const ShardSpec* spec)
+                          sink_mutex, run_ptr,
+                          metrics = metrics_](const ShardSpec* spec)
       -> Verdict {
+        bool decided = false;
         const Verdict verdict = [&]() -> Verdict {
           if (budget > 0 && spec->op_count > budget) {
+            metrics->skipped_budget.add(1);
             return Verdict::make_undecided(
                 "shard exceeds per-shard op budget (" +
                 std::to_string(spec->op_count) + " ops > " +
@@ -91,22 +173,41 @@ KeyedReport ShardedVerifier::verify_shards(const std::vector<ShardSpec>& shards,
           // also landed. All three fire BEFORE a lazy shard decodes
           // anything -- skipping costs no I/O.
           if (run_ptr->cancel.cancelled()) {
+            metrics->skipped_cancelled.add(1);
             return Verdict::make_undecided(kSkipCancelledReason);
           }
           if (run_ptr->deadline.has_value() &&
               std::chrono::steady_clock::now() >= *run_ptr->deadline) {
+            metrics->skipped_deadline.add(1);
             return Verdict::make_undecided(kSkipDeadlineReason);
           }
           if (fail_fast && failed->load(std::memory_order_acquire)) {
+            metrics->skipped_fail_fast.add(1);
             return Verdict::make_undecided(kSkipFailFastReason);
           }
+          decided = true;
           if (spec->pinned != nullptr) {
+            obs::ScopedTimer verify_timer(&metrics->shard_verify_seconds,
+                                          &obs::Tracer::global(),
+                                          "shard.verify", "pipeline");
             return verify_k_atomicity(*spec->pinned, verify_options);
           }
           // Lazy shard: materialize on this worker, decide, discard.
-          const History loaded = spec->load();
+          const History loaded = [&] {
+            obs::ScopedTimer decode_timer(&metrics->shard_decode_seconds,
+                                          &obs::Tracer::global(),
+                                          "shard.decode", "pipeline");
+            return spec->load();
+          }();
+          obs::ScopedTimer verify_timer(&metrics->shard_verify_seconds,
+                                        &obs::Tracer::global(),
+                                        "shard.verify", "pipeline");
           return verify_k_atomicity(loaded, verify_options);
         }();
+        if (decided) {
+          metrics->shards_verified.add(1);
+          metrics->add_stats(verdict.stats);
+        }
         if (fail_fast && verdict.no()) {
           failed->store(true, std::memory_order_release);
         }

@@ -82,13 +82,20 @@ class ShardedVerifier {
   // Owning: spawns a pool sized by pipeline_options.threads. The pool
   // is created once and reused across verify() calls, so a monitor can
   // re-verify batches without respawning threads.
+  //
+  // Both constructors instrument per-shard work (kav_engine_shard_*
+  // latency histograms, kav_verify_* decision-procedure counters) into
+  // `metrics`; nullptr means obs::MetricsRegistry::global(). The
+  // registry must outlive the verifier.
   explicit ShardedVerifier(VerifyOptions verify_options = {},
-                           PipelineOptions pipeline_options = {});
+                           PipelineOptions pipeline_options = {},
+                           obs::MetricsRegistry* metrics = nullptr);
   // Non-owning: runs every shard on the caller's pool, which must
   // outlive the verifier. This is how kav::Engine keeps a process doing
   // batch + online work down to exactly one pool.
   ShardedVerifier(pipeline::ThreadPool& pool, VerifyOptions verify_options = {},
-                  PipelineOptions pipeline_options = {});
+                  PipelineOptions pipeline_options = {},
+                  obs::MetricsRegistry* metrics = nullptr);
 
   KeyedReport verify(const KeyedTrace& trace);
   KeyedReport verify(const KeyedHistories& shards);
@@ -123,6 +130,10 @@ class ShardedVerifier {
   PipelineOptions pipeline_options_;
   std::unique_ptr<pipeline::ThreadPool> owned_pool_;
   pipeline::ThreadPool* pool_;  // owned_pool_.get() or the borrowed pool
+  // Shard latency + decision-procedure instruments (sharded_verifier.cpp);
+  // owned by the registry, shared safely by concurrent run_shard tasks.
+  struct Metrics;
+  std::shared_ptr<Metrics> metrics_;
 };
 
 }  // namespace kav

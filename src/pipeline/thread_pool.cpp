@@ -4,21 +4,58 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "obs/span.h"
+
 namespace kav::pipeline {
 
 namespace {
 std::atomic<std::uint64_t> g_pools_created{0};
 }  // namespace
 
+// All counters are cumulative across every pool wired to the same
+// registry; kav_pool_threads and kav_pool_queue_depth are likewise
+// sums (each pool adds its contribution and removes it on shutdown).
+struct ThreadPool::Metrics {
+  obs::Counter& tasks_submitted;
+  obs::Counter& tasks_completed;
+  obs::Counter& steals;
+  obs::Gauge& queue_depth;
+  obs::Gauge& threads;
+  obs::Histogram& task_seconds;
+
+  explicit Metrics(obs::MetricsRegistry& registry)
+      : tasks_submitted(registry.counter(
+            "kav_pool_tasks_submitted_total",
+            "Tasks submitted to the work-stealing pool.")),
+        tasks_completed(registry.counter(
+            "kav_pool_tasks_completed_total",
+            "Tasks the pool ran to completion (including ones whose "
+            "exception was captured into a future).")),
+        steals(registry.counter(
+            "kav_pool_steals_total",
+            "Tasks claimed from another worker's queue (work stealing).")),
+        queue_depth(registry.gauge(
+            "kav_pool_queue_depth",
+            "Tasks enqueued but not yet claimed by any worker.")),
+        threads(registry.gauge("kav_pool_threads",
+                               "Worker threads across live pools.")),
+        task_seconds(registry.histogram(
+            "kav_pool_task_seconds",
+            "Wall time per pool task, submission excluded.")) {}
+};
+
 std::uint64_t ThreadPool::created_count() {
   return g_pools_created.load(std::memory_order_relaxed);
 }
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, obs::MetricsRegistry* metrics) {
   g_pools_created.fetch_add(1, std::memory_order_relaxed);
+  metrics_ = std::make_unique<Metrics>(
+      metrics != nullptr ? *metrics : obs::MetricsRegistry::global());
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  metrics_->threads.add(static_cast<std::int64_t>(threads));
   queues_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     queues_.push_back(std::make_unique<WorkerQueue>());
@@ -50,11 +87,14 @@ void ThreadPool::enqueue(std::function<void()> task) {
     }
     ++pending_;
   }
+  metrics_->tasks_submitted.add(1);
+  metrics_->queue_depth.add(1);
   wake_.notify_one();
 }
 
 bool ThreadPool::try_run_one(std::size_t self) {
   std::function<void()> task;
+  bool stolen = false;
   {
     WorkerQueue& own = *queues_[self];
     std::lock_guard<std::mutex> lock(own.mutex);
@@ -73,6 +113,7 @@ bool ThreadPool::try_run_one(std::size_t self) {
       if (!victim.tasks.empty()) {
         task = std::move(victim.tasks.back());
         victim.tasks.pop_back();
+        stolen = true;
       }
     }
   }
@@ -81,7 +122,14 @@ bool ThreadPool::try_run_one(std::size_t self) {
     std::lock_guard<std::mutex> lock(state_mutex_);
     --pending_;
   }
-  task();  // packaged_task: exceptions are captured into the future
+  metrics_->queue_depth.sub(1);
+  if (stolen) metrics_->steals.add(1);
+  {
+    obs::ScopedTimer timer(&metrics_->task_seconds, &obs::Tracer::global(),
+                           "pool.task", "pipeline");
+    task();  // packaged_task: exceptions are captured into the future
+  }
+  metrics_->tasks_completed.add(1);
   return true;
 }
 
@@ -107,6 +155,7 @@ void ThreadPool::shutdown() {
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  metrics_->threads.sub(static_cast<std::int64_t>(workers_.size()));
 }
 
 }  // namespace kav::pipeline

@@ -35,12 +35,19 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace kav::pipeline {
 
 class ThreadPool {
  public:
   // threads == 0 picks std::thread::hardware_concurrency() (at least 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  // The pool instruments itself (kav_pool_* metrics: queue depth,
+  // steals, task latency) into `metrics`; nullptr means the process
+  // registry, obs::MetricsRegistry::global(). The registry must
+  // outlive the pool.
+  explicit ThreadPool(std::size_t threads = 0,
+                      obs::MetricsRegistry* metrics = nullptr);
   ~ThreadPool();  // shutdown()
 
   ThreadPool(const ThreadPool&) = delete;
@@ -83,6 +90,11 @@ class ThreadPool {
   // Pops own front, else steals another queue's back. Claims one unit
   // of pending_ on success.
   bool try_run_one(std::size_t self);
+
+  // kav_pool_* instruments, resolved once at construction (see
+  // thread_pool.cpp). Owned by the registry, not the pool.
+  struct Metrics;
+  std::unique_ptr<Metrics> metrics_;
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;

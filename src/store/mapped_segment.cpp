@@ -383,6 +383,7 @@ std::uint64_t MappedSegment::block_records_begin(const BlockEntry& block) const 
     const std::uint32_t computed =
         crc::crc32c(at(block.offset), end - block.offset);
     if (computed != block.crc) {
+      if (options_.crc_failures != nullptr) options_.crc_failures->add(1);
       fail(block.offset, "block checksum mismatch (stored " +
                              hex32(block.crc) + ", computed " +
                              hex32(computed) + ")");
@@ -489,6 +490,9 @@ bool MappedSegment::Cursor::next(std::string_view& key, Operation& op) {
       const std::uint32_t computed =
           crc::crc32c(seg.at(chunk_start), chunk_end - chunk_start);
       if (computed != it->second) {
+        if (seg.options_.crc_failures != nullptr) {
+          seg.options_.crc_failures->add(1);
+        }
         seg.fail(chunk_start, "block checksum mismatch (stored " +
                                   hex32(it->second) + ", computed " +
                                   hex32(computed) + ")");

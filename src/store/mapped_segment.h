@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "history/keyed_trace.h"
+#include "obs/metrics.h"
 #include "store/bloom.h"
 #include "util/time_types.h"
 
@@ -54,6 +55,13 @@ struct MappedSegmentOptions {
   // exists solely so bench_store can price the check -- every product
   // path leaves it on.
   bool verify_block_crc = true;
+  // Incremented once per detected block-checksum mismatch, on every
+  // read path (read_key, BlockCursor, the sequential Cursor), just
+  // before the read throws. TraceStore wires this to its registry's
+  // kav_store_crc_verify_failures_total so corruption is visible to a
+  // scraper even when the thrown error is swallowed upstream. The
+  // counter must outlive the segment; nullptr disables the hook.
+  obs::Counter* crc_failures = nullptr;
 };
 
 class MappedSegment {

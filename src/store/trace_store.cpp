@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "ingest/trace_source.h"
+#include "obs/span.h"
 #include "pipeline/thread_pool.h"
 #include "store/fault_injection.h"
 #include "util/crc32c.h"
@@ -144,6 +145,93 @@ std::optional<ManifestData> read_manifest(const std::filesystem::path& path) {
 
 }  // namespace
 
+// Store instrumentation. Counters are lifetime totals; the three
+// gauges are re-levelled from the live segment set after every
+// committed mutation, so a scraper watching kav_store_bytes_on_disk
+// sees retention and compaction land the moment the MANIFEST commit
+// makes them real.
+struct TraceStore::Metrics {
+  obs::Counter& appends;
+  obs::Counter& compaction_passes;
+  obs::Counter& compaction_folds;
+  obs::Counter& retention_drops;
+  obs::Counter& bloom_checks;
+  obs::Counter& bloom_skips;
+  obs::Counter& bloom_false_positives;
+  obs::Counter& crc_failures;
+  obs::Counter& fsck_runs;
+  obs::Counter& fsck_errors;
+  obs::Counter& maintenance_errors;
+  obs::Gauge& segments;
+  obs::Gauge& bytes_on_disk;
+  obs::Gauge& records;
+
+  explicit Metrics(obs::MetricsRegistry& registry)
+      : appends(registry.counter(
+            "kav_store_appends_total",
+            "Segments committed by append() or import_file().")),
+        compaction_passes(registry.counter(
+            "kav_store_compaction_passes_total",
+            "run_maintenance() invocations (background or direct).")),
+        compaction_folds(registry.counter(
+            "kav_store_compaction_folds_total",
+            "Tiered folds: adjacent same-tier segment runs rewritten "
+            "into one next-tier segment.")),
+        retention_drops(registry.counter(
+            "kav_store_retention_drops_total",
+            "Oldest segments dropped to respect retain_bytes.")),
+        bloom_checks(registry.counter(
+            "kav_store_bloom_checks_total",
+            "Per-segment bloom probes by stat/contains/read_key.")),
+        bloom_skips(registry.counter(
+            "kav_store_bloom_skips_total",
+            "Probes answered 'definitively absent' -- segments never "
+            "touched beyond the filter.")),
+        bloom_false_positives(registry.counter(
+            "kav_store_bloom_false_positives_total",
+            "Probes the filter passed but the key table refuted.")),
+        crc_failures(registry.counter(
+            "kav_store_crc_verify_failures_total",
+            "Block checksum mismatches detected on any read path.")),
+        fsck_runs(registry.counter("kav_store_fsck_runs_total",
+                                   "fsck() invocations.")),
+        fsck_errors(registry.counter("kav_store_fsck_errors_total",
+                                     "Problems reported across fsck() runs.")),
+        maintenance_errors(registry.counter(
+            "kav_store_maintenance_errors_total",
+            "Background maintenance passes that failed (see "
+            "last_maintenance_error()).")),
+        segments(registry.gauge("kav_store_segments",
+                                "Live segments in the store.")),
+        bytes_on_disk(registry.gauge("kav_store_bytes_on_disk",
+                                     "Bytes across live segments.")),
+        records(registry.gauge("kav_store_records",
+                               "Records across live segments.")) {}
+};
+
+void TraceStore::refresh_gauges() const {
+  std::uint64_t bytes = 0;
+  std::uint64_t records = 0;
+  std::size_t count = 0;
+  {
+    std::shared_lock<std::shared_mutex> lock(segments_mutex_);
+    count = segments_.size();
+    for (const auto& segment : segments_) {
+      bytes += segment->size_bytes();
+      records += segment->total_records();
+    }
+  }
+  metrics_->segments.set(static_cast<std::int64_t>(count));
+  metrics_->bytes_on_disk.set(static_cast<std::int64_t>(bytes));
+  metrics_->records.set(static_cast<std::int64_t>(records));
+}
+
+MappedSegmentOptions TraceStore::segment_options() const {
+  MappedSegmentOptions options;
+  options.crc_failures = &metrics_->crc_failures;
+  return options;
+}
+
 namespace store_detail {
 
 std::optional<std::uint64_t> parse_segment_number(const std::string& name) {
@@ -199,8 +287,11 @@ std::filesystem::path TraceStore::manifest_path() const {
   return directory_ / kManifestName;
 }
 
-TraceStore::TraceStore(std::filesystem::path directory)
-    : directory_(std::move(directory)) {
+TraceStore::TraceStore(std::filesystem::path directory,
+                       obs::MetricsRegistry* metrics)
+    : directory_(std::move(directory)),
+      metrics_(std::make_unique<Metrics>(
+          metrics != nullptr ? *metrics : obs::MetricsRegistry::global())) {
   std::error_code ec;
   std::filesystem::create_directories(directory_, ec);
   if (ec || !std::filesystem::is_directory(directory_)) {
@@ -224,7 +315,8 @@ TraceStore::TraceStore(std::filesystem::path directory)
   }
 
   const auto load = [&](const std::filesystem::path& path) {
-    auto segment = std::make_shared<const MappedSegment>(path.string());
+    auto segment =
+        std::make_shared<const MappedSegment>(path.string(), segment_options());
     if (!segment->indexed()) {
       throw std::runtime_error("trace store: segment is not indexed (v2): " +
                                path.string());
@@ -269,6 +361,7 @@ TraceStore::TraceStore(std::filesystem::path directory)
     std::error_code remove_ec;
     std::filesystem::remove(path, remove_ec);  // best effort
   }
+  refresh_gauges();
 }
 
 TraceStore::~TraceStore() { disable_background_compaction(); }
@@ -384,7 +477,8 @@ std::shared_ptr<const MappedSegment> TraceStore::write_segment(
     renamed = true;
     store_detail::fault_point(store_detail::kFaultSegmentAfterRename);
     sync_path(directory_);
-    auto segment = std::make_shared<const MappedSegment>(final_path.string());
+    auto segment = std::make_shared<const MappedSegment>(final_path.string(),
+                                                         segment_options());
     if (!segment->indexed()) {
       throw std::runtime_error(
           "trace store: freshly written segment has no index: " +
@@ -429,6 +523,8 @@ std::filesystem::path TraceStore::append_segment_locked(
     segments_.push_back(std::move(segment));
     numbers_ = std::move(numbers);
   }
+  metrics_->appends.add(1);
+  refresh_gauges();
   return path;
 }
 
@@ -490,9 +586,16 @@ std::optional<KeyStat> TraceStore::stat(const std::string& key) const {
   const BloomProbe probe = bloom_probe(key);
   std::optional<KeyStat> merged;
   for (const auto& segment : snapshot()) {
-    if (!segment->maybe_contains(probe)) continue;  // definitively absent
+    metrics_->bloom_checks.add(1);
+    if (!segment->maybe_contains(probe)) {  // definitively absent
+      metrics_->bloom_skips.add(1);
+      continue;
+    }
     const KeyStat* s = segment->stat(key);
-    if (s == nullptr) continue;  // bloom false positive
+    if (s == nullptr) {  // bloom false positive
+      metrics_->bloom_false_positives.add(1);
+      continue;
+    }
     if (!merged.has_value()) {
       merged = *s;
       continue;
@@ -508,8 +611,13 @@ std::optional<KeyStat> TraceStore::stat(const std::string& key) const {
 bool TraceStore::contains(const std::string& key) const {
   const BloomProbe probe = bloom_probe(key);
   for (const auto& segment : snapshot()) {
-    if (!segment->maybe_contains(probe)) continue;
+    metrics_->bloom_checks.add(1);
+    if (!segment->maybe_contains(probe)) {
+      metrics_->bloom_skips.add(1);
+      continue;
+    }
     if (segment->contains(key)) return true;
+    metrics_->bloom_false_positives.add(1);
   }
   return false;
 }
@@ -522,9 +630,16 @@ History TraceStore::read_key(const std::string& key) const {
   std::vector<const MappedSegment*> holders;
   std::uint64_t expected = 0;
   for (const auto& segment : segments) {
-    if (!segment->maybe_contains(probe)) continue;
+    metrics_->bloom_checks.add(1);
+    if (!segment->maybe_contains(probe)) {
+      metrics_->bloom_skips.add(1);
+      continue;
+    }
     const KeyStat* s = segment->stat(key);
-    if (s == nullptr) continue;
+    if (s == nullptr) {
+      metrics_->bloom_false_positives.add(1);
+      continue;
+    }
     holders.push_back(segment.get());
     expected += s->records;
   }
@@ -616,6 +731,8 @@ void TraceStore::fold_range_locked(std::size_t begin, std::size_t count,
     std::error_code remove_ec;
     std::filesystem::remove(path, remove_ec);  // best effort
   }
+  metrics_->compaction_folds.add(1);
+  refresh_gauges();
 }
 
 std::size_t TraceStore::apply_retention_locked(std::uint64_t retain_bytes) {
@@ -647,10 +764,13 @@ std::size_t TraceStore::apply_retention_locked(std::uint64_t retain_bytes) {
     std::error_code remove_ec;
     std::filesystem::remove(path, remove_ec);  // best effort
   }
+  metrics_->retention_drops.add(drop);
+  refresh_gauges();
   return drop;
 }
 
 std::size_t TraceStore::run_maintenance(const CompactionOptions& options) {
+  metrics_->compaction_passes.add(1);
   std::size_t actions = 0;
   for (;;) {
     // Reacquired per fold so appends interleave with a long run.
@@ -675,6 +795,7 @@ std::size_t TraceStore::run_maintenance(const CompactionOptions& options) {
 }
 
 FsckReport TraceStore::fsck() const {
+  metrics_->fsck_runs.add(1);
   FsckReport report;
   for (const auto& segment : snapshot()) {
     ++report.segments;
@@ -682,6 +803,7 @@ FsckReport TraceStore::fsck() const {
     if (!segment->has_integrity()) ++report.segments_without_integrity;
     report.records += segment->verify_integrity(report.errors);
   }
+  metrics_->fsck_errors.add(report.errors.size());
   return report;
 }
 
@@ -728,6 +850,7 @@ void TraceStore::schedule_maintenance_locked() {
 }
 
 void TraceStore::maintenance_task() {
+  obs::Span span(&obs::Tracer::global(), "store.maintenance", "store");
   CompactionOptions options;
   {
     std::lock_guard<std::mutex> lock(bg_mutex_);
@@ -741,6 +864,7 @@ void TraceStore::maintenance_task() {
   } catch (...) {
     error = "unknown maintenance error";
   }
+  if (!error.empty()) metrics_->maintenance_errors.add(1);
   std::lock_guard<std::mutex> lock(bg_mutex_);
   if (!error.empty()) last_maintenance_error_ = error;
   bg_running_ = false;

@@ -135,7 +135,16 @@ class TraceStore {
   // segment. Throws std::runtime_error when the directory cannot be
   // created, the manifest is corrupt or names a missing segment, or a
   // live segment is corrupt or unindexed.
-  explicit TraceStore(std::filesystem::path directory);
+  //
+  // The store instruments itself (kav_store_* series: appends,
+  // compaction folds, bloom hit/miss, CRC failures, fsck results, and
+  // segments/bytes/records level gauges) into `metrics`; nullptr means
+  // the process registry, obs::MetricsRegistry::global(), and
+  // Engine::open_store injects the engine's. The registry must outlive
+  // the store. The level gauges describe ONE store -- point several
+  // stores at distinct registries if their sizes must stay apart.
+  explicit TraceStore(std::filesystem::path directory,
+                      obs::MetricsRegistry* metrics = nullptr);
   // Quiesces background compaction (waits for an in-flight pass).
   ~TraceStore();
 
@@ -250,7 +259,17 @@ class TraceStore {
   void schedule_maintenance_locked();  // bg_mutex_ held
   void maintenance_task();
 
+  // Re-levels the segments/bytes/records gauges from the live set;
+  // called after every committed mutation (and once at open).
+  void refresh_gauges() const;
+  // Per-segment open options carrying the CRC-failure counter hook.
+  MappedSegmentOptions segment_options() const;
+
   std::filesystem::path directory_;
+
+  // kav_store_* instruments (trace_store.cpp); owned by the registry.
+  struct Metrics;
+  std::unique_ptr<Metrics> metrics_;
 
   // Writer serialization: append/import/compact/maintenance hold this
   // for their full duration (fold passes reacquire per fold so

@@ -1,7 +1,9 @@
 // Minimal command-line flag parsing for the example binaries.
 // Supports --name=value and --name value; everything else is collected
-// as a positional argument. Unknown flags are an error so typos fail
-// loudly rather than silently running a default experiment.
+// as a positional argument. A boolean flag that greedily consumed a
+// following non-boolean token (`--json trace.kavb`) hands it back as a
+// positional at get_bool time. Unknown flags are an error so typos
+// fail loudly rather than silently running a default experiment.
 #ifndef KAV_UTIL_FLAGS_H
 #define KAV_UTIL_FLAGS_H
 
@@ -57,7 +59,19 @@ class Flags {
     note(name);
     auto it = values_.find(name);
     if (it == values_.end()) return def;
-    return it->second == "true" || it->second == "1" || it->second == "yes";
+    if (it->second == "true" || it->second == "1" || it->second == "yes") {
+      return true;
+    }
+    if (it->second == "false" || it->second == "0" || it->second == "no") {
+      return false;
+    }
+    // `--flag path` adjacency: the constructor greedily consumed the
+    // next token as this flag's value, but the caller says the flag is
+    // boolean -- hand the token back as a positional (e.g.
+    // `trace_check --json trace.kavb`) and treat the flag as bare.
+    positional_.push_back(it->second);
+    it->second = "true";
+    return true;
   }
 
   const std::vector<std::string>& positional() const { return positional_; }

@@ -178,5 +178,87 @@ TEST(EngineFuzz, MonitorAgreesWithLegacyMonitorAcrossThreadCounts) {
   }
 }
 
+// Sum of every series of `name` in the snapshot, labels collapsed.
+// Counter and gauge values are integral by construction, so the cast
+// back from the snapshot's double is exact.
+std::uint64_t series_total(const obs::RegistrySnapshot& snapshot,
+                           const std::string& name) {
+  std::uint64_t total = 0;
+  for (const obs::MetricSnapshot& m : snapshot.metrics) {
+    if (m.name == name) total += static_cast<std::uint64_t>(m.value);
+  }
+  return total;
+}
+
+// The registry is not a second bookkeeping system: its counters must
+// equal the legacy VerifyStats / MonitorStats views on the same run.
+// Fresh registry per engine so each trial's totals stand alone.
+TEST(EngineFuzz, RegistryCountersEqualLegacyStatsTotals) {
+  const std::uint64_t seed = fuzz_seed();
+  Rng rng(seed ^ 0x0b5e7ULL);
+  constexpr int kTrials = 8;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    SCOPED_TRACE("reproduce with KAV_FUZZ_SEED=" + std::to_string(seed) +
+                 " (differential trial " + std::to_string(trial) + ")");
+    const KeyedTrace trace = random_trace(rng);
+
+    {
+      obs::MetricsRegistry registry;
+      EngineOptions options;
+      options.threads = 4;
+      options.metrics = &registry;
+      Engine engine(options);
+      const Report report = engine.verify(trace);
+      const obs::RegistrySnapshot snap = engine.snapshot();
+      const VerifyStats& totals = report.verify_totals;
+      EXPECT_EQ(series_total(snap, "kav_verify_steps_total"), totals.steps);
+      EXPECT_EQ(series_total(snap, "kav_verify_epochs_total"), totals.epochs);
+      EXPECT_EQ(series_total(snap, "kav_verify_candidates_total"),
+                totals.candidates_tried);
+      EXPECT_EQ(series_total(snap, "kav_verify_chunks_total"), totals.chunks);
+      EXPECT_EQ(series_total(snap, "kav_verify_dangling_total"),
+                totals.dangling);
+      EXPECT_EQ(series_total(snap, "kav_verify_orders_tested_total"),
+                totals.orders_tested);
+      EXPECT_EQ(series_total(snap, "kav_verify_oracle_nodes_total"),
+                totals.nodes);
+      EXPECT_EQ(series_total(snap, "kav_engine_keys_verified_total"),
+                report.per_key.size());
+      EXPECT_EQ(series_total(snap, "kav_engine_shards_verified_total"),
+                report.per_key.size());
+    }
+
+    {
+      obs::MetricsRegistry registry;
+      EngineOptions options;
+      options.threads = 4;
+      options.metrics = &registry;
+      options.streaming.staleness_horizon = 1 << 22;
+      options.reorder_slack = 1 << 20;
+      Engine engine(options);
+      const Report report = engine.monitor(trace);
+      const obs::RegistrySnapshot snap = engine.snapshot();
+      const MonitorStats& totals = report.monitor_totals;
+      EXPECT_EQ(series_total(snap, "kav_monitor_ops_ingested_total"),
+                totals.operations_ingested);
+      EXPECT_EQ(series_total(snap, "kav_monitor_late_arrivals_total"),
+                totals.late_arrivals);
+      EXPECT_EQ(series_total(snap, "kav_monitor_violations_total"),
+                totals.violations);
+      EXPECT_EQ(series_total(snap, "kav_monitor_chunks_verified_total"),
+                totals.chunks_verified);
+      // The run's findings also flow into the engine-level per-kind
+      // breakdown; kinds collapse back to the same total.
+      EXPECT_EQ(series_total(snap, "kav_engine_findings_total"),
+                totals.violations);
+      // At quiescence (the run's monitor is destroyed before monitor()
+      // returns) every level gauge must have been retired to zero.
+      EXPECT_EQ(series_total(snap, "kav_monitor_queue_backlog"), 0u);
+      EXPECT_EQ(series_total(snap, "kav_monitor_reorder_pending"), 0u);
+      EXPECT_EQ(series_total(snap, "kav_monitor_active_keys"), 0u);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace kav

@@ -6,9 +6,12 @@
 // one-formatter summary contract, and the legacy facade wrappers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -419,6 +422,156 @@ TEST(BorrowedPool, ShardedVerifierRunsOnACallerPool) {
   ASSERT_EQ(parallel.per_key.size(), serial.per_key.size());
   for (const auto& [key, verdict] : serial.per_key) {
     expect_verdicts_equal(parallel.per_key.at(key), verdict);
+  }
+}
+
+// --- Observability (src/obs/ wired through the engine) --------------------
+
+// Distinct value of series `name` summed over its label sets.
+std::uint64_t series_total(const obs::RegistrySnapshot& snapshot,
+                           const std::string& name) {
+  std::uint64_t total = 0;
+  for (const obs::MetricSnapshot& m : snapshot.metrics) {
+    if (m.name == name) total += static_cast<std::uint64_t>(m.value);
+  }
+  return total;
+}
+
+TEST(EngineObs, InjectedRegistryCountsRunLifecycle) {
+  obs::MetricsRegistry registry;
+  EngineOptions options;
+  options.threads = 2;
+  options.metrics = &registry;
+  Engine engine(options);
+  EXPECT_EQ(&engine.metrics(), &registry);
+
+  const KeyedTrace trace = multi_key_trace(3, 12, 55);
+  engine.verify(trace);
+  engine.verify(trace);
+  engine.monitor(trace);
+
+  const obs::RegistrySnapshot snap = engine.snapshot();
+  EXPECT_EQ(series_total(snap, "kav_engine_runs_started_total"), 3u);
+  EXPECT_EQ(series_total(snap, "kav_engine_runs_completed_total"), 3u);
+  EXPECT_EQ(series_total(snap, "kav_engine_runs_cancelled_total"), 0u);
+  // 3 keys per run, batch and monitor alike.
+  EXPECT_EQ(series_total(snap, "kav_engine_keys_verified_total"), 9u);
+  EXPECT_EQ(series_total(snap, "kav_engine_verdicts_total"), 9u);
+  // The pool the engine owns reports into the same registry.
+  EXPECT_GT(series_total(snap, "kav_pool_tasks_completed_total"), 0u);
+  EXPECT_EQ(series_total(snap, "kav_pool_threads"), 2u);
+  // A second engine on the default (global) registry shares nothing
+  // with this one: the injected registry's totals stay put.
+  Engine other;
+  other.verify(trace);
+  EXPECT_EQ(series_total(engine.snapshot(), "kav_engine_runs_started_total"),
+            3u);
+}
+
+TEST(EngineObs, CancelledRunCountsAsCancelled) {
+  obs::MetricsRegistry registry;
+  EngineOptions options;
+  options.metrics = &registry;
+  Engine engine(options);
+  RunOptions run;
+  run.cancel.cancel();  // pre-cancelled: every shard skips
+  engine.verify(multi_key_trace(2, 8, 3), run);
+  const obs::RegistrySnapshot snap = engine.snapshot();
+  EXPECT_EQ(series_total(snap, "kav_engine_runs_cancelled_total"), 1u);
+  EXPECT_EQ(series_total(snap, "kav_engine_runs_completed_total"), 0u);
+  // The skipped shards are visible too, with their reason.
+  EXPECT_EQ(series_total(snap, "kav_engine_shards_skipped_total"), 2u);
+}
+
+TEST(EngineObs, SnapshotIsCoherentDuringALiveRun) {
+  obs::MetricsRegistry registry;
+  EngineOptions options;
+  options.threads = 2;
+  options.metrics = &registry;
+  Engine engine(options);
+
+  const KeyedTrace trace = multi_key_trace(4, 40, 91);
+  PushTraceSource push(8);  // tiny capacity: the run stays live a while
+  std::thread producer([&] {
+    for (const KeyedOperation& kop : trace.ops) push.push(kop);
+    push.close();
+  });
+
+  // Scrape continuously while the monitor run is in flight: counters
+  // must be monotone between snapshots and the lifecycle invariant
+  // started >= completed + cancelled must hold at every instant.
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    std::uint64_t last_ingested = 0;
+    while (!done.load()) {
+      const obs::RegistrySnapshot snap = engine.snapshot();
+      const std::uint64_t ingested =
+          series_total(snap, "kav_monitor_ops_ingested_total");
+      EXPECT_GE(ingested, last_ingested);
+      last_ingested = ingested;
+      EXPECT_GE(series_total(snap, "kav_engine_runs_started_total"),
+                series_total(snap, "kav_engine_runs_completed_total") +
+                    series_total(snap, "kav_engine_runs_cancelled_total"));
+    }
+  });
+
+  const Report report = engine.monitor(push);
+  producer.join();
+  done.store(true);
+  scraper.join();
+
+  EXPECT_EQ(report.monitor_totals.operations_ingested, trace.size());
+  const obs::RegistrySnapshot snap = engine.snapshot();
+  EXPECT_EQ(series_total(snap, "kav_monitor_ops_ingested_total"),
+            trace.size());
+  EXPECT_EQ(series_total(snap, "kav_engine_runs_completed_total"), 1u);
+}
+
+TEST(EngineObs, CatalogSpansEveryLayerWithAtLeast25Metrics) {
+  obs::MetricsRegistry registry;
+  EngineOptions options;
+  options.threads = 2;
+  options.metrics = &registry;
+  Engine engine(options);
+
+  // Exercise every instrumented layer once: batch verify (pipeline +
+  // verify counters), monitor (ingest), and a store round trip
+  // (append, bloom-backed reads, maintenance, fsck).
+  const KeyedTrace trace = multi_key_trace(3, 12, 19);
+  engine.verify(trace);
+  engine.monitor(trace);
+  const auto dir = std::filesystem::path(::testing::TempDir()) /
+                   "kav_engine_obs_catalog";
+  std::filesystem::remove_all(dir);
+  {
+    auto store = engine.open_store(dir.string());
+    store->append(trace);
+    store->contains("key0");
+    store->contains("no-such-key");
+    store->run_maintenance();
+    store->fsck();
+  }
+  std::filesystem::remove_all(dir);
+
+  std::set<std::string> names;
+  const obs::RegistrySnapshot snap = engine.snapshot();
+  for (const obs::MetricSnapshot& m : snap.metrics) names.insert(m.name);
+  // The tentpole's acceptance floor: one scrape exposes the whole
+  // stack. Every layer prefix must be present, and the catalog must
+  // hold at least 25 distinct metric names.
+  EXPECT_GE(names.size(), 25u) << [&] {
+    std::string all;
+    for (const std::string& n : names) all += n + "\n";
+    return all;
+  }();
+  for (const char* prefix :
+       {"kav_engine_", "kav_pool_", "kav_verify_", "kav_monitor_",
+        "kav_store_"}) {
+    EXPECT_TRUE(std::any_of(names.begin(), names.end(),
+                            [prefix](const std::string& n) {
+                              return n.rfind(prefix, 0) == 0;
+                            }))
+        << "no metric with prefix " << prefix;
   }
 }
 

@@ -220,6 +220,25 @@ TEST(Flags, ParsesForms) {
   EXPECT_NO_THROW(flags.check_unknown());
 }
 
+TEST(Flags, BoolFlagHandsBackSwallowedPositional) {
+  // The constructor cannot know --json is boolean, so it greedily
+  // consumes the path as its value; get_bool must undo that.
+  const char* argv[] = {"prog", "--json", "trace.kavb"};
+  Flags flags(3, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.get_bool("json", false));
+  EXPECT_EQ(flags.positional(), std::vector<std::string>{"trace.kavb"});
+  EXPECT_NO_THROW(flags.check_unknown());
+}
+
+TEST(Flags, BoolFlagParsesExplicitValues) {
+  const char* argv[] = {"prog", "--a=true", "--b", "no", "--c=0"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_TRUE(flags.get_bool("a", false));
+  EXPECT_FALSE(flags.get_bool("b", true));
+  EXPECT_FALSE(flags.get_bool("c", true));
+  EXPECT_TRUE(flags.positional().empty());
+}
+
 TEST(Flags, RejectsUnknown) {
   const char* argv[] = {"prog", "--oops=1"};
   Flags flags(2, const_cast<char**>(argv));
