@@ -10,6 +10,15 @@
 // The public front door for all of this is kav::Engine (core/engine.h);
 // ShardedVerifier consumes a RunControl directly for callers that
 // manage their own pool.
+//
+// Concurrency contract: this header is deliberately lock-free, so it
+// carries none of the util/thread_safety.h capability annotations --
+// there is no mutex for fields to be GUARDED_BY. CancelToken is a
+// shared atomic flag (release-store in cancel(), acquire-load in
+// cancelled(): a worker observing the flag also observes everything
+// the canceller wrote before cancelling). RunControl itself is plain
+// data handed to a run before workers start; on_key is invoked
+// serialized by the verifier, never concurrently with itself.
 #ifndef KAV_CORE_RUN_CONTROL_H
 #define KAV_CORE_RUN_CONTROL_H
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -59,47 +58,8 @@ struct KeyedStreamingMonitor::Metrics {
                                    "Distinct keys seen by live monitors.")) {}
 };
 
-struct KeyedStreamingMonitor::KeyState {
-  KeyState(std::string key_name, const MonitorOptions& options)
-      : key(std::move(key_name)),
-        queue(options.queue_capacity),
-        reorder(options.reorder_slack),
-        checker(options.streaming) {}
-
-  const std::string key;
-  pipeline::BoundedQueue<Operation> queue;
-  // True while a drain task is scheduled or running; together with
-  // process_mutex this guarantees at most one drainer per key, so the
-  // (non-thread-safe) reorder buffer and checker see serial access.
-  std::atomic<bool> scheduled{false};
-  std::atomic<std::int64_t> ingested{0};
-  // This key's share of the kav_monitor_queue_backlog gauge (ops
-  // pushed minus ops popped), so the destructor can retire exactly
-  // what was never processed.
-  std::atomic<std::int64_t> backlog{0};
-  std::atomic<TimePoint> newest_start{kTimeMin};
-  std::atomic<TimePoint> oldest_start{kTimeMax};
-
-  std::mutex process_mutex;  // guards everything below
-  ReorderBuffer reorder;
-  StreamingChecker checker;
-  // Violations detected by the monitor layer rather than the checker:
-  // late arrivals, and drain-task failures (which must be surfaced as
-  // findings -- a swallowed exception would wedge the key forever).
-  std::vector<StreamingViolation> extra_violations;
-  std::size_t peak_window = 0;
-  // High-water marks of violations already handed to the live
-  // on_violation sink, so each finding is emitted exactly once.
-  std::size_t reported_checker = 0;
-  std::size_t reported_extra = 0;
-  // High-water marks of what update_key_metrics() already folded into
-  // the registry, so counter deltas are exact (checker totals are
-  // monotone for the life of the key).
-  std::size_t counted_checker = 0;
-  std::size_t counted_extra = 0;
-  std::uint64_t counted_chunks = 0;
-  std::int64_t last_reorder_pending = 0;
-};
+// KeyState is defined in keyed_monitor.h so the locking contracts
+// (KAV_REQUIRES(state.process_mutex)) can name its mutex.
 
 // --- MonitorReport ---------------------------------------------------------
 
@@ -159,27 +119,32 @@ KeyedStreamingMonitor::~KeyedStreamingMonitor() {
   // Retire this monitor's share of the level gauges so a shared
   // registry (several monitors over one Engine lifetime) returns to
   // zero between runs. Counters stay -- they are lifetime series.
-  std::shared_lock<std::shared_mutex> lock(keys_mutex_);
+  util::ReaderMutexLock lock(keys_mutex_);
   for (const auto& [key, state] : keys_) {
     metrics_->queue_backlog.sub(state->backlog.load(std::memory_order_relaxed));
+    // last_reorder_pending is guarded by the key's process_mutex; the
+    // drain tasks have quiesced, but taking the lock keeps the contract
+    // unconditional (and pairs with the acquire of anything the last
+    // drainer published).
+    util::MutexLock state_lock(state->process_mutex);
     metrics_->reorder_pending.sub(state->last_reorder_pending);
   }
   metrics_->active_keys.sub(static_cast<std::int64_t>(keys_.size()));
 }
 
 void KeyedStreamingMonitor::quiesce() {
-  std::unique_lock<std::mutex> lock(drains_mutex_);
-  drains_cv_.wait(lock, [this] { return active_drains_ == 0; });
+  util::MutexLock lock(drains_mutex_);
+  while (active_drains_ != 0) drains_cv_.wait(drains_mutex_);
 }
 
 KeyedStreamingMonitor::KeyState& KeyedStreamingMonitor::state_for(
     const std::string& key) {
   {
-    std::shared_lock<std::shared_mutex> lock(keys_mutex_);
+    util::ReaderMutexLock lock(keys_mutex_);
     auto it = keys_.find(key);
     if (it != keys_.end()) return *it->second;
   }
-  std::unique_lock<std::shared_mutex> lock(keys_mutex_);
+  util::WriterMutexLock lock(keys_mutex_);
   if (!started_) {
     started_ = true;
     start_time_ = std::chrono::steady_clock::now();
@@ -218,7 +183,7 @@ void KeyedStreamingMonitor::ingest(const std::string& key,
   // that lands between its last pop and the release is never stranded.
   if (!state.scheduled.exchange(true, std::memory_order_acq_rel)) {
     {
-      std::lock_guard<std::mutex> lock(drains_mutex_);
+      util::MutexLock lock(drains_mutex_);
       ++active_drains_;
     }
     try {
@@ -229,7 +194,7 @@ void KeyedStreamingMonitor::ingest(const std::string& key,
       // decrement the counter or release the drainer role, and the
       // destructor's quiesce() must not wait forever on it.
       {
-        std::lock_guard<std::mutex> lock(drains_mutex_);
+        util::MutexLock lock(drains_mutex_);
         --active_drains_;
         drains_cv_.notify_all();
       }
@@ -335,7 +300,7 @@ void KeyedStreamingMonitor::drain(KeyState& state) {
   struct DrainGuard {
     KeyedStreamingMonitor* self;
     ~DrainGuard() {
-      std::lock_guard<std::mutex> lock(self->drains_mutex_);
+      util::MutexLock lock(self->drains_mutex_);
       --self->active_drains_;
       self->drains_cv_.notify_all();
     }
@@ -349,7 +314,7 @@ void KeyedStreamingMonitor::drain(KeyState& state) {
       // key and deadlocking producers on its full queue. Failures
       // become hard_anomaly findings instead.
       try {
-        std::lock_guard<std::mutex> lock(state.process_mutex);
+        util::MutexLock lock(state.process_mutex);
         Operation op;
         bool any = false;
         while (state.queue.try_pop(op)) {
@@ -365,7 +330,7 @@ void KeyedStreamingMonitor::drain(KeyState& state) {
                      state.checker.window_size() + state.reorder.pending());
         update_key_metrics(state);
       } catch (const std::exception& e) {
-        std::lock_guard<std::mutex> lock(state.process_mutex);
+        util::MutexLock lock(state.process_mutex);
         state.extra_violations.push_back(
             {StreamingViolation::Kind::hard_anomaly, state.reorder.watermark(),
              std::string("monitor drain failed: ") + e.what()});
@@ -392,14 +357,14 @@ MonitorReport KeyedStreamingMonitor::finish() {
 
   std::vector<std::pair<std::string, KeyState*>> states;
   {
-    std::shared_lock<std::shared_mutex> lock(keys_mutex_);
+    util::ReaderMutexLock lock(keys_mutex_);
     states.reserve(keys_.size());
     for (auto& [key, state] : keys_) states.emplace_back(key, state.get());
   }
 
   MonitorReport report;
   for (auto& [key, state] : states) {
-    std::lock_guard<std::mutex> lock(state->process_mutex);
+    util::MutexLock lock(state->process_mutex);
     Operation op;
     while (state->queue.try_pop(op)) process_one(*state, op);
     state->reorder.flush();
@@ -436,7 +401,7 @@ MonitorStats KeyedStreamingMonitor::snapshot_totals() const {
   bool started = false;
   std::chrono::steady_clock::time_point start_time;
   {
-    std::shared_lock<std::shared_mutex> lock(keys_mutex_);
+    util::ReaderMutexLock lock(keys_mutex_);
     states.reserve(keys_.size());
     for (const auto& [key, state] : keys_) {
       states.emplace_back(key, state.get());
@@ -448,7 +413,7 @@ MonitorStats KeyedStreamingMonitor::snapshot_totals() const {
   for (const auto& [key, state] : states) {
     totals.operations_ingested += static_cast<std::uint64_t>(
         state->ingested.load(std::memory_order_relaxed));
-    std::lock_guard<std::mutex> lock(state->process_mutex);
+    util::MutexLock lock(state->process_mutex);
     for (const StreamingViolation& violation : state->extra_violations) {
       if (violation.kind == StreamingViolation::Kind::late_arrival) {
         ++totals.late_arrivals;
@@ -486,7 +451,7 @@ MonitorStats KeyedStreamingMonitor::snapshot_totals() const {
 }
 
 std::size_t KeyedStreamingMonitor::key_count() const {
-  std::shared_lock<std::shared_mutex> lock(keys_mutex_);
+  util::ReaderMutexLock lock(keys_mutex_);
   return keys_.size();
 }
 

@@ -29,13 +29,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -47,6 +44,7 @@
 #include "obs/metrics.h"
 #include "pipeline/bounded_queue.h"
 #include "pipeline/thread_pool.h"
+#include "util/thread_safety.h"
 
 namespace kav {
 
@@ -117,38 +115,82 @@ class KeyedStreamingMonitor {
 
   // Thread-safe; blocks when the key's queue is full (backpressure).
   // Throws std::logic_error after finish().
-  void ingest(const std::string& key, const Operation& op);
-  void ingest(const KeyedOperation& kop);
+  void ingest(const std::string& key, const Operation& op)
+      KAV_EXCLUDES(keys_mutex_, drains_mutex_);
+  void ingest(const KeyedOperation& kop)
+      KAV_EXCLUDES(keys_mutex_, drains_mutex_);
 
   // Drains every queue, flushes every reorder buffer, finishes every
   // checker, and returns the per-key results. Call once, from one
   // thread, after all producers have stopped.
-  MonitorReport finish();
+  MonitorReport finish() KAV_EXCLUDES(keys_mutex_);
 
   // Aggregated snapshot; safe to call from any thread mid-stream.
-  MonitorStats stats() const;
+  MonitorStats stats() const KAV_EXCLUDES(keys_mutex_);
 
   std::size_t thread_count() const { return pool_->thread_count(); }
-  std::size_t key_count() const;
+  std::size_t key_count() const KAV_EXCLUDES(keys_mutex_);
 
  private:
-  struct KeyState;
+  // Per-key state. Defined here (not in the .cpp) so the KAV_REQUIRES
+  // contracts on the helpers below can name state.process_mutex.
+  struct KeyState {
+    KeyState(std::string key_name, const MonitorOptions& options)
+        : key(std::move(key_name)),
+          queue(options.queue_capacity),
+          reorder(options.reorder_slack),
+          checker(options.streaming) {}
 
-  KeyState& state_for(const std::string& key);
-  void drain(KeyState& state);
+    const std::string key;
+    pipeline::BoundedQueue<Operation> queue;
+    // True while a drain task is scheduled or running; together with
+    // process_mutex this guarantees at most one drainer per key, so the
+    // (non-thread-safe) reorder buffer and checker see serial access.
+    std::atomic<bool> scheduled{false};
+    std::atomic<std::int64_t> ingested{0};
+    // This key's share of the kav_monitor_queue_backlog gauge (ops
+    // pushed minus ops popped), so the destructor can retire exactly
+    // what was never processed.
+    std::atomic<std::int64_t> backlog{0};
+    std::atomic<TimePoint> newest_start{kTimeMin};
+    std::atomic<TimePoint> oldest_start{kTimeMax};
+
+    util::Mutex process_mutex;
+    ReorderBuffer reorder KAV_GUARDED_BY(process_mutex);
+    StreamingChecker checker KAV_GUARDED_BY(process_mutex);
+    // Violations detected by the monitor layer rather than the checker:
+    // late arrivals, and drain-task failures (which must be surfaced as
+    // findings -- a swallowed exception would wedge the key forever).
+    std::vector<StreamingViolation> extra_violations
+        KAV_GUARDED_BY(process_mutex);
+    std::size_t peak_window KAV_GUARDED_BY(process_mutex) = 0;
+    // High-water marks of violations already handed to the live
+    // on_violation sink, so each finding is emitted exactly once.
+    std::size_t reported_checker KAV_GUARDED_BY(process_mutex) = 0;
+    std::size_t reported_extra KAV_GUARDED_BY(process_mutex) = 0;
+    // High-water marks of what update_key_metrics() already folded into
+    // the registry, so counter deltas are exact (checker totals are
+    // monotone for the life of the key).
+    std::size_t counted_checker KAV_GUARDED_BY(process_mutex) = 0;
+    std::size_t counted_extra KAV_GUARDED_BY(process_mutex) = 0;
+    std::uint64_t counted_chunks KAV_GUARDED_BY(process_mutex) = 0;
+    std::int64_t last_reorder_pending KAV_GUARDED_BY(process_mutex) = 0;
+  };
+
+  KeyState& state_for(const std::string& key) KAV_EXCLUDES(keys_mutex_);
+  void drain(KeyState& state) KAV_EXCLUDES(drains_mutex_);
   // Feeds one arrival through the reorder buffer into the checker.
-  // Caller holds state.process_mutex.
-  void process_one(KeyState& state, const Operation& op);
+  void process_one(KeyState& state, const Operation& op)
+      KAV_REQUIRES(state.process_mutex);
   // Reports not-yet-reported violations to options_.on_violation.
-  // Caller holds state.process_mutex.
-  void emit_new_violations(KeyState& state);
+  void emit_new_violations(KeyState& state) KAV_REQUIRES(state.process_mutex);
   // Folds the key's progress since the last call into the registry
   // (violation/chunk deltas via per-key high-water marks, gauge
-  // refreshes). Caller holds state.process_mutex.
-  void update_key_metrics(KeyState& state);
+  // refreshes).
+  void update_key_metrics(KeyState& state) KAV_REQUIRES(state.process_mutex);
   // Blocks until no drain task of this monitor is queued or running.
-  void quiesce();
-  MonitorStats snapshot_totals() const;
+  void quiesce() KAV_EXCLUDES(drains_mutex_);
+  MonitorStats snapshot_totals() const KAV_EXCLUDES(keys_mutex_);
 
   MonitorOptions options_;
   // kav_monitor_* instruments (keyed_monitor.cpp); owned by the
@@ -158,13 +200,15 @@ class KeyedStreamingMonitor {
   std::unique_ptr<pipeline::ThreadPool> owned_pool_;
   pipeline::ThreadPool* pool_;  // owned_pool_.get() or the borrowed pool
 
-  // Guards keys_, started_, start_time_. Shared for the per-ingest
-  // known-key lookup (the hot path stays contention-free across
-  // producers), exclusive only when a key is first seen.
-  mutable std::shared_mutex keys_mutex_;
-  std::unordered_map<std::string, std::unique_ptr<KeyState>> keys_;
-  std::chrono::steady_clock::time_point start_time_;
-  bool started_ = false;
+  // Shared for the per-ingest known-key lookup (the hot path stays
+  // contention-free across producers), exclusive only when a key is
+  // first seen.
+  mutable util::SharedMutex keys_mutex_;
+  std::unordered_map<std::string, std::unique_ptr<KeyState>> keys_
+      KAV_GUARDED_BY(keys_mutex_);
+  std::chrono::steady_clock::time_point start_time_
+      KAV_GUARDED_BY(keys_mutex_);
+  bool started_ KAV_GUARDED_BY(keys_mutex_) = false;
   std::atomic<bool> finished_{false};
   // Set when the user's on_violation sink throws: live emission is
   // disabled for the rest of the run (recorded as a hard_anomaly
@@ -173,9 +217,9 @@ class KeyedStreamingMonitor {
 
   // In-flight drain-task accounting, so a monitor on a borrowed pool
   // can quiesce without shutting the shared pool down.
-  std::mutex drains_mutex_;
-  std::condition_variable drains_cv_;
-  std::size_t active_drains_ = 0;
+  util::Mutex drains_mutex_;
+  util::CondVar drains_cv_;
+  std::size_t active_drains_ KAV_GUARDED_BY(drains_mutex_) = 0;
 };
 
 // The facade overload declared in core/verify.h: replays a complete

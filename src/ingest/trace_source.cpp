@@ -69,9 +69,8 @@ void PushTraceSource::push(std::string key, Operation op) {
 }
 
 void PushTraceSource::push(KeyedOperation kop) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_full_.wait(lock,
-                 [this] { return closed_ || items_.size() < capacity_; });
+  util::MutexLock lock(mutex_);
+  while (!closed_ && items_.size() >= capacity_) not_full_.wait(mutex_);
   if (closed_) {
     throw std::logic_error("PushTraceSource::push after close()");
   }
@@ -81,7 +80,7 @@ void PushTraceSource::push(KeyedOperation kop) {
 
 void PushTraceSource::close() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     closed_ = true;
   }
   not_empty_.notify_all();
@@ -89,8 +88,8 @@ void PushTraceSource::close() {
 }
 
 bool PushTraceSource::next(KeyedOperation& out) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  util::MutexLock lock(mutex_);
+  while (!closed_ && items_.empty()) not_empty_.wait(mutex_);
   if (items_.empty()) return false;  // closed and drained
   out = std::move(items_.front());
   items_.pop_front();
@@ -100,10 +99,13 @@ bool PushTraceSource::next(KeyedOperation& out) {
 
 TraceSource::Pull PushTraceSource::try_next_for(
     KeyedOperation& out, std::chrono::milliseconds wait) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (!not_empty_.wait_for(lock, wait,
-                           [this] { return closed_ || !items_.empty(); })) {
-    return Pull::pending;
+  const auto deadline = std::chrono::steady_clock::now() + wait;
+  util::MutexLock lock(mutex_);
+  while (!closed_ && items_.empty()) {
+    if (not_empty_.wait_until(mutex_, deadline) == std::cv_status::timeout &&
+        !closed_ && items_.empty()) {
+      return Pull::pending;
+    }
   }
   if (items_.empty()) return Pull::closed;  // closed and drained
   out = std::move(items_.front());
@@ -113,7 +115,7 @@ TraceSource::Pull PushTraceSource::try_next_for(
 }
 
 std::string PushTraceSource::describe() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return "push(" + std::to_string(items_.size()) + " queued" +
          (closed_ ? ", closed)" : ")");
 }

@@ -17,18 +17,17 @@
 #define KAV_INGEST_TRACE_SOURCE_H
 
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "history/history.h"
 #include "history/keyed_trace.h"
 #include "ingest/binary_trace.h"
+#include "util/thread_safety.h"
 
 namespace kav {
 
@@ -146,26 +145,31 @@ class PushTraceSource final : public TraceSource {
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
   void push(std::string key, Operation op);
-  void push(KeyedOperation kop);
+  void push(KeyedOperation kop) KAV_EXCLUDES(mutex_);
   // Ends the stream: next() drains what is queued, then returns false.
   // Idempotent.
-  void close();
+  void close() KAV_EXCLUDES(mutex_);
 
-  bool next(KeyedOperation& out) override;
+  bool next(KeyedOperation& out) override KAV_EXCLUDES(mutex_);
   // Times out with Pull::pending instead of blocking forever, so a
   // cancelled Engine::monitor over a push source that is never closed
   // still returns.
   Pull try_next_for(KeyedOperation& out,
-                    std::chrono::milliseconds wait) override;
-  std::string describe() const override;
+                    std::chrono::milliseconds wait) override
+      KAV_EXCLUDES(mutex_);
+  std::string describe() const override KAV_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<KeyedOperation> items_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  // One lock orders the whole handoff: producers block on not_full_
+  // (capacity backpressure), the consumer blocks on not_empty_, and
+  // close() flips closed_ then wakes both sides.
+  mutable util::Mutex mutex_;
+  util::CondVar not_full_;
+  util::CondVar not_empty_;
+  std::deque<KeyedOperation> items_ KAV_GUARDED_BY(mutex_);
+  // Immutable after construction; readable without the lock.
+  const std::size_t capacity_;
+  bool closed_ KAV_GUARDED_BY(mutex_) = false;
 };
 
 // Opens a trace file as a source, deciding text vs binary by magic

@@ -40,10 +40,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/thread_safety.h"
 
 namespace kav::obs {
 
@@ -276,12 +277,18 @@ class MetricsRegistry {
   struct Entry;
 
   Entry& find_or_create(const std::string& name, const std::string& help,
-                        const Labels& labels, MetricType type);
+                        const Labels& labels, MetricType type)
+      KAV_EXCLUDES(mutex_);
 
-  mutable std::mutex mutex_;
+  // Registration-side lock only: instrument creation and snapshot()
+  // serialize here, while add/observe on handed-out instruments stay
+  // lock-free (per-thread atomic cells).
+  mutable util::Mutex mutex_;
   // Keyed by name + serialized labels: map order IS snapshot order.
-  std::map<std::string, std::unique_ptr<Entry>> entries_;
-  std::map<std::string, MetricType> types_;  // one type per name
+  std::map<std::string, std::unique_ptr<Entry>> entries_
+      KAV_GUARDED_BY(mutex_);
+  // One type per name.
+  std::map<std::string, MetricType> types_ KAV_GUARDED_BY(mutex_);
   std::atomic<bool> enabled_{true};
 };
 

@@ -43,7 +43,7 @@ Tracer::Tracer(std::size_t capacity)
 
 void Tracer::record(const TraceEvent& event) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (ring_.size() < capacity_) {
     ring_.push_back(event);
   } else {
@@ -54,7 +54,7 @@ void Tracer::record(const TraceEvent& event) {
 }
 
 std::vector<TraceEvent> Tracer::events() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   // Once the ring wrapped, next_ points at the oldest surviving event.
@@ -65,12 +65,12 @@ std::vector<TraceEvent> Tracer::events() const {
 }
 
 std::uint64_t Tracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return total_ - ring_.size();
 }
 
 void Tracer::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   ring_.clear();
   next_ = 0;
   total_ = 0;
@@ -110,6 +110,7 @@ std::string Tracer::dump_chrome_json() const {
 }
 
 Tracer& Tracer::global() {
+  // kav-lint: allow-next-line(naked-new) intentionally leaked singleton
   static Tracer* instance = new Tracer();
   static bool init = [] {
     if (tracing_enabled_by_env()) instance->enable();

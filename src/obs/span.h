@@ -18,11 +18,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/thread_safety.h"
 
 namespace kav::obs {
 
@@ -71,11 +71,14 @@ class Tracer {
 
  private:
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mutex_;
-  std::vector<TraceEvent> ring_;
-  std::size_t capacity_;
-  std::size_t next_ = 0;     // ring write position once full
-  std::uint64_t total_ = 0;  // lifetime record() count
+  mutable util::Mutex mutex_;
+  std::vector<TraceEvent> ring_ KAV_GUARDED_BY(mutex_);
+  // Immutable after construction; readable without the lock.
+  const std::size_t capacity_;
+  // Ring write position once full.
+  std::size_t next_ KAV_GUARDED_BY(mutex_) = 0;
+  // Lifetime record() count.
+  std::uint64_t total_ KAV_GUARDED_BY(mutex_) = 0;
 };
 
 // RAII span: records [construction, destruction) into `tracer` under

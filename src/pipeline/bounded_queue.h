@@ -10,11 +10,11 @@
 #ifndef KAV_PIPELINE_BOUNDED_QUEUE_H
 #define KAV_PIPELINE_BOUNDED_QUEUE_H
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "util/thread_safety.h"
 
 namespace kav::pipeline {
 
@@ -28,23 +28,23 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   // Blocks until there is room (backpressure), then enqueues.
-  void push(T value) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock, [this] { return items_.size() < capacity_; });
+  void push(T value) KAV_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    while (items_.size() >= capacity_) not_full_.wait(mutex_);
     items_.push_back(std::move(value));
   }
 
   // Enqueues only if there is room; never blocks.
-  bool try_push(T value) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool try_push(T value) KAV_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     if (items_.size() >= capacity_) return false;
     items_.push_back(std::move(value));
     return true;
   }
 
   // Dequeues into `out` if an item is available; never blocks.
-  bool try_pop(T& out) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool try_pop(T& out) KAV_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     if (items_.empty()) return false;
     out = std::move(items_.front());
     items_.pop_front();
@@ -52,23 +52,24 @@ class BoundedQueue {
     return true;
   }
 
-  bool empty() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool empty() const KAV_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return items_.empty();
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t size() const KAV_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
     return items_.size();
   }
 
   std::size_t capacity() const { return capacity_; }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  std::size_t capacity_;
+  mutable util::Mutex mutex_;
+  util::CondVar not_full_;
+  std::deque<T> items_ KAV_GUARDED_BY(mutex_);
+  // Immutable after construction; readable without the lock.
+  const std::size_t capacity_;
 };
 
 }  // namespace kav::pipeline

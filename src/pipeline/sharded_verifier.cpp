@@ -3,12 +3,12 @@
 #include <atomic>
 #include <chrono>
 #include <future>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/span.h"
+#include "util/thread_safety.h"
 
 namespace kav {
 
@@ -143,7 +143,7 @@ KeyedReport ShardedVerifier::verify_shards(const std::vector<ShardSpec>& shards,
   // the token inside `run` -- also per call, by construction.
   auto failed = std::make_shared<std::atomic<bool>>(false);
   // Serializes the optional live per-key callback across workers.
-  auto sink_mutex = std::make_shared<std::mutex>();
+  auto sink_mutex = std::make_shared<util::Mutex>();
   const bool fail_fast = pipeline_options_.fail_fast;
   const std::size_t budget = pipeline_options_.shard_op_budget;
   const VerifyOptions verify_options = options;
@@ -215,7 +215,7 @@ KeyedReport ShardedVerifier::verify_shards(const std::vector<ShardSpec>& shards,
         // (budget, cancel, deadline, fail-fast) included: a progress
         // consumer counting callbacks sees exactly one per key.
         if (run_ptr->on_key) {
-          std::lock_guard<std::mutex> lock(*sink_mutex);
+          util::MutexLock lock(*sink_mutex);
           run_ptr->on_key(spec->key, verdict);
         }
         return verdict;

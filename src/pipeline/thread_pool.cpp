@@ -70,7 +70,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> state_lock(state_mutex_);
+    util::MutexLock state_lock(state_mutex_);
     if (stopping_) {
       throw std::runtime_error("ThreadPool::submit after shutdown");
     }
@@ -82,7 +82,7 @@ void ThreadPool::enqueue(std::function<void()> task) {
       // Pushing before ++pending_ means a woken worker always finds the
       // task; incrementing first would let idle workers spin through
       // empty queues until the push lands.
-      std::lock_guard<std::mutex> queue_lock(queues_[target]->mutex);
+      util::MutexLock queue_lock(queues_[target]->mutex);
       queues_[target]->tasks.push_back(std::move(task));
     }
     ++pending_;
@@ -97,7 +97,7 @@ bool ThreadPool::try_run_one(std::size_t self) {
   bool stolen = false;
   {
     WorkerQueue& own = *queues_[self];
-    std::lock_guard<std::mutex> lock(own.mutex);
+    util::MutexLock lock(own.mutex);
     if (!own.tasks.empty()) {
       task = std::move(own.tasks.front());
       own.tasks.pop_front();
@@ -109,7 +109,7 @@ bool ThreadPool::try_run_one(std::size_t self) {
     // are spread instead of piling onto worker 0.
     for (std::size_t hop = 1; hop < queues_.size() && !task; ++hop) {
       WorkerQueue& victim = *queues_[(self + hop) % queues_.size()];
-      std::lock_guard<std::mutex> lock(victim.mutex);
+      util::MutexLock lock(victim.mutex);
       if (!victim.tasks.empty()) {
         task = std::move(victim.tasks.back());
         victim.tasks.pop_back();
@@ -119,7 +119,7 @@ bool ThreadPool::try_run_one(std::size_t self) {
   }
   if (!task) return false;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    util::MutexLock lock(state_mutex_);
     --pending_;
   }
   metrics_->queue_depth.sub(1);
@@ -136,15 +136,15 @@ bool ThreadPool::try_run_one(std::size_t self) {
 void ThreadPool::run_worker(std::size_t self) {
   for (;;) {
     if (try_run_one(self)) continue;
-    std::unique_lock<std::mutex> lock(state_mutex_);
-    wake_.wait(lock, [this] { return stopping_ || pending_ > 0; });
+    util::MutexLock lock(state_mutex_);
+    while (!stopping_ && pending_ == 0) wake_.wait(state_mutex_);
     if (stopping_ && pending_ == 0) return;
   }
 }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    util::MutexLock lock(state_mutex_);
     if (stopping_) {
       // Idempotent: the first call already joined the workers.
       return;

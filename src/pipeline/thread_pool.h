@@ -22,20 +22,19 @@
 #ifndef KAV_PIPELINE_THREAD_POOL_H
 #define KAV_PIPELINE_THREAD_POOL_H
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "util/thread_safety.h"
 
 namespace kav::pipeline {
 
@@ -80,16 +79,21 @@ class ThreadPool {
   void shutdown();
 
  private:
+  // Locking contract: state_mutex_ orders the submission cursor, the
+  // pending-task count, and shutdown; each WorkerQueue's own mutex
+  // orders its deque. The only nesting anywhere is state_mutex_ ->
+  // queue mutex (enqueue); workers never take state_mutex_ while
+  // holding a queue mutex.
   struct WorkerQueue {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    util::Mutex mutex;
+    std::deque<std::function<void()>> tasks KAV_GUARDED_BY(mutex);
   };
 
-  void enqueue(std::function<void()> task);
-  void run_worker(std::size_t self);
+  void enqueue(std::function<void()> task) KAV_EXCLUDES(state_mutex_);
+  void run_worker(std::size_t self) KAV_EXCLUDES(state_mutex_);
   // Pops own front, else steals another queue's back. Claims one unit
   // of pending_ on success.
-  bool try_run_one(std::size_t self);
+  bool try_run_one(std::size_t self) KAV_EXCLUDES(state_mutex_);
 
   // kav_pool_* instruments, resolved once at construction (see
   // thread_pool.cpp). Owned by the registry, not the pool.
@@ -99,11 +103,13 @@ class ThreadPool {
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
 
-  std::mutex state_mutex_;  // guards the three fields below
-  std::condition_variable wake_;
-  std::size_t next_queue_ = 0;  // round-robin submission cursor
-  std::size_t pending_ = 0;     // queued tasks not yet claimed
-  bool stopping_ = false;
+  util::Mutex state_mutex_;
+  util::CondVar wake_;
+  // Round-robin submission cursor.
+  std::size_t next_queue_ KAV_GUARDED_BY(state_mutex_) = 0;
+  // Queued tasks not yet claimed by any worker.
+  std::size_t pending_ KAV_GUARDED_BY(state_mutex_) = 0;
+  bool stopping_ KAV_GUARDED_BY(state_mutex_) = false;
 };
 
 }  // namespace kav::pipeline

@@ -214,7 +214,7 @@ void TraceStore::refresh_gauges() const {
   std::uint64_t records = 0;
   std::size_t count = 0;
   {
-    std::shared_lock<std::shared_mutex> lock(segments_mutex_);
+    util::ReaderMutexLock lock(segments_mutex_);
     count = segments_.size();
     for (const auto& segment : segments_) {
       bytes += segment->size_bytes();
@@ -368,12 +368,12 @@ TraceStore::~TraceStore() { disable_background_compaction(); }
 
 std::vector<std::shared_ptr<const MappedSegment>> TraceStore::snapshot()
     const {
-  std::shared_lock<std::shared_mutex> lock(segments_mutex_);
+  util::ReaderMutexLock lock(segments_mutex_);
   return segments_;
 }
 
 std::size_t TraceStore::segment_count() const {
-  std::shared_lock<std::shared_mutex> lock(segments_mutex_);
+  util::ReaderMutexLock lock(segments_mutex_);
   return segments_.size();
 }
 
@@ -504,7 +504,14 @@ std::filesystem::path TraceStore::append_segment_locked(
       write_segment(number, records_per_block, std::forward<Feed>(feed));
   const std::filesystem::path path(segment->path());
 
-  std::vector<std::uint64_t> numbers = numbers_;
+  std::vector<std::uint64_t> numbers;
+  {
+    // Writers are serialized on writer_mutex_, so nobody can swap the
+    // set between this read and the exclusive swap below -- but reads
+    // of numbers_ still take the shared side: that is the contract.
+    util::ReaderMutexLock lock(segments_mutex_);
+    numbers = numbers_;
+  }
   numbers.push_back(number);
   store_detail::fault_point(store_detail::kFaultAppendBeforeManifest);
   try {
@@ -519,7 +526,7 @@ std::filesystem::path TraceStore::append_segment_locked(
   }
   next_number_ = number + 1;
   {
-    std::unique_lock<std::shared_mutex> lock(segments_mutex_);
+    util::WriterMutexLock lock(segments_mutex_);
     segments_.push_back(std::move(segment));
     numbers_ = std::move(numbers);
   }
@@ -532,7 +539,7 @@ std::filesystem::path TraceStore::append(const KeyedTrace& trace,
                                          std::size_t records_per_block) {
   std::filesystem::path path;
   {
-    std::lock_guard<std::mutex> writer(writer_mutex_);
+    util::MutexLock writer(writer_mutex_);
     path = append_segment_locked(
         records_per_block, [&](SegmentWriter& writer) { writer.add(trace); });
   }
@@ -544,7 +551,7 @@ std::filesystem::path TraceStore::import_file(const std::string& path,
                                               std::size_t records_per_block) {
   std::filesystem::path segment_file;
   {
-    std::lock_guard<std::mutex> writer(writer_mutex_);
+    util::MutexLock writer(writer_mutex_);
     segment_file =
         append_segment_locked(records_per_block, [&](SegmentWriter& writer) {
           const std::unique_ptr<TraceSource> source = open_trace_source(path);
@@ -659,19 +666,28 @@ std::unique_ptr<IndexedTraceSource> TraceStore::open_source() const {
 
 std::size_t TraceStore::compact(std::size_t first_n,
                                 std::size_t records_per_block) {
-  std::lock_guard<std::mutex> writer(writer_mutex_);
-  const std::size_t count = segments_.size();
+  util::MutexLock writer(writer_mutex_);
+  std::size_t count = 0;
+  {
+    util::ReaderMutexLock lock(segments_mutex_);
+    count = segments_.size();
+  }
   if (first_n == 0 || first_n > count) first_n = count;
   if (first_n < 2) return count;
   fold_range_locked(0, first_n, records_per_block);
+  util::ReaderMutexLock lock(segments_mutex_);
   return segments_.size();
 }
 
 void TraceStore::fold_range_locked(std::size_t begin, std::size_t count,
                                    std::size_t records_per_block) {
-  std::vector<std::shared_ptr<const MappedSegment>> victims(
-      segments_.begin() + static_cast<std::ptrdiff_t>(begin),
-      segments_.begin() + static_cast<std::ptrdiff_t>(begin + count));
+  std::vector<std::shared_ptr<const MappedSegment>> victims;
+  {
+    util::ReaderMutexLock lock(segments_mutex_);
+    victims.assign(
+        segments_.begin() + static_cast<std::ptrdiff_t>(begin),
+        segments_.begin() + static_cast<std::ptrdiff_t>(begin + count));
+  }
 
   // The folded segment gets a NEW number and its replay position comes
   // from the manifest, so at no instant do the fold and its victims
@@ -691,13 +707,17 @@ void TraceStore::fold_range_locked(std::size_t begin, std::size_t count,
       });
 
   std::vector<std::uint64_t> numbers;
-  numbers.reserve(numbers_.size() - count + 1);
-  numbers.insert(numbers.end(), numbers_.begin(),
-                 numbers_.begin() + static_cast<std::ptrdiff_t>(begin));
-  numbers.push_back(number);
-  numbers.insert(numbers.end(),
-                 numbers_.begin() + static_cast<std::ptrdiff_t>(begin + count),
-                 numbers_.end());
+  {
+    util::ReaderMutexLock lock(segments_mutex_);
+    numbers.reserve(numbers_.size() - count + 1);
+    numbers.insert(numbers.end(), numbers_.begin(),
+                   numbers_.begin() + static_cast<std::ptrdiff_t>(begin));
+    numbers.push_back(number);
+    numbers.insert(
+        numbers.end(),
+        numbers_.begin() + static_cast<std::ptrdiff_t>(begin + count),
+        numbers_.end());
+  }
 
   // The manifest rename is the commit point: before it, reopen serves
   // the victims and sweeps the fold; after it, the fold replaces them
@@ -714,7 +734,7 @@ void TraceStore::fold_range_locked(std::size_t begin, std::size_t count,
   store_detail::fault_point(store_detail::kFaultCompactAfterManifest);
   next_number_ = number + 1;
   {
-    std::unique_lock<std::shared_mutex> lock(segments_mutex_);
+    util::WriterMutexLock lock(segments_mutex_);
     segments_.erase(
         segments_.begin() + static_cast<std::ptrdiff_t>(begin),
         segments_.begin() + static_cast<std::ptrdiff_t>(begin + count));
@@ -736,22 +756,26 @@ void TraceStore::fold_range_locked(std::size_t begin, std::size_t count,
 }
 
 std::size_t TraceStore::apply_retention_locked(std::uint64_t retain_bytes) {
-  std::uint64_t total = 0;
-  for (const auto& segment : segments_) total += segment->size_bytes();
   std::size_t drop = 0;
-  while (drop + 1 < segments_.size() && total > retain_bytes) {
-    total -= segments_[drop]->size_bytes();
-    ++drop;
-  }
-  if (drop == 0) return 0;
-
-  std::vector<std::uint64_t> numbers(
-      numbers_.begin() + static_cast<std::ptrdiff_t>(drop), numbers_.end());
-  commit_manifest(numbers, next_number_);
-  std::vector<std::shared_ptr<const MappedSegment>> dropped(
-      segments_.begin(), segments_.begin() + static_cast<std::ptrdiff_t>(drop));
+  std::vector<std::uint64_t> numbers;
+  std::vector<std::shared_ptr<const MappedSegment>> dropped;
   {
-    std::unique_lock<std::shared_mutex> lock(segments_mutex_);
+    util::ReaderMutexLock lock(segments_mutex_);
+    std::uint64_t total = 0;
+    for (const auto& segment : segments_) total += segment->size_bytes();
+    while (drop + 1 < segments_.size() && total > retain_bytes) {
+      total -= segments_[drop]->size_bytes();
+      ++drop;
+    }
+    if (drop == 0) return 0;
+    numbers.assign(numbers_.begin() + static_cast<std::ptrdiff_t>(drop),
+                   numbers_.end());
+    dropped.assign(segments_.begin(),
+                   segments_.begin() + static_cast<std::ptrdiff_t>(drop));
+  }
+  commit_manifest(numbers, next_number_);
+  {
+    util::WriterMutexLock lock(segments_mutex_);
     segments_.erase(segments_.begin(),
                     segments_.begin() + static_cast<std::ptrdiff_t>(drop));
     numbers_ = std::move(numbers);
@@ -774,11 +798,14 @@ std::size_t TraceStore::run_maintenance(const CompactionOptions& options) {
   std::size_t actions = 0;
   for (;;) {
     // Reacquired per fold so appends interleave with a long run.
-    std::lock_guard<std::mutex> writer(writer_mutex_);
+    util::MutexLock writer(writer_mutex_);
     std::vector<std::uint64_t> records;
-    records.reserve(segments_.size());
-    for (const auto& segment : segments_) {
-      records.push_back(segment->total_records());
+    {
+      util::ReaderMutexLock lock(segments_mutex_);
+      records.reserve(segments_.size());
+      for (const auto& segment : segments_) {
+        records.push_back(segment->total_records());
+      }
     }
     const auto range = store_detail::pick_fold_range(records, options);
     if (range.has_value()) {
@@ -809,7 +836,7 @@ FsckReport TraceStore::fsck() const {
 
 void TraceStore::enable_background_compaction(pipeline::ThreadPool& pool,
                                               CompactionOptions options) {
-  std::lock_guard<std::mutex> lock(bg_mutex_);
+  util::MutexLock lock(bg_mutex_);
   bg_pool_ = &pool;
   bg_options_ = options;
   bg_enabled_ = true;
@@ -817,19 +844,19 @@ void TraceStore::enable_background_compaction(pipeline::ThreadPool& pool,
 }
 
 void TraceStore::disable_background_compaction() {
-  std::unique_lock<std::mutex> lock(bg_mutex_);
+  util::MutexLock lock(bg_mutex_);
   bg_enabled_ = false;
-  bg_cv_.wait(lock, [this] { return !bg_running_; });
+  while (bg_running_) bg_cv_.wait(bg_mutex_);
   bg_pool_ = nullptr;
 }
 
 std::string TraceStore::last_maintenance_error() const {
-  std::lock_guard<std::mutex> lock(bg_mutex_);
+  util::MutexLock lock(bg_mutex_);
   return last_maintenance_error_;
 }
 
 void TraceStore::maybe_schedule_maintenance() {
-  std::lock_guard<std::mutex> lock(bg_mutex_);
+  util::MutexLock lock(bg_mutex_);
   schedule_maintenance_locked();
 }
 
@@ -853,7 +880,7 @@ void TraceStore::maintenance_task() {
   obs::Span span(&obs::Tracer::global(), "store.maintenance", "store");
   CompactionOptions options;
   {
-    std::lock_guard<std::mutex> lock(bg_mutex_);
+    util::MutexLock lock(bg_mutex_);
     options = bg_options_;
   }
   std::string error;
@@ -865,7 +892,7 @@ void TraceStore::maintenance_task() {
     error = "unknown maintenance error";
   }
   if (!error.empty()) metrics_->maintenance_errors.add(1);
-  std::lock_guard<std::mutex> lock(bg_mutex_);
+  util::MutexLock lock(bg_mutex_);
   if (!error.empty()) last_maintenance_error_ = error;
   bg_running_ = false;
   bg_cv_.notify_all();

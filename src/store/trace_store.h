@@ -44,14 +44,11 @@
 #ifndef KAV_STORE_TRACE_STORE_H
 #define KAV_STORE_TRACE_STORE_H
 
-#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -61,6 +58,7 @@
 #include "store/indexed_source.h"
 #include "store/mapped_segment.h"
 #include "store/segment_writer.h"
+#include "util/thread_safety.h"
 
 namespace kav {
 
@@ -152,18 +150,20 @@ class TraceStore {
   TraceStore& operator=(const TraceStore&) = delete;
 
   const std::filesystem::path& directory() const { return directory_; }
-  std::size_t segment_count() const;
-  std::vector<SegmentInfo> segments() const;
-  std::uint64_t total_records() const;
+  std::size_t segment_count() const KAV_EXCLUDES(segments_mutex_);
+  std::vector<SegmentInfo> segments() const KAV_EXCLUDES(segments_mutex_);
+  std::uint64_t total_records() const KAV_EXCLUDES(segments_mutex_);
 
   // Writes `trace` as a new indexed segment; returns its path.
   std::filesystem::path append(const KeyedTrace& trace,
-                               std::size_t records_per_block = 4096);
+                               std::size_t records_per_block = 4096)
+      KAV_EXCLUDES(writer_mutex_);
   // Streams a trace file in any readable format (text, .kavb v1 or
   // v2) into a new indexed segment -- O(chunk) memory for binary
   // inputs. Returns the new segment's path.
   std::filesystem::path import_file(const std::string& path,
-                                    std::size_t records_per_block = 4096);
+                                    std::size_t records_per_block = 4096)
+      KAV_EXCLUDES(writer_mutex_);
 
   // Key listing/statting across all segments, straight from the
   // indexes (no record decoding). keys() is sorted. stat/contains
@@ -191,14 +191,16 @@ class TraceStore {
   // at any step reopens as either all victims or only the folded
   // segment, never both.
   std::size_t compact(std::size_t first_n = 0,
-                      std::size_t records_per_block = 4096);
+                      std::size_t records_per_block = 4096)
+      KAV_EXCLUDES(writer_mutex_);
 
   // One synchronous maintenance pass: tiered folds per `options`
   // (pick_fold_range) until none applies, then retention. Returns the
   // number of folds + retention drops performed. This is exactly what
   // the background task runs; callers without a pool can drive it
   // directly.
-  std::size_t run_maintenance(const CompactionOptions& options = {});
+  std::size_t run_maintenance(const CompactionOptions& options = {})
+      KAV_EXCLUDES(writer_mutex_);
 
   // Re-verifies every live segment: footer structure, per-block
   // CRC32C, every record decode, bloom self-check. Read-only and
@@ -210,13 +212,14 @@ class TraceStore {
   // must outlive the store (or a disable_background_compaction()
   // call). Replaces any earlier enable's pool/options.
   void enable_background_compaction(pipeline::ThreadPool& pool,
-                                    CompactionOptions options = {});
+                                    CompactionOptions options = {})
+      KAV_EXCLUDES(bg_mutex_);
   // Quiesce: no new passes are scheduled, and any in-flight pass has
   // finished when this returns. Idempotent.
-  void disable_background_compaction();
+  void disable_background_compaction() KAV_EXCLUDES(bg_mutex_);
   // Last error a background pass swallowed ("" when none): background
   // maintenance must not crash the process, so failures land here.
-  std::string last_maintenance_error() const;
+  std::string last_maintenance_error() const KAV_EXCLUDES(bg_mutex_);
 
  private:
   std::filesystem::path segment_path(std::uint64_t number) const;
@@ -224,7 +227,8 @@ class TraceStore {
 
   // Reader-side view of the live segment set. Cheap (shared_ptr
   // copies) and immutable once taken.
-  std::vector<std::shared_ptr<const MappedSegment>> snapshot() const;
+  std::vector<std::shared_ptr<const MappedSegment>> snapshot() const
+      KAV_EXCLUDES(segments_mutex_);
 
   // Writes a segment file at `number` from `feed(writer)`, maps it,
   // and returns the mapping. The file is written under a .tmp name,
@@ -243,25 +247,28 @@ class TraceStore {
   void commit_manifest(const std::vector<std::uint64_t>& numbers,
                        std::uint64_t next) const;
 
-  // Shared append path; writer_mutex_ held.
+  // Shared append path.
   template <typename Feed>
   std::filesystem::path append_segment_locked(std::size_t records_per_block,
-                                              Feed&& feed);
+                                              Feed&& feed)
+      KAV_REQUIRES(writer_mutex_);
   // Folds segments_[begin, begin+count) into one new segment;
-  // writer_mutex_ held, count >= 2.
+  // count >= 2.
   void fold_range_locked(std::size_t begin, std::size_t count,
-                         std::size_t records_per_block);
-  // Drops oldest segments while over `retain_bytes` (keeps >= 1);
-  // writer_mutex_ held. Returns segments dropped.
-  std::size_t apply_retention_locked(std::uint64_t retain_bytes);
+                         std::size_t records_per_block)
+      KAV_REQUIRES(writer_mutex_);
+  // Drops oldest segments while over `retain_bytes` (keeps >= 1).
+  // Returns segments dropped.
+  std::size_t apply_retention_locked(std::uint64_t retain_bytes)
+      KAV_REQUIRES(writer_mutex_);
 
-  void maybe_schedule_maintenance();
-  void schedule_maintenance_locked();  // bg_mutex_ held
-  void maintenance_task();
+  void maybe_schedule_maintenance() KAV_EXCLUDES(bg_mutex_);
+  void schedule_maintenance_locked() KAV_REQUIRES(bg_mutex_);
+  void maintenance_task() KAV_EXCLUDES(bg_mutex_, writer_mutex_);
 
   // Re-levels the segments/bytes/records gauges from the live set;
   // called after every committed mutation (and once at open).
-  void refresh_gauges() const;
+  void refresh_gauges() const KAV_EXCLUDES(segments_mutex_);
   // Per-segment open options carrying the CRC-failure counter hook.
   MappedSegmentOptions segment_options() const;
 
@@ -273,25 +280,29 @@ class TraceStore {
 
   // Writer serialization: append/import/compact/maintenance hold this
   // for their full duration (fold passes reacquire per fold so
-  // appends interleave with a long compaction run).
-  std::mutex writer_mutex_;
-  // Guards the in-memory segment set for the reader snapshot;
-  // writers swap under the exclusive side, readers copy under the
-  // shared side. Only writers (serialized above) ever modify.
-  mutable std::shared_mutex segments_mutex_;
-  std::vector<std::shared_ptr<const MappedSegment>> segments_;  // replay order
-  std::vector<std::uint64_t> numbers_;  // parallel to segments_
-  std::uint64_t next_number_ = 1;       // writer_mutex_ holder only
+  // appends interleave with a long compaction run). Always taken
+  // before segments_mutex_.
+  util::Mutex writer_mutex_ KAV_ACQUIRED_BEFORE(segments_mutex_);
+  // Guards the in-memory segment set: writers swap under the
+  // exclusive side, readers (snapshot(), and writer-path scans) copy
+  // under the shared side. Only writers (serialized above) ever
+  // modify, so a writer's shared hold can never see a torn set.
+  mutable util::SharedMutex segments_mutex_;
+  std::vector<std::shared_ptr<const MappedSegment>> segments_
+      KAV_GUARDED_BY(segments_mutex_);  // replay order
+  std::vector<std::uint64_t> numbers_
+      KAV_GUARDED_BY(segments_mutex_);  // parallel to segments_
+  std::uint64_t next_number_ KAV_GUARDED_BY(writer_mutex_) = 1;
 
   // Background compaction accounting (quiesce mirrors the keyed
   // monitor's drain: flag off, wait for running to clear).
-  mutable std::mutex bg_mutex_;
-  std::condition_variable bg_cv_;
-  bool bg_enabled_ = false;
-  bool bg_running_ = false;
-  pipeline::ThreadPool* bg_pool_ = nullptr;
-  CompactionOptions bg_options_;
-  std::string last_maintenance_error_;
+  mutable util::Mutex bg_mutex_;
+  util::CondVar bg_cv_;
+  bool bg_enabled_ KAV_GUARDED_BY(bg_mutex_) = false;
+  bool bg_running_ KAV_GUARDED_BY(bg_mutex_) = false;
+  pipeline::ThreadPool* bg_pool_ KAV_GUARDED_BY(bg_mutex_) = nullptr;
+  CompactionOptions bg_options_ KAV_GUARDED_BY(bg_mutex_);
+  std::string last_maintenance_error_ KAV_GUARDED_BY(bg_mutex_);
 };
 
 }  // namespace kav

@@ -1,0 +1,233 @@
+// Compile-time concurrency proofs: Clang capability-analysis macros
+// plus the annotated synchronization wrappers every lock in the tree
+// goes through. With clang and -Wthread-safety (ci.sh --tidy, or
+// -DKAV_THREAD_SAFETY=ON), each class's locking contract -- which
+// mutex guards which field, which private methods demand which lock
+// held -- is a compile-time fact instead of a comment; with any other
+// compiler the macros expand to nothing and Mutex/CondVar cost exactly
+// a std::mutex / std::condition_variable.
+//
+// Conventions (docs/STATIC_ANALYSIS.md has the full catalog):
+//
+//   * Fields a mutex protects carry KAV_GUARDED_BY(that_mutex_) on the
+//     declaration; the mutex is declared before the fields it guards.
+//   * Private helpers that assume a lock is already held carry
+//     KAV_REQUIRES(lock) -- this replaces "caller holds X" prose and
+//     is enforced at every call site.
+//   * Condition-variable predicates are written as explicit
+//     while-loops around CondVar::wait(mutex), never as predicate
+//     lambdas: the analysis checks lambda bodies as separate
+//     functions with no capabilities, so a predicate lambda reading
+//     guarded state would (rightly) not prove.
+//   * Constructors and destructors are exempt from the analysis
+//     (no concurrent access can exist yet / anymore), but the repo
+//     still takes the locks there when a background task could be
+//     mid-flight -- see ~KeyedStreamingMonitor.
+//   * kav-lint (tools/kav_lint.py) rejects raw std::mutex /
+//     std::lock_guard & friends anywhere outside this header, so the
+//     annotated wrappers are not optional.
+#ifndef KAV_UTIL_THREAD_SAFETY_H
+#define KAV_UTIL_THREAD_SAFETY_H
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// ---------------------------------------------------------------------------
+// Annotation macros (Clang thread-safety attributes; no-ops elsewhere)
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define KAV_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef KAV_THREAD_ANNOTATION
+#define KAV_THREAD_ANNOTATION(x)  // non-Clang: annotations compile away
+#endif
+
+// A type that is a lockable capability ("mutex" names the kind in
+// diagnostics).
+#define KAV_CAPABILITY(x) KAV_THREAD_ANNOTATION(capability(x))
+// An RAII type that acquires in its constructor and releases in its
+// destructor.
+#define KAV_SCOPED_CAPABILITY KAV_THREAD_ANNOTATION(scoped_lockable)
+// Field is only read/written with `x` held (shared reads need at
+// least a shared hold).
+#define KAV_GUARDED_BY(x) KAV_THREAD_ANNOTATION(guarded_by(x))
+// Pointer field whose pointee is protected by `x`.
+#define KAV_PT_GUARDED_BY(x) KAV_THREAD_ANNOTATION(pt_guarded_by(x))
+// Documented lock-ordering edges (enforced under -Wthread-safety-beta).
+#define KAV_ACQUIRED_BEFORE(...) \
+  KAV_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define KAV_ACQUIRED_AFTER(...) \
+  KAV_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+// Function precondition: capability held on entry (and still on exit).
+#define KAV_REQUIRES(...) \
+  KAV_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define KAV_REQUIRES_SHARED(...) \
+  KAV_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+// Function acquires / releases the capability.
+#define KAV_ACQUIRE(...) \
+  KAV_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define KAV_ACQUIRE_SHARED(...) \
+  KAV_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define KAV_RELEASE(...) \
+  KAV_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define KAV_RELEASE_SHARED(...) \
+  KAV_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define KAV_TRY_ACQUIRE(...) \
+  KAV_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+// Function must NOT hold the capability on entry (deadlock guard for
+// public methods that take the lock themselves).
+#define KAV_EXCLUDES(...) KAV_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+// Runtime assertion that the capability is held (no acquire emitted).
+#define KAV_ASSERT_CAPABILITY(x) \
+  KAV_THREAD_ANNOTATION(assert_capability(x))
+// Function returns a reference to the given capability.
+#define KAV_RETURN_CAPABILITY(x) KAV_THREAD_ANNOTATION(lock_returned(x))
+// Escape hatch; every use must carry a justifying comment.
+#define KAV_NO_THREAD_SAFETY_ANALYSIS \
+  KAV_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace kav::util {
+
+class CondVar;
+
+// ---------------------------------------------------------------------------
+// Annotated wrappers
+// ---------------------------------------------------------------------------
+
+// std::mutex as a capability. Prefer the scoped MutexLock; bare
+// lock()/unlock() exist for the rare hand-over-hand pattern and for
+// CondVar's internals.
+class KAV_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() KAV_ACQUIRE() { raw_.lock(); }
+  void unlock() KAV_RELEASE() { raw_.unlock(); }
+  bool try_lock() KAV_TRY_ACQUIRE(true) { return raw_.try_lock(); }
+
+ private:
+  friend class CondVar;  // waits need the underlying std::mutex
+  std::mutex raw_;
+};
+
+// std::shared_mutex as a capability: exclusive side for the (already
+// externally serialized) writers, shared side for concurrent readers.
+class KAV_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() KAV_ACQUIRE() { raw_.lock(); }
+  void unlock() KAV_RELEASE() { raw_.unlock(); }
+  void lock_shared() KAV_ACQUIRE_SHARED() { raw_.lock_shared(); }
+  void unlock_shared() KAV_RELEASE_SHARED() { raw_.unlock_shared(); }
+
+ private:
+  std::shared_mutex raw_;
+};
+
+// Scoped exclusive hold of a Mutex for the enclosing block.
+class KAV_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) KAV_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() KAV_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+// Scoped exclusive hold of a SharedMutex (the writer side).
+class KAV_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mutex) KAV_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~WriterMutexLock() KAV_RELEASE() { mutex_.unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+// Scoped shared hold of a SharedMutex (the reader side).
+class KAV_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mutex) KAV_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~ReaderMutexLock() KAV_RELEASE() { mutex_.unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+// Condition variable paired with Mutex. wait/wait_until demand the
+// mutex held (KAV_REQUIRES) and hold it again on return; spurious
+// wakeups are possible, so callers loop:
+//
+//   MutexLock lock(mutex_);
+//   while (!condition) cv_.wait(mutex_);
+//
+// There is deliberately no predicate-lambda overload -- see the
+// header comment on why lambdas defeat the analysis.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Atomically releases `mutex`, blocks, and reacquires before
+  // returning. The adopt/release dance hands the already-held
+  // std::mutex to a unique_lock for the wait without a second
+  // lock/unlock pair.
+  void wait(Mutex& mutex) KAV_REQUIRES(mutex) KAV_NO_THREAD_SAFETY_ANALYSIS {
+    // Analysis off: the unique_lock juggling below releases and
+    // reacquires the capability in a way the checker cannot follow,
+    // but the net effect (held on entry, held on exit) matches the
+    // REQUIRES contract above.
+    std::unique_lock<std::mutex> lock(mutex.raw_, std::adopt_lock);
+    raw_.wait(lock);
+    lock.release();  // still locked; ownership returns to the caller
+  }
+
+  // As wait(), giving up at `deadline`; returns cv_status::timeout
+  // when the deadline passed (the mutex is reacquired either way).
+  std::cv_status wait_until(
+      Mutex& mutex, std::chrono::steady_clock::time_point deadline)
+      KAV_REQUIRES(mutex) KAV_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> lock(mutex.raw_, std::adopt_lock);
+    const std::cv_status status = raw_.wait_until(lock, deadline);
+    lock.release();
+    return status;
+  }
+
+  void notify_one() noexcept { raw_.notify_one(); }
+  void notify_all() noexcept { raw_.notify_all(); }
+
+ private:
+  std::condition_variable raw_;
+};
+
+}  // namespace kav::util
+
+#endif  // KAV_UTIL_THREAD_SAFETY_H

@@ -1,0 +1,14 @@
+// kav-lint-fixture-path: src/fixture/sample.h
+// Guard does not match the canonical KAV_FIXTURE_SAMPLE_H: flagged.
+#ifndef SAMPLE_H_
+#define SAMPLE_H_
+
+namespace kav {
+
+struct Sample {
+  int value = 0;
+};
+
+}  // namespace kav
+
+#endif  // SAMPLE_H_

@@ -1,0 +1,14 @@
+// kav-lint-fixture-path: src/fixture/sample.h
+// Guard derived from the path (src/fixture/sample.h): clean.
+#ifndef KAV_FIXTURE_SAMPLE_H
+#define KAV_FIXTURE_SAMPLE_H
+
+namespace kav {
+
+struct Sample {
+  int value = 0;
+};
+
+}  // namespace kav
+
+#endif  // KAV_FIXTURE_SAMPLE_H

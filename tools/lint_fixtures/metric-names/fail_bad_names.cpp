@@ -1,0 +1,16 @@
+// kav-lint-fixture-path: src/obs/sample.cpp
+// Four grammar violations: counter without _total, gauge ending in
+// _total, histogram without a unit suffix, and a name without the
+// kav_ prefix.
+#include "obs/metrics.h"
+
+namespace kav {
+
+void instrument(obs::MetricsRegistry& registry) {
+  registry.counter("kav_sample_events", "Counter missing _total.");
+  registry.gauge("kav_sample_backlog_total", "Gauge posing as a counter.");
+  registry.histogram("kav_sample_step_time", "Histogram without a unit.");
+  registry.counter("sample_events_total", "Missing the kav_ prefix.");
+}
+
+}  // namespace kav

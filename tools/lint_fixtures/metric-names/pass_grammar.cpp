@@ -1,0 +1,14 @@
+// kav-lint-fixture-path: src/obs/sample.cpp
+// Names following the docs/OBSERVABILITY.md grammar: clean.
+#include "obs/metrics.h"
+
+namespace kav {
+
+void instrument(obs::MetricsRegistry& registry) {
+  registry.counter("kav_sample_events_total", "Events seen.");
+  registry.gauge("kav_sample_backlog", "Items queued but unprocessed.");
+  registry.histogram("kav_sample_step_seconds", "Per-step wall time.");
+  registry.histogram("kav_sample_payload_bytes", "Payload sizes.");
+}
+
+}  // namespace kav

@@ -1,0 +1,15 @@
+// kav-lint-fixture-path: src/core/sample.cpp
+// Unsuppressed naked new and a malloc: both must be flagged.
+#include <cstdlib>
+
+namespace kav {
+
+struct Node {
+  int value = 0;
+};
+
+Node* make_node_leakily() { return new Node(); }
+
+void* grab_bytes() { return std::malloc(64); }
+
+}  // namespace kav

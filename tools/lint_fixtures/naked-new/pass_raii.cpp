@@ -1,0 +1,29 @@
+// kav-lint-fixture-path: src/core/sample.cpp
+// RAII allocation, placement new, and a justified suppression: clean.
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace kav {
+
+struct Node {
+  int value = 0;
+};
+
+std::unique_ptr<Node> make_node() { return std::make_unique<Node>(); }
+
+Node* construct_at(void* storage) {
+  return new (storage) Node{};  // placement new is allowed
+}
+
+Node* leaked_singleton() {
+  // kav-lint: allow-next-line(naked-new) intentionally leaked singleton
+  static Node* instance = new Node();
+  return instance;
+}
+
+// Identifiers merely containing "new" must not trip the rule, and a
+// comment mentioning new backends is not code.
+std::vector<int> newest_values() { return {}; }
+
+}  // namespace kav

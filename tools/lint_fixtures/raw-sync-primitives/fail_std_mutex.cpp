@@ -1,0 +1,20 @@
+// kav-lint-fixture-path: src/pipeline/sample.cpp
+// Raw std::mutex + std::lock_guard outside util/thread_safety.h: the
+// thread-safety analysis cannot see these; both must be flagged.
+#include <mutex>
+
+namespace kav {
+
+class Tally {
+ public:
+  void add(int amount) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_ += amount;
+  }
+
+ private:
+  std::mutex mutex_;
+  int total_ = 0;
+};
+
+}  // namespace kav

@@ -1,0 +1,20 @@
+// kav-lint-fixture-path: src/pipeline/sample.cpp
+// Locks via the annotated kav::util wrappers: clean. The std::mutex
+// named in this comment is not code and must not trip the rule.
+#include "util/thread_safety.h"
+
+namespace kav {
+
+class Tally {
+ public:
+  void add(int amount) KAV_EXCLUDES(mutex_) {
+    util::MutexLock lock(mutex_);
+    total_ += amount;
+  }
+
+ private:
+  util::Mutex mutex_;
+  int total_ KAV_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace kav

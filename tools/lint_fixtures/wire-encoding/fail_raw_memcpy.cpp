@@ -1,0 +1,13 @@
+// kav-lint-fixture-path: src/ingest/sample.cpp
+// Raw memcpy of an integer into a buffer: the wire-encoding rule must
+// flag this (the encoding's endianness is the host's, not the format's).
+#include <cstdint>
+#include <cstring>
+
+namespace kav {
+
+void encode_count(char* dst, std::uint32_t count) {
+  std::memcpy(dst, &count, sizeof count);
+}
+
+}  // namespace kav

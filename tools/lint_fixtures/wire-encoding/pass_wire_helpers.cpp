@@ -1,0 +1,23 @@
+// kav-lint-fixture-path: src/store/sample.cpp
+// Multi-byte integers encoded via the wire.h codec helpers: clean.
+#include "ingest/wire.h"
+
+#include <cstdint>
+#include <string>
+
+namespace kav {
+
+std::string encode_header(std::uint32_t records, std::uint64_t bytes) {
+  std::string out;
+  wire::append_u32(out, records);
+  wire::append_u64(out, bytes);
+  return out;
+}
+
+// A suppressed memcpy is also clean (with a reason).
+void blit(char* dst, const char* src) {
+  // kav-lint: allow-next-line(wire-encoding) opaque byte blit, not an integer
+  __builtin_memcpy(dst, src, 16);
+}
+
+}  // namespace kav
