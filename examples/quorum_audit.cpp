@@ -37,6 +37,10 @@ int main(int argc, char** argv) {
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
   const auto threads =
       static_cast<std::size_t>(flags.get_int("threads", 0));
+  // --listen=[ADDR:]PORT serves the audit's telemetry live (same
+  // endpoints as streaming_monitor; PORT 0 = ephemeral, printed to
+  // stderr).
+  const std::string listen = flags.get_string("listen", "");
   flags.check_unknown();
 
   std::printf(
@@ -68,6 +72,25 @@ int main(int argc, char** argv) {
   EngineOptions engine_options;
   engine_options.threads = threads;
   Engine engine(engine_options);
+  if (!listen.empty()) {
+    std::string address = "127.0.0.1";
+    std::string port_text = listen;
+    const std::size_t colon = listen.rfind(':');
+    if (colon != std::string::npos) {
+      address = listen.substr(0, colon);
+      port_text = listen.substr(colon + 1);
+    }
+    try {
+      obs::TelemetryServer& server =
+          engine.serve_telemetry(address, std::stoi(port_text));
+      std::fprintf(stderr, "telemetry listening on http://%s:%u\n",
+                   server.address().c_str(), server.port());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: --listen=%s: %s\n", listen.c_str(),
+                   e.what());
+      return 2;
+    }
+  }
   const KeyedHistories split = split_by_key(result.trace);
   RunOptions run;
   VerifyOptions verify;

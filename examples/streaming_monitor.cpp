@@ -24,6 +24,12 @@
 // would serve after this run: ingest totals, watermark lag, reorder
 // occupancy, pool queue statistics, per-kind violation counters.
 //
+// --listen=[ADDR:]PORT serves that endpoint for real while the run is
+// live (obs::TelemetryServer: /metrics /status /healthz /spans; PORT 0
+// picks an ephemeral port, printed to stderr); --linger keeps serving
+// after the run until stdin closes, which is how ci.sh's telemetry
+// smoke diffs a final scrape against the --metrics stdout.
+//
 // Exit status: 0 when every key's stream is clean, 1 otherwise.
 #include <cstdio>
 #include <string>
@@ -75,6 +81,13 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("queue", 1'024));
   const bool demo = flags.get_bool("demo", false);
   const bool metrics = flags.get_bool("metrics", false);
+  // --listen=[ADDR:]PORT serves live telemetry (GET /metrics /status
+  // /healthz /spans) while the monitor runs; PORT 0 = ephemeral, the
+  // bound endpoint prints to stderr.
+  const std::string listen = flags.get_string("listen", "");
+  // --linger keeps serving after the run until stdin hits EOF -- how
+  // the CI smoke scrapes a quiesced engine deterministically.
+  const bool linger = flags.get_bool("linger", false);
   // Batch re-verify on the same engine; defaults on in demo mode (the
   // trace is already in memory there).
   const bool reverify = flags.get_bool("verify", demo && !metrics);
@@ -98,6 +111,26 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry registry;
   if (metrics) options.metrics = &registry;
   Engine engine(options);
+  if (!listen.empty()) {
+    std::string address = "127.0.0.1";
+    std::string port_text = listen;
+    const std::size_t colon = listen.rfind(':');
+    if (colon != std::string::npos) {
+      address = listen.substr(0, colon);
+      port_text = listen.substr(colon + 1);
+    }
+    try {
+      obs::TelemetryServer& server =
+          engine.serve_telemetry(address, std::stoi(port_text));
+      // stderr, so --metrics stdout stays pure exposition.
+      std::fprintf(stderr, "telemetry listening on http://%s:%u\n",
+                   server.address().c_str(), server.port());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: --listen=%s: %s\n", listen.c_str(),
+                   e.what());
+      return 2;
+    }
+  }
   Report report;
   KeyedTrace demo_trace;
   std::string path;
@@ -136,7 +169,8 @@ int main(int argc, char** argv) {
     if (flags.positional().size() != 1) {
       std::fprintf(stderr,
                    "usage: streaming_monitor [--horizon=N] [--slack=N] "
-                   "[--threads=N] [--queue=N] [--verify] <trace-file>\n"
+                   "[--threads=N] [--queue=N] [--verify] "
+                   "[--listen=[ADDR:]PORT] [--linger] <trace-file>\n"
                    "       streaming_monitor --demo [sim flags] "
                    "[--save=path[.kavb]]\n");
       return 2;
@@ -154,10 +188,19 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (linger) {
+    // Keep serving until whoever launched us closes stdin; only then
+    // does the final exposition below get rendered, so a scraper's
+    // last GET /metrics and our stdout describe the same instant.
+    while (std::fgetc(stdin) != EOF) {
+    }
+  }
+
   if (metrics) {
     // The run's registry in Prometheus text exposition format --
     // nothing else on stdout. Verdict stays in the exit code.
-    std::fputs(obs::render_prometheus(engine.snapshot()).c_str(), stdout);
+    obs::write_snapshot(stdout, engine.snapshot(),
+                        obs::ExportFormat::prometheus);
     return report.all_yes() ? 0 : 1;
   }
 

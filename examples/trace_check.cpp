@@ -123,7 +123,7 @@ int main(int argc, char** argv) {
   if (json) {
     // One JSON document on stdout, nothing else: the run's full
     // metrics snapshot. Verdict stays in the exit code.
-    std::fputs(obs::render_json(engine.snapshot()).c_str(), stdout);
+    obs::write_snapshot(stdout, engine.snapshot(), obs::ExportFormat::json);
     return report.all_yes() && report.missing_keys.empty() ? 0 : 1;
   }
 

@@ -1,6 +1,9 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <deque>
+#include <map>
 #include <set>
 #include <utility>
 
@@ -9,8 +12,94 @@
 #include "pipeline/sharded_verifier.h"
 #include "pipeline/thread_pool.h"
 #include "store/trace_store.h"
+#include "util/thread_safety.h"
 
 namespace kav {
+
+// The ledger behind Engine::status() / GET /status: what the registry's
+// counters cannot answer -- which runs, how recently, against which hot
+// keys. Mutated once per run start/finish (never per operation), so one
+// mutex is the right tool.
+struct Engine::StatusCollector {
+  // How many finished runs /status remembers.
+  static constexpr std::size_t kRecentRuns = 8;
+
+  const std::chrono::steady_clock::time_point engine_start =
+      std::chrono::steady_clock::now();
+
+  mutable util::Mutex mutex;
+  std::uint64_t started KAV_GUARDED_BY(mutex) = 0;
+  std::uint64_t completed KAV_GUARDED_BY(mutex) = 0;
+  std::uint64_t cancelled KAV_GUARDED_BY(mutex) = 0;
+  std::uint64_t in_flight KAV_GUARDED_BY(mutex) = 0;
+  std::deque<obs::RunSummaryInfo> recent KAV_GUARDED_BY(mutex);  // newest front
+  std::map<std::string, std::uint64_t> violations KAV_GUARDED_BY(mutex);
+
+  void run_started() {
+    util::MutexLock lock(mutex);
+    ++started;
+    ++in_flight;
+  }
+
+  // A run that threw: leaves no summary, but must not leak in_flight.
+  void run_aborted() {
+    util::MutexLock lock(mutex);
+    --in_flight;
+  }
+
+  void run_finished(bool batch, const Report& report, double seconds) {
+    obs::RunSummaryInfo summary;
+    summary.mode = batch ? "batch" : "monitor";
+    summary.outcome = report.cancelled ? "cancelled" : "completed";
+    summary.seconds = seconds;
+    summary.keys = report.per_key.size();
+    for (const auto& [key, result] : report.per_key) {
+      if (batch) {
+        if (result.verdict.outcome == Outcome::no) ++summary.findings;
+      } else {
+        summary.findings += result.findings.size();
+      }
+    }
+
+    util::MutexLock lock(mutex);
+    --in_flight;
+    (report.cancelled ? cancelled : completed) += 1;
+    recent.push_front(std::move(summary));
+    if (recent.size() > kRecentRuns) recent.pop_back();
+    if (!batch) {
+      for (const auto& [key, result] : report.per_key) {
+        if (!result.findings.empty()) {
+          violations[key] += result.findings.size();
+        }
+      }
+    }
+  }
+
+  obs::StatusSnapshot snapshot(std::size_t top_n) const {
+    obs::StatusSnapshot status;
+    status.uptime_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      engine_start)
+            .count();
+    util::MutexLock lock(mutex);
+    status.runs_started = started;
+    status.runs_completed = completed;
+    status.runs_cancelled = cancelled;
+    status.runs_in_flight = in_flight;
+    status.recent_runs.assign(recent.begin(), recent.end());
+    status.violation_top.assign(violations.begin(), violations.end());
+    std::sort(status.violation_top.begin(), status.violation_top.end(),
+              [](const auto& a, const auto& b) {
+                // Descending by count, key order breaking ties.
+                return a.second != b.second ? a.second > b.second
+                                            : a.first < b.first;
+              });
+    if (status.violation_top.size() > top_n) {
+      status.violation_top.resize(top_n);
+    }
+    return status;
+  }
+};
 
 // Run-lifecycle instruments. Counters are labeled by mode so one
 // scrape distinguishes batch verification from online monitoring;
@@ -133,22 +222,31 @@ struct Engine::Metrics {
   // (so a scraper can see runs in flight as started - completed -
   // cancelled), times it into run_seconds + an "engine.verify" /
   // "engine.monitor" span, and on finish() folds the finished Report's
-  // verdicts and findings into the registry. A run that throws still
-  // records its start and duration, never a completion.
+  // verdicts and findings into the registry and the run into the
+  // status ledger. A run that throws still records its start and
+  // duration (and releases its in-flight slot), never a completion.
   class RunScope {
    public:
-    RunScope(Metrics& metrics, bool batch)
+    RunScope(Metrics& metrics, StatusCollector& status, bool batch)
         : metrics_(metrics),
+          status_(status),
           batch_(batch),
+          start_(std::chrono::steady_clock::now()),
           timer_(batch ? &metrics.run_seconds_batch
                        : &metrics.run_seconds_monitor,
                  &obs::Tracer::global(),
                  batch ? "engine.verify" : "engine.monitor", "engine") {
       (batch ? metrics.runs_started_batch : metrics.runs_started_monitor)
           .add(1);
+      status_.run_started();
+    }
+
+    ~RunScope() {
+      if (!finished_) status_.run_aborted();
     }
 
     void finish(const Report& report) {
+      finished_ = true;
       obs::Counter& end =
           batch_ ? (report.cancelled ? metrics_.runs_cancelled_batch
                                      : metrics_.runs_completed_batch)
@@ -162,11 +260,19 @@ struct Engine::Metrics {
           metrics_.for_kind(violation.kind).add(1);
         }
       }
+      status_.run_finished(
+          batch_, report,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start_)
+              .count());
     }
 
    private:
     Metrics& metrics_;
+    StatusCollector& status_;
     bool batch_;
+    bool finished_ = false;
+    std::chrono::steady_clock::time_point start_;
     obs::ScopedTimer timer_;
   };
 };
@@ -284,6 +390,7 @@ Engine::Engine(EngineOptions options)
       metrics_(options_.metrics != nullptr ? options_.metrics
                                            : &obs::MetricsRegistry::global()),
       em_(std::make_unique<Metrics>(*metrics_)),
+      status_(std::make_unique<StatusCollector>()),
       pool_(std::make_unique<pipeline::ThreadPool>(options_.threads,
                                                    metrics_)) {
   PipelineOptions pipeline_options;
@@ -291,9 +398,33 @@ Engine::Engine(EngineOptions options)
   pipeline_options.fail_fast = options_.fail_fast;
   verifier_ = std::make_unique<ShardedVerifier>(*pool_, options_.verify,
                                                 pipeline_options, metrics_);
+  if (options_.telemetry_port >= 0) {
+    serve_telemetry(options_.telemetry_address, options_.telemetry_port);
+  }
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() {
+  // The server's handlers read status_ and the registry: stop it
+  // before any other member goes down.
+  telemetry_.reset();
+}
+
+obs::TelemetryServer& Engine::serve_telemetry(const std::string& address,
+                                              int port) {
+  if (telemetry_) return *telemetry_;
+  obs::TelemetryOptions telemetry_options;
+  telemetry_options.address = address;
+  telemetry_options.port =
+      static_cast<std::uint16_t>(port < 0 ? 0 : port);
+  telemetry_ =
+      std::make_unique<obs::TelemetryServer>(*metrics_, telemetry_options);
+  telemetry_->set_status_source([this] { return status(); });
+  return *telemetry_;
+}
+
+obs::StatusSnapshot Engine::status(std::size_t top_n) const {
+  return status_->snapshot(top_n);
+}
 
 std::size_t Engine::thread_count() const { return pool_->thread_count(); }
 
@@ -397,7 +528,7 @@ Report Engine::verify_selective(
 }
 
 Report Engine::verify(const KeyedTrace& trace, const RunOptions& run) {
-  Metrics::RunScope scope(*em_, /*batch=*/true);
+  Metrics::RunScope scope(*em_, *status_, /*batch=*/true);
   const auto deadline = effective_deadline(run);
   const KeyedHistories shards = split_by_key(trace);
   Report report = run.key_filter.empty()
@@ -408,7 +539,7 @@ Report Engine::verify(const KeyedTrace& trace, const RunOptions& run) {
 }
 
 Report Engine::verify(const KeyedHistories& shards, const RunOptions& run) {
-  Metrics::RunScope scope(*em_, /*batch=*/true);
+  Metrics::RunScope scope(*em_, *status_, /*batch=*/true);
   const auto deadline = effective_deadline(run);
   Report report = run.key_filter.empty()
                       ? run_batch(shards, run, deadline)
@@ -418,7 +549,7 @@ Report Engine::verify(const KeyedHistories& shards, const RunOptions& run) {
 }
 
 Report Engine::verify(TraceSource& source, const RunOptions& run) {
-  Metrics::RunScope scope(*em_, /*batch=*/true);
+  Metrics::RunScope scope(*em_, *status_, /*batch=*/true);
   // Anchored once at entry: the same cutoff governs reading the source
   // AND the shard phase, so a slow source cannot re-arm the timeout.
   const auto deadline = effective_deadline(run);
@@ -497,7 +628,7 @@ void finish_monitor_into(KeyedStreamingMonitor& monitor, Report& report) {
 }  // namespace
 
 Report Engine::monitor(const KeyedTrace& trace, const RunOptions& run) {
-  Metrics::RunScope scope(*em_, /*batch=*/false);
+  Metrics::RunScope scope(*em_, *status_, /*batch=*/false);
   // Dedicated loop rather than a MemoryTraceSource: the trace is
   // already in memory, so every operation is ingested by reference --
   // no O(trace) copy on this (and the legacy monitor_trace) path.
@@ -534,7 +665,7 @@ Report Engine::monitor(const KeyedTrace& trace, const RunOptions& run) {
 }
 
 Report Engine::monitor(TraceSource& source, const RunOptions& run) {
-  Metrics::RunScope scope(*em_, /*batch=*/false);
+  Metrics::RunScope scope(*em_, *status_, /*batch=*/false);
   const auto deadline = effective_deadline(run);
   const KeyFilter filter(run);
   Report report;

@@ -48,6 +48,7 @@
 #include "history/keyed_trace.h"
 #include "ingest/trace_source.h"
 #include "obs/metrics.h"
+#include "obs/telemetry_server.h"
 
 namespace kav::pipeline {
 class ThreadPool;
@@ -90,6 +91,14 @@ struct EngineOptions {
   // isolate one engine's series (tests do) or to scrape several
   // engines separately from one process.
   obs::MetricsRegistry* metrics = nullptr;
+
+  // Live telemetry (obs/telemetry_server.h): >= 0 starts an HTTP
+  // server over this engine's registry at construction -- 0 picks an
+  // ephemeral port (read engine.telemetry()->port() back), -1 (the
+  // default) serves nothing. Equivalent to calling serve_telemetry()
+  // yourself after construction.
+  int telemetry_port = -1;
+  std::string telemetry_address = "127.0.0.1";
 };
 
 // Per-call run options. Default-constructed RunOptions reproduce the
@@ -181,6 +190,22 @@ class Engine {
   // obs::render_prometheus / obs::render_json for the wire formats.
   obs::RegistrySnapshot snapshot() const { return metrics_->snapshot(); }
 
+  // Starts serving this engine's telemetry over HTTP (GET /metrics,
+  // /status, /healthz, /spans -- obs/telemetry_server.h) and wires
+  // /status to this->status(). Port 0 = ephemeral; idempotent (the
+  // running server is returned, the arguments of later calls are
+  // ignored). Throws on bind failure.
+  obs::TelemetryServer& serve_telemetry(
+      const std::string& address = "127.0.0.1", int port = 0);
+  // The running server, or nullptr when none was started.
+  obs::TelemetryServer* telemetry() { return telemetry_.get(); }
+
+  // Point-in-time operator status: uptime, run counts (including
+  // in-flight), the most recent run summaries, and the top-`top_n`
+  // keys by monitor violations. Safe from any thread, concurrent with
+  // running calls -- this is what GET /status serves.
+  obs::StatusSnapshot status(std::size_t top_n = 10) const;
+
  private:
   // `deadline` is the already-anchored cutoff for the whole call --
   // computed once at the public entry point so a slow TraceSource read
@@ -211,8 +236,15 @@ class Engine {
   // RunScope helper wrapping each public entry point.
   struct Metrics;
   std::unique_ptr<Metrics> em_;
+  // Run ledger behind status(): counts, recent-run ring, per-key
+  // violation totals; defined in engine.cpp, fed by RunScope.
+  struct StatusCollector;
+  std::unique_ptr<StatusCollector> status_;
   std::unique_ptr<pipeline::ThreadPool> pool_;
   std::unique_ptr<ShardedVerifier> verifier_;
+  // Declared last: the server's /status handler reads status_ (and the
+  // registry), so it must stop before anything above is torn down.
+  std::unique_ptr<obs::TelemetryServer> telemetry_;
 };
 
 }  // namespace kav

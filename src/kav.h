@@ -48,12 +48,22 @@
 #include "ingest/reorder_buffer.h"
 #include "ingest/trace_source.h"
 
-// Observability: metrics registry, span tracing, exporters. Always on
-// at near-zero cost; scrape Engine::snapshot() through
-// obs::render_prometheus / obs::render_json (docs/OBSERVABILITY.md).
+// Observability: metrics registry, span tracing, exporters, rolling
+// rates, and the live HTTP telemetry server. Always on at near-zero
+// cost; scrape Engine::snapshot() through obs::render_prometheus /
+// obs::render_json, or serve it live with Engine::serve_telemetry()
+// (docs/OBSERVABILITY.md).
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/rate_window.h"
 #include "obs/span.h"
+#include "obs/telemetry_server.h"
+
+// Networking substrate (Linux epoll): the event loop under the
+// telemetry server and the future kavd listener.
+#include "net/event_loop.h"
+#include "net/http.h"
+#include "net/tcp.h"
 
 // Trace store: persistent indexed segments, mmap-backed selective reads.
 #include "store/indexed_source.h"

@@ -1,0 +1,252 @@
+#include "net/event_loop.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace kav::net {
+
+#if defined(__linux__)
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " +
+                           std::strerror(errno));
+}
+
+std::uint32_t to_epoll(std::uint32_t interest) {
+  std::uint32_t events = 0;
+  if (interest & kReadable) events |= EPOLLIN;
+  if (interest & kWritable) events |= EPOLLOUT;
+  return events;
+}
+
+std::uint32_t from_epoll(std::uint32_t events) {
+  std::uint32_t ready = 0;
+  if (events & (EPOLLIN | EPOLLPRI)) ready |= kReadable;
+  if (events & EPOLLOUT) ready |= kWritable;
+  if (events & (EPOLLERR | EPOLLHUP | EPOLLRDHUP)) ready |= kError;
+  return ready;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw_errno("epoll_create1");
+  wakeup_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wakeup_fd_ < 0) {
+    close(epoll_fd_);
+    throw_errno("eventfd");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wakeup_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev) != 0) {
+    close(wakeup_fd_);
+    close(epoll_fd_);
+    throw_errno("epoll_ctl(wakeup)");
+  }
+}
+
+EventLoop::~EventLoop() {
+  assert(!running_.load(std::memory_order_acquire) &&
+         "EventLoop destroyed while run() is live");
+  if (wakeup_fd_ >= 0) close(wakeup_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+}
+
+bool EventLoop::on_loop_thread() const {
+  return loop_thread_.load(std::memory_order_acquire) ==
+         std::this_thread::get_id();
+}
+
+void EventLoop::add_fd(int fd, std::uint32_t interest, FdCallback callback) {
+  assert(!running_.load(std::memory_order_acquire) || on_loop_thread());
+  epoll_event ev{};
+  ev.events = to_epoll(interest);
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(add)");
+  }
+  callbacks_[fd] = std::move(callback);
+}
+
+void EventLoop::modify_fd(int fd, std::uint32_t interest) {
+  assert(!running_.load(std::memory_order_acquire) || on_loop_thread());
+  epoll_event ev{};
+  ev.events = to_epoll(interest);
+  ev.data.fd = fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(mod)");
+  }
+}
+
+void EventLoop::remove_fd(int fd) {
+  assert(!running_.load(std::memory_order_acquire) || on_loop_thread());
+  // Deregister from epoll first so a pending event cannot fire into a
+  // just-erased callback slot.
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+void EventLoop::add_periodic(std::chrono::milliseconds interval,
+                             std::function<void()> fn) {
+  assert(!running_.load(std::memory_order_acquire) || on_loop_thread());
+  Periodic periodic;
+  periodic.interval = interval;
+  periodic.next = std::chrono::steady_clock::now() + interval;
+  periodic.fn = std::move(fn);
+  periodics_.push_back(std::move(periodic));
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wake.
+  [[maybe_unused]] const ssize_t n =
+      write(wakeup_fd_, &one, sizeof(one));
+}
+
+void EventLoop::drain_wakeup_fd() {
+  std::uint64_t count = 0;
+  while (read(wakeup_fd_, &count, sizeof(count)) > 0) {
+  }
+}
+
+void EventLoop::run_posted_tasks() {
+  std::vector<std::function<void()>> batch;
+  {
+    util::MutexLock lock(tasks_mutex_);
+    batch.swap(tasks_);
+  }
+  for (auto& task : batch) task();
+}
+
+int EventLoop::poll_timeout_ms() const {
+  if (periodics_.empty()) return -1;
+  const auto now = std::chrono::steady_clock::now();
+  auto nearest = periodics_.front().next;
+  for (const Periodic& periodic : periodics_) {
+    if (periodic.next < nearest) nearest = periodic.next;
+  }
+  if (nearest <= now) return 0;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(nearest - now)
+          .count();
+  // +1 rounds up so we never spin on a sub-millisecond residue.
+  return static_cast<int>(ms) + 1;
+}
+
+void EventLoop::fire_due_periodics() {
+  const auto now = std::chrono::steady_clock::now();
+  for (Periodic& periodic : periodics_) {
+    if (periodic.next > now) continue;
+    // Re-arm from now, not from the missed deadline: coarse timers
+    // must not burst-fire after a long dispatch stall.
+    periodic.next = now + periodic.interval;
+    periodic.fn();
+  }
+}
+
+void EventLoop::run() {
+  // The stop flag is consumed at exit, not reset here: a stop() that
+  // lands between spawning the loop thread and this line must make
+  // this run() return immediately, not vanish (the caller may already
+  // be blocked in join()).
+  running_.store(true, std::memory_order_release);
+  loop_thread_.store(std::this_thread::get_id(), std::memory_order_release);
+
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents,
+                             poll_timeout_ms());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      running_.store(false, std::memory_order_release);
+      loop_thread_.store(std::thread::id{}, std::memory_order_release);
+      throw_errno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wakeup_fd_) {
+        drain_wakeup_fd();
+        continue;
+      }
+      // Look up per event: an earlier callback in this batch may have
+      // removed this fd.
+      const auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;
+      // Copy: the callback may remove_fd(fd) (erasing the slot under
+      // the map iterator) and even re-add it.
+      const FdCallback callback = it->second;
+      callback(from_epoll(events[i].events));
+    }
+    run_posted_tasks();
+    fire_due_periodics();
+  }
+  // Final drain so a post()+stop() pair from another thread cannot
+  // strand its task.
+  run_posted_tasks();
+  loop_thread_.store(std::thread::id{}, std::memory_order_release);
+  running_.store(false, std::memory_order_release);
+  stop_.store(false, std::memory_order_release);  // consumed: re-runnable
+}
+
+void EventLoop::stop() {
+  stop_.store(true, std::memory_order_release);
+  wake();
+}
+
+void EventLoop::post(std::function<void()> task) {
+  {
+    util::MutexLock lock(tasks_mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  wake();
+}
+
+void EventLoop::close_fd(int fd) {
+  if (fd >= 0) close(fd);
+}
+
+#else  // !defined(__linux__)
+
+// Non-Linux: the loop is a stub that refuses to construct. The rest of
+// the library (verification, store, metrics) is platform-independent;
+// only live telemetry serving needs the epoll substrate.
+EventLoop::EventLoop() {
+  throw std::runtime_error(
+      "kav::net::EventLoop requires Linux (epoll/eventfd)");
+}
+EventLoop::~EventLoop() = default;
+bool EventLoop::on_loop_thread() const { return false; }
+void EventLoop::add_fd(int, std::uint32_t, FdCallback) {}
+void EventLoop::modify_fd(int, std::uint32_t) {}
+void EventLoop::remove_fd(int) {}
+void EventLoop::add_periodic(std::chrono::milliseconds,
+                             std::function<void()>) {}
+void EventLoop::wake() {}
+void EventLoop::drain_wakeup_fd() {}
+void EventLoop::run_posted_tasks() {}
+int EventLoop::poll_timeout_ms() const { return -1; }
+void EventLoop::fire_due_periodics() {}
+void EventLoop::run() {}
+void EventLoop::stop() {}
+void EventLoop::post(std::function<void()>) {}
+void EventLoop::close_fd(int) {}
+
+#endif
+
+}  // namespace kav::net

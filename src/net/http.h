@@ -1,0 +1,75 @@
+// Minimal HTTP/1.1 for the telemetry endpoints: an incremental request
+// parser (enough for GET/HEAD with headers, no chunked bodies -- the
+// telemetry server rejects bodies anyway), a response renderer, and a
+// small blocking client used by tests and the CI smoke script.
+//
+// The parser is restartable: feed it the connection's cumulative input
+// buffer; need_more means "keep reading", ok means `consumed` bytes
+// formed one full request head (+ its declared body, which we require
+// to be empty). Header names are lowercased during parsing so lookups
+// are case-insensitive per RFC 9110.
+#ifndef KAV_NET_HTTP_H
+#define KAV_NET_HTTP_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace kav::net {
+
+struct HttpRequest {
+  std::string method;   // as sent: "GET", "HEAD", ...
+  std::string target;   // path + optional query, e.g. "/metrics"
+  std::string version;  // "HTTP/1.1" or "HTTP/1.0"
+  // Names lowercased; values trimmed of surrounding whitespace.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  // First matching header value, or "" when absent.
+  std::string_view header(std::string_view lowercase_name) const;
+  // HTTP/1.1 defaults to keep-alive; "connection: close" (or 1.0
+  // without "keep-alive") turns it off.
+  bool keep_alive() const;
+  // The path without any "?query" suffix.
+  std::string_view path() const;
+};
+
+enum class ParseStatus {
+  need_more,  // incomplete head: keep accumulating bytes
+  ok,         // one request parsed; `consumed` bytes used
+  bad,        // malformed request: respond 400 and close
+  too_large,  // head exceeds the size cap: respond 431 and close
+};
+
+struct ParseResult {
+  ParseStatus status = ParseStatus::need_more;
+  std::size_t consumed = 0;
+};
+
+// Parses one request head from the front of `input`. `max_head_bytes`
+// caps how large a head may grow before we give up (0 = unlimited).
+// Requests that declare a non-empty body parse as bad: the telemetry
+// surface is read-only.
+ParseResult parse_request(std::string_view input, HttpRequest& out,
+                          std::size_t max_head_bytes = 0);
+
+// Renders a full response with Content-Length and Connection headers.
+// `status` is e.g. 200; the reason phrase is derived from it.
+std::string render_response(int status, std::string_view content_type,
+                            std::string_view body, bool keep_alive);
+
+// Blocking one-shot GET against 127.0.0.1-style endpoints -- the test
+// and smoke-script client, not a general HTTP client. Throws
+// std::runtime_error on connect/IO failure or an unparseable response.
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+HttpResponse http_get(const std::string& address, std::uint16_t port,
+                      const std::string& target,
+                      int timeout_ms = 5000);
+
+}  // namespace kav::net
+
+#endif  // KAV_NET_HTTP_H

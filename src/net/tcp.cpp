@@ -1,0 +1,237 @@
+#include "net/tcp.h"
+
+#include <stdexcept>
+#include <utility>
+
+#if defined(__linux__)
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace kav::net {
+
+#if defined(__linux__)
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+void set_nonblocking_cloexec(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  flags = fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+}  // namespace
+
+TcpListener::TcpListener(const std::string& address, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("TcpListener: not an IPv4 address: " + address);
+  }
+
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+
+  const int one = 1;
+  setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  if (bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("bind");
+  }
+  if (listen(fd_, SOMAXCONN) != 0) {
+    const int saved = errno;
+    close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("listen");
+  }
+
+  // Read back the bound endpoint -- this is how port 0 resolves.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const int saved = errno;
+    close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("getsockname");
+  }
+  char buf[INET_ADDRSTRLEN] = {};
+  inet_ntop(AF_INET, &bound.sin_addr, buf, sizeof(buf));
+  bound_address_ = buf;
+  bound_port_ = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) close(fd_);
+}
+
+int TcpListener::accept_one() {
+  const int fd = accept(fd_, nullptr, nullptr);
+  if (fd < 0) return -1;
+  set_nonblocking_cloexec(fd);
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+TcpConnection::TcpConnection(EventLoop& loop, int fd)
+    : loop_(loop), fd_(fd), last_activity_(std::chrono::steady_clock::now()) {
+  loop_.add_fd(fd_, kReadable,
+               [this](std::uint32_t ready) { handle_events(ready); });
+}
+
+TcpConnection::~TcpConnection() {
+  if (fd_ >= 0) {
+    loop_.remove_fd(fd_);
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpConnection::handle_events(std::uint32_t ready) {
+  if (ready & kError) {
+    close_now();
+    return;
+  }
+  if (ready & kWritable) handle_writable();
+  if (fd_ >= 0 && (ready & kReadable)) handle_readable();
+}
+
+void TcpConnection::handle_readable() {
+  char buf[16 * 1024];
+  for (;;) {
+    const ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      in_.append(buf, static_cast<std::size_t>(n));
+      last_activity_ = std::chrono::steady_clock::now();
+      if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      // Peer closed its write side; anything still buffered stays
+      // unanswered -- hang up.
+      close_now();
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_now();
+    return;
+  }
+
+  if (on_data_ && !in_.empty()) {
+    const std::size_t consumed = on_data_(in_);
+    // The handler may have closed us (bad request, response +
+    // close_after_flush with nothing pending).
+    if (fd_ < 0) return;
+    if (consumed >= in_.size()) {
+      in_.clear();
+    } else if (consumed > 0) {
+      in_.erase(0, consumed);
+    }
+  }
+  if (fd_ >= 0 && max_input_ != 0 && in_.size() > max_input_) close_now();
+}
+
+void TcpConnection::handle_writable() {
+  while (out_offset_ < out_.size()) {
+    const ssize_t n = write(fd_, out_.data() + out_offset_,
+                            out_.size() - out_offset_);
+    if (n > 0) {
+      out_offset_ += static_cast<std::size_t>(n);
+      last_activity_ = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    close_now();
+    return;
+  }
+  if (out_offset_ >= out_.size()) {
+    out_.clear();
+    out_offset_ = 0;
+    if (close_after_flush_) {
+      close_now();
+      return;
+    }
+  } else if (out_offset_ > out_.size() / 2) {
+    out_.erase(0, out_offset_);
+    out_offset_ = 0;
+  }
+  update_interest();
+}
+
+void TcpConnection::send(std::string_view data) {
+  if (fd_ < 0 || close_after_flush_ || data.empty()) return;
+  out_.append(data);
+  handle_writable();
+}
+
+void TcpConnection::close_after_flush() {
+  if (fd_ < 0) return;
+  close_after_flush_ = true;
+  if (pending_output() == 0) close_now();
+}
+
+void TcpConnection::close_now() {
+  if (fd_ < 0) return;
+  loop_.remove_fd(fd_);
+  close(fd_);
+  fd_ = -1;
+  if (on_close_) {
+    // Move out first: on_close typically destroys this connection.
+    const std::function<void()> on_close = std::move(on_close_);
+    on_close_ = nullptr;
+    on_close();
+  }
+}
+
+void TcpConnection::update_interest() {
+  if (fd_ < 0) return;
+  const bool want_write = pending_output() > 0;
+  if (want_write == want_write_) return;
+  want_write_ = want_write;
+  loop_.modify_fd(fd_, kReadable | (want_write ? kWritable : 0));
+}
+
+#else  // !defined(__linux__)
+
+TcpListener::TcpListener(const std::string&, std::uint16_t) {
+  throw std::runtime_error("kav::net::TcpListener requires Linux");
+}
+TcpListener::~TcpListener() = default;
+int TcpListener::accept_one() { return -1; }
+
+TcpConnection::TcpConnection(EventLoop& loop, int fd) : loop_(loop), fd_(fd) {
+  throw std::runtime_error("kav::net::TcpConnection requires Linux");
+}
+TcpConnection::~TcpConnection() = default;
+void TcpConnection::handle_events(std::uint32_t) {}
+void TcpConnection::handle_readable() {}
+void TcpConnection::handle_writable() {}
+void TcpConnection::send(std::string_view) {}
+void TcpConnection::close_after_flush() {}
+void TcpConnection::close_now() {}
+void TcpConnection::update_interest() {}
+
+#endif
+
+}  // namespace kav::net

@@ -1,0 +1,124 @@
+// Non-blocking TCP on the EventLoop: a lean listener + buffered
+// connection in the ScalienDB TCPConnection mold. TcpListener owns the
+// bound/listening socket (port 0 picks an ephemeral port and reports
+// it back -- tests and CI bind 127.0.0.1:0 and read bound_port()).
+// TcpConnection owns one accepted fd registered on the loop: reads
+// append to an in-memory buffer handed to on_data, writes queue into
+// an output buffer flushed as EPOLLOUT allows (the writer never
+// blocks), and close_after_flush() is the graceful "respond then hang
+// up" path HTTP needs.
+//
+// Everything here runs on the loop thread (see net/event_loop.h's
+// contract); the classes carry no locks on purpose.
+#ifndef KAV_NET_TCP_H
+#define KAV_NET_TCP_H
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "net/event_loop.h"
+
+namespace kav::net {
+
+// Binds, listens, accepts -- all non-blocking. Register fd() on an
+// EventLoop for kReadable and call accept_one() until it returns -1.
+class TcpListener {
+ public:
+  // Throws std::runtime_error when the address does not parse
+  // (IPv4 dotted quad only) or bind/listen fail (port in use, no
+  // permission). port 0 = ephemeral.
+  TcpListener(const std::string& address, std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  int fd() const { return fd_; }
+  // The actually-bound endpoint (resolves port 0).
+  const std::string& bound_address() const { return bound_address_; }
+  std::uint16_t bound_port() const { return bound_port_; }
+
+  // One pending connection as a non-blocking CLOEXEC fd, or -1 when
+  // the accept queue is drained (or a transient error occurred).
+  int accept_one();
+
+ private:
+  int fd_ = -1;
+  std::string bound_address_;
+  std::uint16_t bound_port_ = 0;
+};
+
+// One accepted connection, loop-registered for its lifetime. The
+// owner keeps it in a container and destroys it after on_close fires
+// (destruction deregisters and closes the fd if still open).
+class TcpConnection {
+ public:
+  // `fd` must be non-blocking; the connection takes ownership and
+  // registers with `loop` immediately (kReadable).
+  TcpConnection(EventLoop& loop, int fd);
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  // `on_data` runs after each successful read with the cumulative
+  // input buffer; the handler consumes a prefix by returning how many
+  // bytes it used (0 = keep accumulating). `on_close` runs exactly
+  // once, after the fd is deregistered and closed. Do NOT destroy the
+  // connection from inside on_close -- its member frames may still be
+  // on the stack; defer destruction via EventLoop::post() instead.
+  void set_on_data(std::function<std::size_t(std::string_view)> on_data) {
+    on_data_ = std::move(on_data);
+  }
+  void set_on_close(std::function<void()> on_close) {
+    on_close_ = std::move(on_close);
+  }
+
+  // Queues `data` for writing; flushes as much as the socket takes
+  // now and arms EPOLLOUT for the rest. Never blocks. Data queued
+  // after close_after_flush() is dropped.
+  void send(std::string_view data);
+
+  // Closes once the output buffer drains (immediately when empty).
+  void close_after_flush();
+  // Closes now, dropping any unflushed output. Triggers on_close.
+  void close_now();
+
+  bool closed() const { return fd_ < 0; }
+  // Bytes queued but not yet accepted by the socket.
+  std::size_t pending_output() const { return out_.size() - out_offset_; }
+  // Seconds since the last successful read or write, for idle sweeps.
+  double idle_seconds(std::chrono::steady_clock::time_point now) const {
+    return std::chrono::duration<double>(now - last_activity_).count();
+  }
+
+  // Caps the input buffer: a peer that sends more than this without
+  // the handler consuming it is closed (slowloris guard). 0 = no cap.
+  void set_max_buffered_input(std::size_t bytes) { max_input_ = bytes; }
+
+ private:
+  void handle_events(std::uint32_t ready);
+  void handle_readable();
+  void handle_writable();
+  void update_interest();
+
+  EventLoop& loop_;
+  int fd_;
+  std::function<std::size_t(std::string_view)> on_data_;
+  std::function<void()> on_close_;
+  std::string in_;
+  std::string out_;
+  // Flushed prefix of out_; compacted once it passes half the buffer.
+  std::size_t out_offset_ = 0;
+  std::size_t max_input_ = 0;
+  bool close_after_flush_ = false;
+  bool want_write_ = false;
+  std::chrono::steady_clock::time_point last_activity_;
+};
+
+}  // namespace kav::net
+
+#endif  // KAV_NET_TCP_H

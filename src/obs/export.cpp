@@ -5,10 +5,8 @@
 
 namespace kav::obs {
 
-namespace {
+namespace detail {
 
-// Shortest round-trip decimal form (std::to_chars): "3", "0.004",
-// "9.313225746154785e-10". Locale-independent and deterministic.
 std::string format_double(double v) {
   char buf[64];
   const auto result = std::to_chars(buf, buf + sizeof(buf), v);
@@ -16,7 +14,7 @@ std::string format_double(double v) {
   return std::string(buf, result.ptr);
 }
 
-void append_prometheus_escaped(std::string& out, const std::string& s,
+void append_prometheus_escaped(std::string& out, std::string_view s,
                                bool escape_quotes) {
   for (const char c : s) {
     if (c == '\\') {
@@ -30,6 +28,30 @@ void append_prometheus_escaped(std::string& out, const std::string& s,
     }
   }
 }
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      static const char* hex = "0123456789abcdef";
+      out += "\\u00";
+      out += hex[(c >> 4) & 0xF];
+      out += hex[c & 0xF];
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::append_json_escaped;
+using detail::append_prometheus_escaped;
+using detail::format_double;
 
 // {k1="v1",k2="v2"} with `extra` appended last (used for le=""), or
 // nothing when there are no labels at all.
@@ -55,22 +77,6 @@ void append_label_set(std::string& out, const Labels& labels,
     out += '"';
   }
   out += '}';
-}
-
-void append_json_escaped(std::string& out, const std::string& s) {
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      static const char* hex = "0123456789abcdef";
-      out += "\\u00";
-      out += hex[(c >> 4) & 0xF];
-      out += hex[c & 0xF];
-    } else {
-      out += c;
-    }
-  }
 }
 
 }  // namespace
@@ -196,6 +202,17 @@ std::string render_json(const RegistrySnapshot& snapshot) {
   }
   out += "\n  ]\n}\n";
   return out;
+}
+
+std::string render(const RegistrySnapshot& snapshot, ExportFormat format) {
+  return format == ExportFormat::prometheus ? render_prometheus(snapshot)
+                                            : render_json(snapshot);
+}
+
+bool write_snapshot(std::FILE* stream, const RegistrySnapshot& snapshot,
+                    ExportFormat format) {
+  const std::string text = render(snapshot, format);
+  return std::fwrite(text.data(), 1, text.size(), stream) == text.size();
 }
 
 }  // namespace kav::obs

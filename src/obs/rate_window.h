@@ -1,0 +1,187 @@
+// Rolling-rate time series over monotone counters. A dashboard needs
+// ops/sec, not a raw counter that only ever grows; RateWindow turns
+// "the counter moved by N during second S" into 1s/10s/60s rolling
+// rates without locks, so the telemetry server can sample every scrape
+// and concurrent recorders never contend.
+//
+//   RateWindow window;
+//   window.record(second, delta);          // any thread, wait-free-ish
+//   double r = window.rate(second, 10);    // ops/sec over the last 10s
+//
+// Design: a power-of-two ring of per-second slots, each one 64-bit
+// atomic packing {epoch tag : 24 bits, count : 40 bits}. record() is a
+// CAS loop that either adds into the slot (same second) or replaces a
+// stale slot wholesale (the ring wrapped past it) -- both transitions
+// are single-word, so concurrent recorders are EXACT: every recorded
+// unit lands in exactly one slot and slot resets can never race a
+// concurrent add into losing it (the classic two-atomic {epoch, count}
+// design has exactly that lost-update window; the packed word is why
+// tests/rate_window_test.cpp can differential-test against a plain
+// accumulator under hammering writers).
+//
+// Limits, by construction: counts saturate per second at 2^40-1 (a
+// trillion events per second per series; saturation clamps, never
+// wraps into the tag), and the 24-bit epoch tag aliases after 2^24
+// seconds (~194 days) -- a slot untouched for exactly that long could
+// be misread as current, which rolling windows of <= kSlots seconds
+// never are because a live sampler re-tags slots as the ring wraps.
+//
+// rate()/total() cover COMPLETED seconds only -- the window
+// [second - n, second - 1] -- so a rate read mid-second is not biased
+// low by the current second's partial bucket. LevelWindow is the gauge
+// sibling: last-write-wins per-second levels (watermark lag history),
+// approximate by design where RateWindow is exact.
+//
+// Cadence contract: the sampler that feeds record() from counter
+// deltas (obs::TelemetryServer ticks on every scrape) attributes a
+// whole delta to the second it sampled in, so scraping slower than
+// 1 Hz smears bursts across the sampling gap. Rates are averages over
+// their window either way; docs/OBSERVABILITY.md#serving-telemetry
+// spells out the semantics.
+#ifndef KAV_OBS_RATE_WINDOW_H
+#define KAV_OBS_RATE_WINDOW_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace kav::obs {
+
+class RateWindow {
+ public:
+  // Ring size: power of two, > 60 so a 60s window of completed seconds
+  // plus the live second never alias.
+  static constexpr int kSlots = 64;
+  // Largest queryable window: every second of [second - n, second - 1]
+  // must still be in the ring while second itself occupies a slot.
+  static constexpr int kMaxWindowSeconds = kSlots - 1;
+
+  static constexpr int kCountBits = 40;
+  static constexpr std::uint64_t kCountMask =
+      (std::uint64_t{1} << kCountBits) - 1;
+
+  // Adds `count` events to the bucket for `second` (a non-negative
+  // wall- or steady-clock second counter; the caller picks the epoch
+  // and sticks with it). Safe from any thread; exact under concurrency.
+  void record(std::int64_t second, std::uint64_t count) noexcept {
+    const std::uint64_t tag = tag_of(second);
+    std::atomic<std::uint64_t>& slot =
+        slots_[static_cast<std::size_t>(second) & (kSlots - 1)].packed;
+    std::uint64_t current = slot.load(std::memory_order_relaxed);
+    for (;;) {
+      std::uint64_t next;
+      if ((current >> kCountBits) == tag) {
+        // Same second: add, clamping at the 40-bit ceiling rather than
+        // carrying into the tag.
+        const std::uint64_t have = current & kCountMask;
+        const std::uint64_t sum =
+            count > kCountMask - have ? kCountMask : have + count;
+        next = (tag << kCountBits) | sum;
+      } else {
+        // Stale slot from kSlots seconds ago: replace it wholesale.
+        next = (tag << kCountBits) |
+               (count > kCountMask ? kCountMask : count);
+      }
+      if (slot.compare_exchange_weak(current, next,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  // Sum of events recorded for the `window_seconds` completed seconds
+  // before `second`, i.e. [second - window_seconds, second - 1].
+  // Windows are clamped to [1, kMaxWindowSeconds].
+  std::uint64_t total(std::int64_t second, int window_seconds) const noexcept {
+    window_seconds = clamp_window(window_seconds);
+    std::uint64_t sum = 0;
+    for (int back = 1; back <= window_seconds; ++back) {
+      const std::int64_t s = second - back;
+      if (s < 0) break;  // before the epoch: nothing recorded
+      const std::uint64_t packed =
+          slots_[static_cast<std::size_t>(s) & (kSlots - 1)].packed.load(
+              std::memory_order_acquire);
+      if ((packed >> kCountBits) == tag_of(s)) sum += packed & kCountMask;
+    }
+    return sum;
+  }
+
+  // total() averaged per second: the rolling rate. Seconds with no
+  // record() count as zero, which is what "rate" means on an idle
+  // series (it decays to 0 as the window slides past the last burst).
+  double rate(std::int64_t second, int window_seconds) const noexcept {
+    window_seconds = clamp_window(window_seconds);
+    return static_cast<double>(total(second, window_seconds)) /
+           static_cast<double>(window_seconds);
+  }
+
+ private:
+  static constexpr std::uint64_t tag_of(std::int64_t second) noexcept {
+    return static_cast<std::uint64_t>(second) & 0xFFFFFF;
+  }
+  static constexpr int clamp_window(int window_seconds) noexcept {
+    if (window_seconds < 1) return 1;
+    if (window_seconds > kMaxWindowSeconds) return kMaxWindowSeconds;
+    return window_seconds;
+  }
+
+  struct Slot {
+    std::atomic<std::uint64_t> packed{0};
+  };
+  // No slot is ever valid for second 0's tag until record() writes it:
+  // tag 0 with count 0 is the empty state, and a real record for a
+  // tag-0 second overwrites it with the same tag -- indistinguishable
+  // from empty only when the count is also 0, which reads as 0 anyway.
+  std::array<Slot, kSlots> slots_;
+};
+
+// Per-second level history for gauges (watermark lag, queue depth):
+// last write per second wins, reads walk the trailing completed
+// seconds. Unlike RateWindow this is deliberately approximate under
+// concurrent writers -- levels are sampled, not accumulated, so a lost
+// update between two same-second samples of the same gauge is noise.
+class LevelWindow {
+ public:
+  static constexpr int kSlots = RateWindow::kSlots;
+  static constexpr int kMaxWindowSeconds = RateWindow::kMaxWindowSeconds;
+
+  void record(std::int64_t second, std::int64_t level) noexcept {
+    Slot& slot = slots_[static_cast<std::size_t>(second) & (kSlots - 1)];
+    // Value first, tag second (release): a reader that sees the tag
+    // sees a value some writer stored for this second.
+    slot.level.store(level, std::memory_order_relaxed);
+    slot.second.store(second, std::memory_order_release);
+  }
+
+  // The level recorded for second `second - back` (back >= 1), or
+  // `absent` when that second never saw a record (or has already been
+  // overwritten by a ring wrap).
+  std::int64_t at(std::int64_t second, int back,
+                  std::int64_t absent = 0) const noexcept {
+    const std::int64_t s = second - back;
+    if (s < 0) return absent;
+    const Slot& slot = slots_[static_cast<std::size_t>(s) & (kSlots - 1)];
+    if (slot.second.load(std::memory_order_acquire) != s) return absent;
+    return slot.level.load(std::memory_order_relaxed);
+  }
+
+  // Whether second `second - back` holds a recorded level.
+  bool has(std::int64_t second, int back) const noexcept {
+    const std::int64_t s = second - back;
+    if (s < 0) return false;
+    const Slot& slot = slots_[static_cast<std::size_t>(s) & (kSlots - 1)];
+    return slot.second.load(std::memory_order_acquire) == s;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::int64_t> second{-1};
+    std::atomic<std::int64_t> level{0};
+  };
+  std::array<Slot, kSlots> slots_;
+};
+
+}  // namespace kav::obs
+
+#endif  // KAV_OBS_RATE_WINDOW_H

@@ -1,0 +1,495 @@
+#include "obs/telemetry_server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <thread>
+
+#include "net/event_loop.h"
+#include "net/http.h"
+#include "net/tcp.h"
+#include "obs/export.h"
+#include "obs/rate_window.h"
+#include "obs/span.h"
+#include "util/thread_safety.h"
+
+namespace kav::obs {
+
+namespace {
+
+constexpr const char* kMetricsContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+constexpr const char* kJsonContentType = "application/json";
+constexpr const char* kTextContentType = "text/plain; charset=utf-8";
+
+// The store sets this gauge to 0 when a background maintenance pass
+// fails and back to 1 when one succeeds; /healthz scans every series
+// with this name (one per open store) so an ailing store flips the
+// whole process unhealthy without the server holding store pointers.
+constexpr const char* kMaintenanceOkGauge = "kav_store_maintenance_ok";
+
+std::string rate_gauge_name(const std::string& counter_name) {
+  // kav_monitor_ops_ingested_total -> kav_monitor_ops_ingested_rate.
+  constexpr std::string_view kTotal = "_total";
+  std::string base = counter_name;
+  if (base.size() > kTotal.size() &&
+      base.compare(base.size() - kTotal.size(), kTotal.size(), kTotal) == 0) {
+    base.resize(base.size() - kTotal.size());
+  }
+  return base + "_rate";
+}
+
+}  // namespace
+
+struct TelemetryServer::Impl {
+  // One tracked counter: its rolling window plus the three window
+  // gauges registered into the scraped registry itself.
+  struct RateSeries {
+    std::string counter_name;
+    RateWindow window;
+    // Loop-thread-only tick state (ticks run on the loop thread).
+    std::uint64_t last = 0;
+    bool primed = false;
+    Gauge* gauge_1s = nullptr;
+    Gauge* gauge_10s = nullptr;
+    Gauge* gauge_60s = nullptr;
+  };
+
+  struct LevelSeries {
+    std::string gauge_name;
+    LevelWindow window;
+    std::int64_t current = 0;  // loop-thread-only
+  };
+
+  struct Conn {
+    std::unique_ptr<net::TcpConnection> tcp;
+  };
+
+  MetricsRegistry& registry;
+  TelemetryOptions options;
+  std::string bound_address;
+  std::uint16_t bound_port = 0;
+  std::chrono::steady_clock::time_point start_time;
+
+  net::EventLoop loop;
+  std::unique_ptr<net::TcpListener> listener;
+  std::thread loop_thread;
+  bool stopped = false;  // guarded by stop being called once on owner side
+
+  // Loop-thread-only connection table, keyed by a monotone id (never
+  // an fd: fds are reused by the kernel before deferred erases run).
+  std::map<std::uint64_t, Conn> connections;
+  std::uint64_t next_conn_id = 1;
+
+  // deques: the windows hold atomics (immovable), and deque grows
+  // without relocating elements.
+  std::deque<RateSeries> rates;
+  std::deque<LevelSeries> levels;
+
+  // Server-side stats: atomics OUTSIDE the registry, so scraping does
+  // not perturb the scraped payload (byte-identity with
+  // render_prometheus of the same registry).
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_refused{0};
+  std::atomic<std::size_t> active_connections{0};
+  RateWindow bytes_window;
+
+  util::Mutex sources_mutex;
+  StatusSource status_source KAV_GUARDED_BY(sources_mutex);
+  std::vector<std::pair<std::string, HealthCheck>> health_checks
+      KAV_GUARDED_BY(sources_mutex);
+
+  Impl(MetricsRegistry& r, TelemetryOptions opts)
+      : registry(r),
+        options(std::move(opts)),
+        start_time(std::chrono::steady_clock::now()) {}
+
+  std::int64_t now_second() const {
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::steady_clock::now() - start_time)
+        .count();
+  }
+
+  // --- rate / level sampling (loop thread, scrape time only) ---
+
+  void register_rate_gauges() {
+    for (const std::string& name : options.rate_counters) {
+      RateSeries& series = rates.emplace_back();
+      series.counter_name = name;
+      const std::string gauge_name = rate_gauge_name(name);
+      const std::string help =
+          "Rolling per-second rate of " + name + ", sampled at scrape time";
+      series.gauge_1s = &registry.gauge(gauge_name, help, {{"window", "1s"}});
+      series.gauge_10s =
+          &registry.gauge(gauge_name, help, {{"window", "10s"}});
+      series.gauge_60s =
+          &registry.gauge(gauge_name, help, {{"window", "60s"}});
+    }
+    for (const std::string& name : options.level_gauges) {
+      levels.emplace_back().gauge_name = name;
+    }
+  }
+
+  // Advances every rate/level window from a fresh registry snapshot.
+  // Runs on the loop thread only, at scrape time only: between
+  // scrapes the registry holds still, which is what the byte-identity
+  // guarantee (/metrics == same-instant render) rests on.
+  void tick_windows() {
+    if (rates.empty() && levels.empty()) return;
+    const std::int64_t second = now_second();
+    const RegistrySnapshot snap = registry.snapshot();
+    for (RateSeries& series : rates) {
+      std::uint64_t sum = 0;
+      for (const MetricSnapshot& m : snap.metrics) {
+        if (m.type == MetricType::counter && m.name == series.counter_name) {
+          sum += static_cast<std::uint64_t>(m.value);
+        }
+      }
+      if (series.primed && sum >= series.last) {
+        series.window.record(second, sum - series.last);
+      }
+      series.last = sum;
+      series.primed = true;
+      series.gauge_1s->set(
+          static_cast<std::int64_t>(std::llround(series.window.rate(second, 1))));
+      series.gauge_10s->set(static_cast<std::int64_t>(
+          std::llround(series.window.rate(second, 10))));
+      series.gauge_60s->set(static_cast<std::int64_t>(
+          std::llround(series.window.rate(second, 60))));
+    }
+    for (LevelSeries& series : levels) {
+      bool seen = false;
+      std::int64_t level = 0;
+      for (const MetricSnapshot& m : snap.metrics) {
+        if (m.type == MetricType::gauge && m.name == series.gauge_name) {
+          const auto v = static_cast<std::int64_t>(m.value);
+          level = seen ? std::max(level, v) : v;
+          seen = true;
+        }
+      }
+      if (seen) {
+        series.current = level;
+        series.window.record(second, level);
+      }
+    }
+  }
+
+  // --- endpoint bodies ---
+
+  std::string metrics_body() {
+    tick_windows();
+    return render_prometheus(registry.snapshot());
+  }
+
+  std::string healthz_body(int& status) {
+    std::string failed;
+    {
+      util::MutexLock lock(sources_mutex);
+      for (const auto& [name, check] : health_checks) {
+        if (!check()) {
+          if (!failed.empty()) failed += ", ";
+          failed += name;
+        }
+      }
+    }
+    const RegistrySnapshot snap = registry.snapshot();
+    for (const MetricSnapshot& m : snap.metrics) {
+      if (m.type == MetricType::gauge && m.name == kMaintenanceOkGauge &&
+          m.value == 0.0) {
+        if (!failed.empty()) failed += ", ";
+        failed += kMaintenanceOkGauge;
+        for (const auto& [k, v] : m.labels) {
+          failed += '{';
+          failed += k;
+          failed += '=';
+          failed += v;
+          failed += '}';
+        }
+      }
+    }
+    if (failed.empty()) {
+      status = 200;
+      return "ok\n";
+    }
+    status = 503;
+    return "unhealthy: " + failed + "\n";
+  }
+
+  std::string status_body() {
+    tick_windows();
+    const std::int64_t second = now_second();
+    StatusSnapshot status;
+    StatusSource source;
+    {
+      util::MutexLock lock(sources_mutex);
+      source = status_source;
+    }
+    if (source) status = source();
+
+    std::string out = "{\n";
+    out += "  \"uptime_seconds\": ";
+    out += detail::format_double(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_time)
+            .count());
+    out += ",\n  \"build\": {\"compiler\": \"";
+    detail::append_json_escaped(out, __VERSION__);
+    out += "\", \"standard\": ";
+    out += std::to_string(__cplusplus);
+    out += "},\n  \"runs\": {\"started\": ";
+    out += std::to_string(status.runs_started);
+    out += ", \"completed\": ";
+    out += std::to_string(status.runs_completed);
+    out += ", \"cancelled\": ";
+    out += std::to_string(status.runs_cancelled);
+    out += ", \"in_flight\": ";
+    out += std::to_string(status.runs_in_flight);
+    out += ", \"recent\": [";
+    bool first = true;
+    for (const RunSummaryInfo& run : status.recent_runs) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      out += "{\"mode\": \"";
+      detail::append_json_escaped(out, run.mode);
+      out += "\", \"outcome\": \"";
+      detail::append_json_escaped(out, run.outcome);
+      out += "\", \"seconds\": ";
+      out += detail::format_double(run.seconds);
+      out += ", \"keys\": ";
+      out += std::to_string(run.keys);
+      out += ", \"findings\": ";
+      out += std::to_string(run.findings);
+      out += '}';
+    }
+    out += first ? "]" : "\n  ]";
+    out += "},\n  \"violation_top\": [";
+    first = true;
+    for (const auto& [key, count] : status.violation_top) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      out += "{\"key\": \"";
+      detail::append_json_escaped(out, key);
+      out += "\", \"violations\": ";
+      out += std::to_string(count);
+      out += '}';
+    }
+    out += first ? "]" : "\n  ]";
+    out += ",\n  \"rates\": {";
+    first = true;
+    for (const RateSeries& series : rates) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      out += '"';
+      detail::append_json_escaped(out, series.counter_name);
+      out += "\": {\"1s\": ";
+      out += detail::format_double(series.window.rate(second, 1));
+      out += ", \"10s\": ";
+      out += detail::format_double(series.window.rate(second, 10));
+      out += ", \"60s\": ";
+      out += detail::format_double(series.window.rate(second, 60));
+      out += '}';
+    }
+    out += first ? "}" : "\n  }";
+    out += ",\n  \"levels\": {";
+    first = true;
+    for (const LevelSeries& series : levels) {
+      out += first ? "\n    " : ",\n    ";
+      first = false;
+      out += '"';
+      detail::append_json_escaped(out, series.gauge_name);
+      out += "\": {\"current\": ";
+      out += std::to_string(series.current);
+      out += ", \"recent\": [";
+      bool first_level = true;
+      for (int back = 10; back >= 1; --back) {
+        if (!series.window.has(second, back)) continue;
+        if (!first_level) out += ", ";
+        first_level = false;
+        out += std::to_string(series.window.at(second, back));
+      }
+      out += "]}";
+    }
+    out += first ? "}" : "\n  }";
+    out += ",\n  \"server\": {\"requests\": ";
+    out += std::to_string(requests.load(std::memory_order_relaxed));
+    out += ", \"bytes_sent\": ";
+    out += std::to_string(bytes_sent.load(std::memory_order_relaxed));
+    out += ", \"active_connections\": ";
+    out += std::to_string(active_connections.load(std::memory_order_relaxed));
+    out += ", \"connections_accepted\": ";
+    out +=
+        std::to_string(connections_accepted.load(std::memory_order_relaxed));
+    out += ", \"connections_refused\": ";
+    out += std::to_string(connections_refused.load(std::memory_order_relaxed));
+    out += ", \"bytes_rate_10s\": ";
+    out += detail::format_double(bytes_window.rate(second, 10));
+    out += "}\n}\n";
+    return out;
+  }
+
+  // --- request dispatch (loop thread) ---
+
+  void respond(Conn& conn, int status, const char* content_type,
+               const std::string& body, bool keep_alive) {
+    const std::string wire =
+        net::render_response(status, content_type, body, keep_alive);
+    requests.fetch_add(1, std::memory_order_relaxed);
+    bytes_sent.fetch_add(wire.size(), std::memory_order_relaxed);
+    bytes_window.record(now_second(), wire.size());
+    conn.tcp->send(wire);
+    if (!keep_alive) conn.tcp->close_after_flush();
+  }
+
+  void handle_request(Conn& conn, const net::HttpRequest& request) {
+    const bool keep_alive = request.keep_alive();
+    if (request.method != "GET") {
+      respond(conn, 405, kTextContentType, "method not allowed\n",
+              /*keep_alive=*/false);
+      return;
+    }
+    const std::string_view path = request.path();
+    if (path == "/metrics") {
+      respond(conn, 200, kMetricsContentType, metrics_body(), keep_alive);
+    } else if (path == "/status") {
+      respond(conn, 200, kJsonContentType, status_body(), keep_alive);
+    } else if (path == "/healthz") {
+      int status = 200;
+      const std::string body = healthz_body(status);
+      respond(conn, status, kTextContentType, body, keep_alive);
+    } else if (path == "/spans") {
+      respond(conn, 200, kJsonContentType, Tracer::global().dump_chrome_json(),
+              keep_alive);
+    } else {
+      respond(conn, 404, kTextContentType, "not found\n", keep_alive);
+    }
+  }
+
+  // Parses as many complete requests as the buffer holds; returns
+  // bytes consumed (TcpConnection erases that prefix).
+  std::size_t on_data(std::uint64_t conn_id, std::string_view input) {
+    const auto it = connections.find(conn_id);
+    if (it == connections.end()) return input.size();
+    Conn& conn = it->second;
+    std::size_t consumed = 0;
+    while (consumed < input.size() && !conn.tcp->closed()) {
+      net::HttpRequest request;
+      const net::ParseResult parsed = net::parse_request(
+          input.substr(consumed), request, options.max_request_bytes);
+      if (parsed.status == net::ParseStatus::need_more) break;
+      if (parsed.status == net::ParseStatus::bad) {
+        respond(conn, 400, kTextContentType, "bad request\n",
+                /*keep_alive=*/false);
+        break;
+      }
+      if (parsed.status == net::ParseStatus::too_large) {
+        respond(conn, 431, kTextContentType, "request too large\n",
+                /*keep_alive=*/false);
+        break;
+      }
+      consumed += parsed.consumed;
+      handle_request(conn, request);
+    }
+    return consumed;
+  }
+
+  void accept_ready() {
+    for (;;) {
+      const int fd = listener->accept_one();
+      if (fd < 0) return;
+      if (connections.size() >= options.max_connections) {
+        connections_refused.fetch_add(1, std::memory_order_relaxed);
+        net::EventLoop::close_fd(fd);
+        continue;
+      }
+      const std::uint64_t id = next_conn_id++;
+      Conn conn;
+      conn.tcp = std::make_unique<net::TcpConnection>(loop, fd);
+      conn.tcp->set_max_buffered_input(options.max_request_bytes * 2);
+      conn.tcp->set_on_data([this, id](std::string_view input) {
+        return on_data(id, input);
+      });
+      // Deferred erase: on_close fires with connection frames still on
+      // the stack, so destruction hops through post().
+      conn.tcp->set_on_close([this, id] {
+        active_connections.fetch_sub(1, std::memory_order_relaxed);
+        loop.post([this, id] { connections.erase(id); });
+      });
+      connections.emplace(id, std::move(conn));
+      connections_accepted.fetch_add(1, std::memory_order_relaxed);
+      active_connections.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void sweep_idle() {
+    if (options.idle_timeout_seconds <= 0) return;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [id, conn] : connections) {
+      if (!conn.tcp->closed() &&
+          conn.tcp->idle_seconds(now) > options.idle_timeout_seconds) {
+        conn.tcp->close_now();  // erase is deferred via on_close
+      }
+    }
+  }
+
+  void start() {
+    listener =
+        std::make_unique<net::TcpListener>(options.address, options.port);
+    bound_address = listener->bound_address();
+    bound_port = listener->bound_port();
+    register_rate_gauges();
+    loop.add_fd(listener->fd(), net::kReadable,
+                [this](std::uint32_t) { accept_ready(); });
+    loop.add_periodic(std::chrono::milliseconds(1000),
+                      [this] { sweep_idle(); });
+    loop_thread = std::thread([this] { loop.run(); });
+  }
+
+  void shut_down() {
+    if (stopped) return;
+    stopped = true;
+    loop.stop();
+    if (loop_thread.joinable()) loop_thread.join();
+    // The loop is down; destroy connections and the listener from this
+    // thread (EventLoop allows fd ops while not running).
+    connections.clear();
+    listener.reset();
+  }
+};
+
+TelemetryServer::TelemetryServer(MetricsRegistry& registry,
+                                 TelemetryOptions options)
+    : impl_(std::make_unique<Impl>(registry, std::move(options))) {
+  impl_->start();
+}
+
+TelemetryServer::~TelemetryServer() { impl_->shut_down(); }
+
+const std::string& TelemetryServer::address() const {
+  return impl_->bound_address;
+}
+
+std::uint16_t TelemetryServer::port() const { return impl_->bound_port; }
+
+void TelemetryServer::set_status_source(StatusSource source) {
+  util::MutexLock lock(impl_->sources_mutex);
+  impl_->status_source = std::move(source);
+}
+
+void TelemetryServer::add_health_check(std::string name, HealthCheck check) {
+  util::MutexLock lock(impl_->sources_mutex);
+  impl_->health_checks.emplace_back(std::move(name), std::move(check));
+}
+
+void TelemetryServer::stop() { impl_->shut_down(); }
+
+std::uint64_t TelemetryServer::requests_served() const {
+  return impl_->requests.load(std::memory_order_relaxed);
+}
+
+}  // namespace kav::obs

@@ -1,0 +1,139 @@
+// Live telemetry over HTTP: the scrape surface for a running Engine.
+// One TelemetryServer owns one net::EventLoop on one background
+// thread, binds a listener (port 0 = ephemeral, read port() back), and
+// serves four read-only endpoints:
+//
+//   GET /metrics  Prometheus text exposition 0.0.4 -- byte-identical
+//                 to render_prometheus(registry.snapshot()) taken at
+//                 the same instant, because the handler IS exactly
+//                 that call (after the rate tick below).
+//   GET /status   operator JSON: uptime, build info, run summaries
+//                 from the engine's status source, per-key violation
+//                 top-N, rolling rates, server stats.
+//   GET /healthz  200 "ok" or 503 listing what failed: custom health
+//                 checks plus any kav_store_maintenance_ok gauge at 0.
+//   GET /spans    chrome://tracing JSON from the global Tracer
+//                 (enable with KAV_TRACE=1).
+//
+// Rolling rates: each counter in TelemetryOptions::rate_counters gets
+// an obs::RateWindow fed from counter deltas and three gauges in the
+// SAME registry -- `<name minus _total>_rate{window="1s|10s|60s"}`,
+// ops/sec rounded to integers (Gauge is i64). The tick runs only at
+// scrape time, on the loop thread, BEFORE the snapshot that scrape
+// renders: between scrapes the registry does not change on its own,
+// which is what keeps /metrics byte-identical to a same-instant
+// render_prometheus(engine.snapshot()) (the CI smoke diffs exactly
+// that). The server's own stats (requests, bytes) live in plain
+// atomics outside the registry for the same reason.
+//
+// Threading: the constructor binds and starts serving; handlers run on
+// the loop thread. set_status_source / add_health_check are
+// mutex-guarded and callable any time from any thread. stop() (or the
+// destructor) joins the loop thread; it is safe to destroy the
+// registry after that.
+#ifndef KAV_OBS_TELEMETRY_SERVER_H
+#define KAV_OBS_TELEMETRY_SERVER_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace kav::obs {
+
+struct TelemetryOptions {
+  // IPv4 dotted quad to bind; loopback by default -- exposing the
+  // telemetry surface beyond the host is an explicit operator choice.
+  std::string address = "127.0.0.1";
+  // 0 picks an ephemeral port (tests, CI smoke); read port() back.
+  std::uint16_t port = 0;
+  // Keep-alive connections idle longer than this are closed by the
+  // loop's sweep. <= 0 disables the sweep.
+  double idle_timeout_seconds = 30.0;
+  // Accepted connections beyond this are refused at accept time.
+  std::size_t max_connections = 64;
+  // Request heads larger than this answer 431 and close.
+  std::size_t max_request_bytes = 16 * 1024;
+  // Counters (exposition names, summed across label sets) that get
+  // rolling `_rate` gauges. The defaults cover the hot dashboards:
+  // monitor throughput, violation rate, batch verification progress.
+  std::vector<std::string> rate_counters = {
+      "kav_monitor_ops_ingested_total",
+      "kav_monitor_violations_total",
+      "kav_engine_keys_verified_total",
+  };
+  // Gauges (max across label sets) whose per-second history /status
+  // shows -- watermark lag is the one operators watch.
+  std::vector<std::string> level_gauges = {
+      "kav_monitor_watermark_lag",
+  };
+};
+
+// One finished engine run, as /status shows it.
+struct RunSummaryInfo {
+  std::string mode;     // "batch" | "monitor"
+  std::string outcome;  // "completed" | "cancelled"
+  double seconds = 0.0;
+  std::uint64_t keys = 0;
+  std::uint64_t findings = 0;  // NO verdicts (batch) or violations
+};
+
+// What the status source hands /status. Engine::status() fills this
+// from its run ledger; a bespoke embedder can supply its own.
+struct StatusSnapshot {
+  double uptime_seconds = 0.0;
+  std::uint64_t runs_started = 0;
+  std::uint64_t runs_completed = 0;
+  std::uint64_t runs_cancelled = 0;
+  std::uint64_t runs_in_flight = 0;
+  std::vector<RunSummaryInfo> recent_runs;  // newest first
+  // Per-key violation counts, descending -- the top-N hot keys.
+  std::vector<std::pair<std::string, std::uint64_t>> violation_top;
+};
+
+class TelemetryServer {
+ public:
+  using StatusSource = std::function<StatusSnapshot()>;
+  // true = healthy. Runs on the loop thread per /healthz hit: cheap
+  // and non-blocking only.
+  using HealthCheck = std::function<bool()>;
+
+  // Binds and starts serving immediately; throws on bind failure (port
+  // in use, bad address). `registry` must outlive the server.
+  explicit TelemetryServer(MetricsRegistry& registry,
+                           TelemetryOptions options = {});
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  // The bound endpoint (port 0 resolved).
+  const std::string& address() const;
+  std::uint16_t port() const;
+
+  // /status delegates here; unset, the JSON carries server-side fields
+  // only. Any thread, any time.
+  void set_status_source(StatusSource source);
+  // Adds a named /healthz criterion. Any thread, any time.
+  void add_health_check(std::string name, HealthCheck check);
+
+  // Stops accepting, closes connections, joins the loop thread.
+  // Idempotent; the destructor calls it.
+  void stop();
+
+  // Served-request count -- test/bench introspection, NOT a registry
+  // metric (see the header comment on byte-identity).
+  std::uint64_t requests_served() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace kav::obs
+
+#endif  // KAV_OBS_TELEMETRY_SERVER_H

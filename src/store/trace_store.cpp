@@ -162,6 +162,7 @@ struct TraceStore::Metrics {
   obs::Counter& fsck_runs;
   obs::Counter& fsck_errors;
   obs::Counter& maintenance_errors;
+  obs::Gauge& maintenance_ok;
   obs::Gauge& segments;
   obs::Gauge& bytes_on_disk;
   obs::Gauge& records;
@@ -201,6 +202,10 @@ struct TraceStore::Metrics {
             "kav_store_maintenance_errors_total",
             "Background maintenance passes that failed (see "
             "last_maintenance_error()).")),
+        maintenance_ok(registry.gauge(
+            "kav_store_maintenance_ok",
+            "1 while the latest maintenance pass succeeded, 0 after a "
+            "failure -- GET /healthz turns 503 on any 0.")),
         segments(registry.gauge("kav_store_segments",
                                 "Live segments in the store.")),
         bytes_on_disk(registry.gauge("kav_store_bytes_on_disk",
@@ -292,6 +297,8 @@ TraceStore::TraceStore(std::filesystem::path directory,
     : directory_(std::move(directory)),
       metrics_(std::make_unique<Metrics>(
           metrics != nullptr ? *metrics : obs::MetricsRegistry::global())) {
+  // Healthy until a maintenance pass says otherwise.
+  metrics_->maintenance_ok.set(1);
   std::error_code ec;
   std::filesystem::create_directories(directory_, ec);
   if (ec || !std::filesystem::is_directory(directory_)) {
@@ -892,6 +899,8 @@ void TraceStore::maintenance_task() {
     error = "unknown maintenance error";
   }
   if (!error.empty()) metrics_->maintenance_errors.add(1);
+  // Recovers to healthy on the next clean pass; /healthz mirrors this.
+  metrics_->maintenance_ok.set(error.empty() ? 1 : 0);
   util::MutexLock lock(bg_mutex_);
   if (!error.empty()) last_maintenance_error_ = error;
   bg_running_ = false;

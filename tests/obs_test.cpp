@@ -206,6 +206,96 @@ TEST(ObsExport, EscapesLabelValuesAndHelp) {
   EXPECT_NE(json.find("line1\\u000aline2"), std::string::npos);
 }
 
+TEST(ObsExport, EmptyRegistryRendersEmptyDocuments) {
+  MetricsRegistry registry;
+  EXPECT_EQ(render_prometheus(registry.snapshot()), "");
+  EXPECT_EQ(render_json(registry.snapshot()),
+            "{\n  \"metrics\": [\n  ]\n}\n");
+}
+
+TEST(ObsExport, LabelCollisionSeriesShareOneHelpTypeBlock) {
+  // Same exposition name, different label sets: one # HELP/# TYPE
+  // header, one line per series, series in sorted label order.
+  MetricsRegistry registry;
+  registry.counter("multi_total", "Multi.", {{"shard", "b"}}).add(2);
+  registry.counter("multi_total", "Multi.", {{"shard", "a"}}).add(1);
+  registry.counter("multi_total", "Multi.").add(3);
+  const std::string prom = render_prometheus(registry.snapshot());
+  EXPECT_EQ(
+      prom,
+      "# HELP multi_total Multi.\n"
+      "# TYPE multi_total counter\n"
+      "multi_total 3\n"
+      "multi_total{shard=\"a\"} 1\n"
+      "multi_total{shard=\"b\"} 2\n");
+}
+
+TEST(ObsExport, ObservationBeyondTopBucketRendersInfOnly) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("edge_seconds", "Edges.");
+  histogram.observe(1e10);  // past the top finite bound (2^33)
+  const std::string prom = render_prometheus(registry.snapshot());
+  // No finite bucket holds the observation: only the +Inf cumulative
+  // line appears, and count/sum still balance.
+  EXPECT_NE(prom.find("edge_seconds_bucket{le=\"+Inf\"} 1\n"),
+            std::string::npos);
+  EXPECT_EQ(prom.find("edge_seconds_bucket{le=\"0"), std::string::npos);
+  EXPECT_NE(prom.find("edge_seconds_count 1\n"), std::string::npos);
+}
+
+TEST(ObsExport, RenderDispatchesOnFormat) {
+  MetricsRegistry registry;
+  registry.counter("fmt_total", "Formats.").add(4);
+  const RegistrySnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(render(snapshot, ExportFormat::prometheus),
+            render_prometheus(snapshot));
+  EXPECT_EQ(render(snapshot, ExportFormat::json), render_json(snapshot));
+}
+
+TEST(ObsExport, WriteSnapshotRoundTripsThroughAStream) {
+  MetricsRegistry registry;
+  registry.counter("rt_total", "Round trips.").add(9);
+  const RegistrySnapshot snapshot = registry.snapshot();
+  for (const ExportFormat format :
+       {ExportFormat::prometheus, ExportFormat::json}) {
+    std::FILE* stream = std::tmpfile();
+    ASSERT_NE(stream, nullptr);
+    ASSERT_TRUE(write_snapshot(stream, snapshot, format));
+    std::fflush(stream);
+    std::rewind(stream);
+    std::string read_back;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), stream)) > 0) {
+      read_back.append(buf, n);
+    }
+    std::fclose(stream);
+    EXPECT_EQ(read_back, render(snapshot, format));
+  }
+}
+
+TEST(ObsExportDetail, FormatDoubleIsShortestRoundTrip) {
+  EXPECT_EQ(detail::format_double(3.0), "3");
+  EXPECT_EQ(detail::format_double(0.004), "0.004");
+  EXPECT_EQ(detail::format_double(-2.5), "-2.5");
+  EXPECT_EQ(detail::format_double(0.0), "0");
+}
+
+TEST(ObsExportDetail, EscapingHelpers) {
+  std::string out;
+  detail::append_json_escaped(out, "a\"b\\c\nd\x01");
+  EXPECT_EQ(out, "a\\\"b\\\\c\\u000ad\\u0001");
+  out.clear();
+  detail::append_prometheus_escaped(out, "a\"b\\c\nd",
+                                    /*escape_quotes=*/true);
+  EXPECT_EQ(out, "a\\\"b\\\\c\\nd");
+  out.clear();
+  // HELP text keeps quotes literal per exposition format 0.0.4.
+  detail::append_prometheus_escaped(out, "a\"b\\c\nd",
+                                    /*escape_quotes=*/false);
+  EXPECT_EQ(out, "a\"b\\\\c\\nd");
+}
+
 // --- Registry semantics ----------------------------------------------------
 
 TEST(ObsRegistry, SameNameAndLabelsReturnsSameInstrument) {

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Integration test for the CLI metrics dump paths (obs::write_snapshot).
+
+Usage: cli_dump_test.py TRACE_CHECK_BIN STREAMING_MONITOR_BIN
+
+Drives the two example CLIs the way CI pipelines consume them and
+validates the machine-readable outputs structurally:
+
+  * trace_check --demo --json   -> stdout must be one valid JSON
+    document shaped like render_json(): {"metrics": [...]}, every
+    metric carrying name/type/help/labels and kav_-prefixed names.
+    The exit code still carries the verdict (the demo trace contains
+    a deliberate violation), so 0 and 1 are both in-contract.
+  * streaming_monitor --demo --metrics -> stdout must parse as
+    Prometheus text exposition 0.0.4: HELP/TYPE headers preceding
+    their series, well-formed series lines, no stray output (the
+    human-readable chatter goes to stderr so this stream stays pure).
+
+Registered as the `cli_dump` ctest case (integration label).
+"""
+
+import json
+import re
+import subprocess
+import sys
+
+SERIES_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(\\.|[^\"\\])*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(\\.|[^\"\\])*\")*\})?"  # labels
+    r" [^ ]+$"  # value
+)
+HELP_RE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$")
+TYPE_RE = re.compile(
+    r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram)$")
+
+
+def fail(message):
+    print(f"cli_dump_test: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run(argv, ok_codes):
+    proc = subprocess.run(argv, capture_output=True, text=True, timeout=120)
+    if proc.returncode not in ok_codes:
+        fail(f"{' '.join(argv)} exited {proc.returncode} "
+             f"(expected one of {sorted(ok_codes)}); stderr:\n{proc.stderr}")
+    return proc
+
+
+def check_trace_check_json(binary):
+    proc = run([binary, "--demo", "--json"], ok_codes={0, 1})
+    try:
+        document = json.loads(proc.stdout)
+    except json.JSONDecodeError as error:
+        fail(f"trace_check --json stdout is not JSON: {error}\n"
+             f"first 200 bytes: {proc.stdout[:200]!r}")
+    metrics = document.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        fail("trace_check --json: 'metrics' missing or empty")
+    for metric in metrics:
+        for field in ("name", "type", "help", "labels"):
+            if field not in metric:
+                fail(f"metric missing '{field}': {metric}")
+        if not metric["name"].startswith("kav_"):
+            fail(f"metric name without kav_ prefix: {metric['name']}")
+        if metric["type"] not in ("counter", "gauge", "histogram"):
+            fail(f"unknown metric type: {metric}")
+        if metric["type"] == "histogram":
+            if "count" not in metric or "buckets" not in metric:
+                fail(f"histogram without count/buckets: {metric['name']}")
+        elif "value" not in metric:
+            fail(f"scalar metric without value: {metric['name']}")
+    names = [m["name"] for m in metrics]
+    if "kav_engine_keys_verified_total" not in names:
+        fail("trace_check --json: kav_engine_keys_verified_total absent")
+    print(f"cli_dump_test: trace_check --json OK ({len(metrics)} metrics)")
+
+
+def check_streaming_monitor_prometheus(binary):
+    proc = run([binary, "--demo", "--ops=50", "--metrics"], ok_codes={0})
+    lines = proc.stdout.splitlines()
+    if not lines:
+        fail("streaming_monitor --metrics produced no output")
+    announced = set()  # names with a HELP+TYPE header seen so far
+    helped = set()
+    for line in lines:
+        if not line:
+            fail("blank line in Prometheus exposition")
+        help_match = HELP_RE.match(line)
+        if help_match:
+            helped.add(help_match.group(1))
+            continue
+        type_match = TYPE_RE.match(line)
+        if type_match:
+            if type_match.group(1) not in helped:
+                fail(f"# TYPE before # HELP for {type_match.group(1)}")
+            announced.add(type_match.group(1))
+            continue
+        if line.startswith("#"):
+            fail(f"unrecognized comment line: {line!r}")
+        if not SERIES_RE.match(line):
+            fail(f"malformed series line: {line!r}")
+        name = re.split(r"[{ ]", line, maxsplit=1)[0]
+        # Histogram series append _bucket/_sum/_count to the family.
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        if name not in announced and base not in announced:
+            fail(f"series before its # TYPE header: {line!r}")
+    if not any(n.startswith("kav_monitor_") for n in announced):
+        fail("no kav_monitor_* family in the exposition")
+    print(f"cli_dump_test: streaming_monitor --metrics OK "
+          f"({len(lines)} lines, {len(announced)} families)")
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: cli_dump_test.py TRACE_CHECK_BIN STREAMING_MONITOR_BIN")
+    check_trace_check_json(sys.argv[1])
+    check_streaming_monitor_prometheus(sys.argv[2])
+    print("cli_dump_test: PASS")
+
+
+if __name__ == "__main__":
+    main()

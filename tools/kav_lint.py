@@ -13,7 +13,8 @@ Rules (ids in parentheses; docs/STATIC_ANALYSIS.md has the catalog):
                        .histogram() follow the docs/OBSERVABILITY.md
                        grammar: kav_ prefix, lower_snake_case, counters
                        end in _total, histograms in _seconds or _bytes,
-                       gauges in neither.
+                       gauges in neither; the _rate suffix is reserved
+                       for gauges (rolling rates over counters).
   include-guard        Every header under src/ carries the canonical
                        include guard derived from its path
                        (src/a/b.h -> KAV_A_B_H).
@@ -199,6 +200,10 @@ def rule_metric_names(relpath, text, _bare, findings):
         if kind == "gauge" and (name.endswith("_total")
                                 or name.endswith("_seconds")):
             problems.append("gauge names must not end in _total or _seconds")
+        if kind != "gauge" and name.endswith("_rate"):
+            problems.append("the _rate suffix is reserved for gauges "
+                            "(rolling rates derived from counters; see "
+                            "obs/telemetry_server.h)")
         for problem in problems:
             findings.append((m.start(), "metric-names",
                              f"{kind} '{name}': {problem} "

@@ -1,0 +1,13 @@
+// kav-lint-fixture-path: src/obs/sample.cpp
+// The _rate suffix belongs to gauges only: a counter named *_rate is
+// either a mislabeled gauge or a rate precomputed where the scraper
+// should derive it.
+#include "obs/metrics.h"
+
+namespace kav {
+
+void instrument(obs::MetricsRegistry& registry) {
+  registry.histogram("kav_sample_step_rate", "Histogram stealing _rate.");
+}
+
+}  // namespace kav

@@ -7,6 +7,8 @@ namespace kav {
 void instrument(obs::MetricsRegistry& registry) {
   registry.counter("kav_sample_events_total", "Events seen.");
   registry.gauge("kav_sample_backlog", "Items queued but unprocessed.");
+  registry.gauge("kav_sample_events_rate", "Rolling events/sec.",
+                 {{"window", "10s"}});
   registry.histogram("kav_sample_step_seconds", "Per-step wall time.");
   registry.histogram("kav_sample_payload_bytes", "Payload sizes.");
 }
